@@ -1,0 +1,329 @@
+// Package boolcube is a library for matrix transposition on Boolean n-cube
+// (hypercube) configured ensemble architectures, reproducing the algorithms
+// and analysis of S. Lennart Johnsson and Ching-Tien Ho, "Algorithms for
+// Matrix Transposition on Boolean n-cube Configured Ensemble Architectures"
+// (Yale YALEU/DCS/TR-572, 1987).
+//
+// A 2^p x 2^q matrix is distributed over the 2^n processors of a simulated
+// hypercube under a Layout (cyclic, consecutive or combined assignment of
+// rows/columns, in binary or binary-reflected Gray code). Transpose moves
+// the data into a target layout on the transposed matrix using one of the
+// paper's algorithms, on a machine model (Intel iPSC, Connection Machine,
+// or an ideal machine), and reports simulated time, communication start-ups
+// and link loads.
+//
+//	m := boolcube.NewIotaMatrix(5, 5)                  // 32x32 matrix
+//	before := boolcube.TwoDimConsecutive(5, 5, 2, 2, boolcube.Binary)
+//	after := boolcube.TwoDimConsecutive(5, 5, 2, 2, boolcube.Binary)
+//	d := boolcube.Scatter(m, before)
+//	res, err := boolcube.Transpose(d, after, boolcube.Options{
+//		Algorithm: boolcube.MPT,
+//		Machine:   boolcube.IPSCNPort(),
+//	})
+//	// res.Dist holds m^T; res.Stats holds the simulated cost.
+package boolcube
+
+import (
+	"fmt"
+
+	"boolcube/internal/comm"
+	"boolcube/internal/core"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/simnet"
+)
+
+// Encoding selects binary or binary-reflected Gray code for a processor
+// address field.
+type Encoding = field.Encoding
+
+// Encodings.
+const (
+	Binary = field.Binary
+	Gray   = field.Gray
+)
+
+// Layout describes how matrix elements map to processors and local storage.
+type Layout = field.Layout
+
+// Machine is a communication cost model (τ, t_c, packet size, copy cost,
+// port model).
+type Machine = machine.Params
+
+// PortModel selects one-port or n-port (all links concurrently)
+// communication.
+type PortModel = machine.PortModel
+
+// Port models.
+const (
+	OnePort = machine.OnePort
+	NPort   = machine.NPort
+)
+
+// Matrix is a dense 2^P x 2^Q matrix.
+type Matrix = matrix.Matrix
+
+// Dist is a matrix distributed over the cube under a Layout.
+type Dist = matrix.Dist
+
+// Stats reports simulated time (µs), start-ups, bytes and link loads.
+type Stats = simnet.Stats
+
+// Result is a transposed distribution plus its simulated cost.
+type Result = core.Result
+
+// Strategy selects how the exchange algorithm packages blocks into
+// messages (Section 8.1 of the paper).
+type Strategy = comm.Strategy
+
+// Exchange strategies.
+const (
+	// SingleMessage sends one message per exchange step (idealized).
+	SingleMessage = comm.SingleMessage
+	// Shuffled performs the full local shuffle between steps.
+	Shuffled = comm.Shuffled
+	// Unbuffered sends every contiguous block run separately.
+	Unbuffered = comm.Unbuffered
+	// Buffered copies small runs into one buffer (the paper's optimal
+	// iPSC scheme).
+	Buffered = comm.Buffered
+)
+
+// Machine models.
+var (
+	// IPSC is the Intel iPSC: one-port, τ ≈ 5 ms, t_c ≈ 1 µs/byte,
+	// 1 KB packets, slow local copy.
+	IPSC = machine.IPSC
+	// IPSCNPort is the iPSC cost structure with n-port communication.
+	IPSCNPort = machine.IPSCNPort
+	// ConnectionMachine is a bit-serial pipelined router model.
+	ConnectionMachine = machine.ConnectionMachine
+	// Ideal is a unit-cost machine for studying algorithm structure.
+	Ideal = machine.Ideal
+)
+
+// Layout constructors (Tables 1-2 and Section 6 of the paper).
+var (
+	OneDimConsecutiveRows = field.OneDimConsecutiveRows
+	OneDimCyclicRows      = field.OneDimCyclicRows
+	OneDimConsecutiveCols = field.OneDimConsecutiveCols
+	OneDimCyclicCols      = field.OneDimCyclicCols
+	TwoDimConsecutive     = field.TwoDimConsecutive
+	TwoDimCyclic          = field.TwoDimCyclic
+	TwoDimMixed           = field.TwoDimMixed
+	TwoDimEncoded         = field.TwoDimEncoded
+	CombinedContiguous    = field.CombinedContiguous
+	CombinedSplit         = field.CombinedSplit
+)
+
+// Matrix construction and distribution.
+var (
+	// NewMatrix returns a zero 2^p x 2^q matrix.
+	NewMatrix = matrix.New
+	// NewIotaMatrix returns the matrix with a(u,v) = u*2^q + v.
+	NewIotaMatrix = matrix.NewIota
+	// Scatter distributes a matrix under a layout.
+	Scatter = matrix.Scatter
+)
+
+// Classification of the communication a transposition requires.
+type Classification = field.Classification
+
+// Pattern is the communication class (pairwise, all-to-all, ...).
+type Pattern = field.Pattern
+
+// Communication patterns.
+const (
+	LocalOnly = field.LocalOnly
+	Pairwise  = field.Pairwise
+	AllToAll  = field.AllToAll
+	SomeToAll = field.SomeToAll
+	AllToSome = field.AllToSome
+	General   = field.General
+)
+
+// Classify determines the communication pattern of transposing from one
+// layout into another.
+var Classify = field.Classify
+
+// ParseLayout builds a layout from a textual specification such as
+// "2d-cyclic:gray", "banded:2,1" or "custom([8,10):gray+[3,5))",
+// parameterized by the matrix shape and processor count. See
+// internal/field.Parse for the grammar.
+var ParseLayout = field.Parse
+
+// Algorithm selects a transposition algorithm from the paper.
+type Algorithm int
+
+const (
+	// Exchange is the standard exchange algorithm (Section 5), scanning
+	// cube dimensions from highest to lowest; optimal within 2x for
+	// one-port all-to-all transposition.
+	Exchange Algorithm = iota
+	// ExchangeSPTOrder is the exchange algorithm with paired row/column
+	// dimension order; on square two-dimensional layouts it follows the
+	// Single Path Transpose routes.
+	ExchangeSPTOrder
+	// SPT is the Single Path Transpose (Section 6.1.1): one pipelined
+	// edge-disjoint path from each node to its transpose partner.
+	SPT
+	// DPT is the Dual Paths Transpose (Section 6.1.2): two directed
+	// edge-disjoint paths per node, halving the transfer time.
+	DPT
+	// MPT is the Multiple Paths Transpose (Section 6.1.3 / Theorem 2):
+	// 2H(x) edge-disjoint paths per node; communication-optimal within a
+	// factor of two with n-port communication.
+	MPT
+	// SBnT routes every (source, destination) payload along its spanning
+	// balanced n-tree path (Section 5, n-port optimal all-to-all).
+	SBnT
+	// RoutingLogic sends every payload straight through dimension-order
+	// (e-cube) routing, as the iPSC/CM routing hardware does (Section 8).
+	RoutingLogic
+	// MixedNaive transposes mixed binary/Gray encodings via separate code
+	// conversions plus transpose: 2n-2 routing steps (Section 6.3).
+	MixedNaive
+	// MixedCombined folds the conversions into the transpose: n routing
+	// steps (Section 6.3).
+	MixedCombined
+	// MixedPseudocode runs the paper's literal Section 6.3 per-node
+	// program (the 14-case table) — equivalent to MixedCombined, kept as
+	// an executable validation of the published pseudocode.
+	MixedPseudocode
+	// ParallelPaths splits each pair's payload over the n node-disjoint
+	// paths of Saad & Schultz — per-pair disjoint but globally colliding;
+	// the ablation baseline for the MPT.
+	ParallelPaths
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Exchange:
+		return "exchange"
+	case ExchangeSPTOrder:
+		return "exchange-spt-order"
+	case SPT:
+		return "spt"
+	case DPT:
+		return "dpt"
+	case MPT:
+		return "mpt"
+	case SBnT:
+		return "sbnt"
+	case RoutingLogic:
+		return "routing-logic"
+	case MixedNaive:
+		return "mixed-naive"
+	case MixedCombined:
+		return "mixed-combined"
+	case MixedPseudocode:
+		return "mixed-pseudocode"
+	case ParallelPaths:
+		return "parallel-paths"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Algorithms lists every transposition algorithm, for sweeps.
+func Algorithms() []Algorithm {
+	return []Algorithm{Exchange, ExchangeSPTOrder, SPT, DPT, MPT, SBnT,
+		RoutingLogic, MixedNaive, MixedCombined, MixedPseudocode, ParallelPaths}
+}
+
+// Options configures a Transpose call.
+type Options struct {
+	// Algorithm selects the transposition algorithm.
+	Algorithm Algorithm
+	// Machine is the cost model; zero value defaults to the Intel iPSC.
+	Machine Machine
+	// Strategy selects message packaging for exchange-based algorithms.
+	Strategy Strategy
+	// Packets splits each path payload for pipelining in path-based
+	// algorithms (0 = a single packet per path).
+	Packets int
+	// LocalCopies charges the local pack/unpack rearrangement cost.
+	LocalCopies bool
+	// Trace, when non-nil, records every timed operation of the run for
+	// timeline rendering (see NewTrace).
+	Trace *TraceRecorder
+}
+
+func (o Options) core() core.Options {
+	m := o.Machine
+	if m.Name == "" {
+		m = machine.IPSC()
+	}
+	co := core.Options{
+		Machine:     m,
+		Strategy:    o.Strategy,
+		Packets:     o.Packets,
+		LocalCopies: o.LocalCopies,
+	}
+	if o.Trace != nil {
+		co.Tracer = o.Trace
+	}
+	return co
+}
+
+// Transpose moves the distributed matrix d into the after layout (which
+// describes the transposed matrix) with the selected algorithm, returning
+// the new distribution and the simulated communication cost.
+func Transpose(d *Dist, after Layout, opt Options) (*Result, error) {
+	co := opt.core()
+	switch opt.Algorithm {
+	case Exchange:
+		return core.TransposeExchange(d, after, co)
+	case ExchangeSPTOrder:
+		return core.TransposeExchangeSPTOrder(d, after, co)
+	case SPT:
+		return core.TransposeSPT(d, after, co)
+	case DPT:
+		return core.TransposeDPT(d, after, co)
+	case MPT:
+		return core.TransposeMPT(d, after, co)
+	case SBnT:
+		return core.TransposeSBnT(d, after, co)
+	case RoutingLogic:
+		return core.TransposeRoutingLogic(d, after, co)
+	case MixedNaive:
+		return core.TransposeMixedNaive(d, after, co)
+	case MixedCombined:
+		return core.TransposeMixedCombined(d, after, co)
+	case MixedPseudocode:
+		return core.TransposeMixedPseudocode(d, after, co)
+	case ParallelPaths:
+		return core.TransposeParallelPaths(d, after, co)
+	}
+	return nil, fmt.Errorf("boolcube: unknown algorithm %v", opt.Algorithm)
+}
+
+// ConvertAlgorithm selects one of Section 6.2's three algorithms for
+// transposing from two-dimensional consecutive to two-dimensional cyclic
+// storage.
+type ConvertAlgorithm = core.ConvertAlgorithm
+
+// Section 6.2 algorithms.
+const (
+	// Convert1 converts rows, then columns, then transposes: 2n steps.
+	Convert1 = core.Convert1
+	// Convert2 local-transposes first, then converts in n steps.
+	Convert2 = core.Convert2
+	// Convert3 pairs dimensions to avoid the pre-transpose: n steps.
+	Convert3 = core.Convert3
+)
+
+// ConvertConsecutiveToCyclic transposes a TwoDimConsecutive matrix into
+// TwoDimCyclic storage on the transposed matrix with the selected
+// Section 6.2 algorithm.
+func ConvertConsecutiveToCyclic(d *Dist, alg ConvertAlgorithm, opt Options) (*Result, error) {
+	return core.ConvertConsecutiveToCyclic(d, alg, opt.core())
+}
+
+// ConvertEncoding re-embeds the distributed matrix under a layout of the
+// same shape and partitioning but a different encoding (binary <-> Gray) —
+// the standalone code conversion of Section 2, routed most-significant
+// dimension first so each node needs at most n-1 hops.
+func ConvertEncoding(d *Dist, after Layout, opt Options) (*Result, error) {
+	return core.ConvertEncoding(d, after, opt.core())
+}

@@ -1,0 +1,181 @@
+package boolcube
+
+import (
+	"fmt"
+	"testing"
+
+	"boolcube/internal/bits"
+)
+
+// Every public algorithm transposes a two-dimensional square layout
+// correctly on every machine model.
+func TestTransposeAllAlgorithms(t *testing.T) {
+	p, q, n := 4, 4, 4
+	machines := []Machine{IPSC(), IPSCNPort(), ConnectionMachine(), Ideal(OnePort), Ideal(NPort)}
+	for _, mach := range machines {
+		for _, alg := range Algorithms() {
+			t.Run(fmt.Sprintf("%s/%s", mach.Name, alg), func(t *testing.T) {
+				m := NewIotaMatrix(p, q)
+				before := TwoDimConsecutive(p, q, n/2, n/2, Binary)
+				after := TwoDimConsecutive(q, p, n/2, n/2, Binary)
+				if alg == MixedPseudocode {
+					// The literal pseudocode requires the exact Section 6.3
+					// encodings (binary rows, Gray columns).
+					before = TwoDimEncoded(p, q, n/2, n/2, Binary, Gray)
+					after = TwoDimEncoded(q, p, n/2, n/2, Binary, Gray)
+				}
+				d := Scatter(m, before)
+				res, err := Transpose(d, after, Options{Algorithm: alg, Machine: mach})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+					t.Fatal(verr)
+				}
+				if res.Stats.Time <= 0 || res.Stats.Startups <= 0 {
+					t.Fatalf("implausible stats: %+v", res.Stats)
+				}
+			})
+		}
+	}
+}
+
+func TestTransposeDefaultsToIPSC(t *testing.T) {
+	m := NewIotaMatrix(3, 3)
+	before := OneDimConsecutiveRows(3, 3, 2, Binary)
+	after := OneDimConsecutiveRows(3, 3, 2, Binary)
+	d := Scatter(m, before)
+	res, err := Transpose(d, after, Options{Algorithm: Exchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatal(verr)
+	}
+}
+
+func TestTransposeUnknownAlgorithm(t *testing.T) {
+	m := NewIotaMatrix(2, 2)
+	d := Scatter(m, OneDimCyclicCols(2, 2, 1, Binary))
+	if _, err := Transpose(d, OneDimCyclicCols(2, 2, 1, Binary),
+		Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestConvertPublicAPI(t *testing.T) {
+	m := NewIotaMatrix(4, 4)
+	d := Scatter(m, TwoDimConsecutive(4, 4, 1, 1, Binary))
+	for _, alg := range []ConvertAlgorithm{Convert1, Convert2, Convert3} {
+		res, err := ConvertConsecutiveToCyclic(d, alg, Options{Machine: IPSC()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+			t.Fatalf("%v: %v", alg, verr)
+		}
+	}
+}
+
+func TestClassifyPublic(t *testing.T) {
+	c := Classify(OneDimCyclicCols(4, 4, 2, Binary), OneDimCyclicCols(4, 4, 2, Binary))
+	if c.Pattern != AllToAll {
+		t.Errorf("pattern = %v, want all-to-all", c.Pattern)
+	}
+	c = Classify(TwoDimCyclic(4, 4, 2, 2, Binary), TwoDimCyclic(4, 4, 2, 2, Binary))
+	if c.Pattern != Pairwise {
+		t.Errorf("pattern = %v, want pairwise", c.Pattern)
+	}
+}
+
+func TestBitReversalPublic(t *testing.T) {
+	n := 4
+	data := make([][]float64, 1<<uint(n))
+	for i := range data {
+		data[i] = []float64{float64(i)}
+	}
+	res, err := BitReversal(n, IPSC(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range res.Data {
+		want := float64(bits.Reverse(uint64(x), n))
+		if res.Data[x][0] != want {
+			t.Fatalf("node %04b holds %v, want %v", x, res.Data[x][0], want)
+		}
+	}
+	if res.Stats.Time <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestPermuteDimsShufflePublic(t *testing.T) {
+	n, k := 4, 2
+	data := make([][]float64, 1<<uint(n))
+	for i := range data {
+		data[i] = []float64{float64(i)}
+	}
+	res, err := PermuteDims(n, ShufflePermutation(n, k), Ideal(OnePort), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range res.Data {
+		dst := bits.RotL(uint64(x), k, n)
+		if res.Data[dst][0] != float64(x) {
+			t.Fatalf("shuffle: node %04b holds %v, want payload of %04b", dst, res.Data[dst], x)
+		}
+	}
+}
+
+// The public Transpose must agree with the lower bound of Theorem 3 on
+// every algorithm and machine.
+func TestTheorem3LowerBound(t *testing.T) {
+	p, q, n := 5, 5, 4
+	for _, mach := range []Machine{IPSC(), IPSCNPort(), Ideal(OnePort), Ideal(NPort)} {
+		for _, alg := range []Algorithm{Exchange, SPT, DPT, MPT, SBnT} {
+			m := NewIotaMatrix(p, q)
+			before := TwoDimConsecutive(p, q, n/2, n/2, Binary)
+			after := TwoDimConsecutive(q, p, n/2, n/2, Binary)
+			d := Scatter(m, before)
+			res, err := Transpose(d, after, Options{Algorithm: alg, Machine: mach, Packets: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			M := float64(int64(1)<<uint(p+q)) * float64(mach.ElemBytes)
+			N := float64(int64(1) << uint(n))
+			lb := float64(n) * mach.Tau
+			if tr := M / (2 * N) * mach.Tc; tr > lb {
+				lb = tr
+			}
+			if res.Stats.Time < lb-1e-6 {
+				t.Errorf("%s/%s: time %v below Theorem 3 bound %v", mach.Name, alg, res.Stats.Time, lb)
+			}
+		}
+	}
+}
+
+func TestParseLayoutPublic(t *testing.T) {
+	l, err := ParseLayout("2d-cyclic:gray", 5, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NBits() != 4 {
+		t.Fatalf("parsed layout has %d dims", l.NBits())
+	}
+	m := NewIotaMatrix(5, 5)
+	d := Scatter(m, l)
+	after, err := ParseLayout("2d-cyclic:gray", 5, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transpose(d, after, Options{Algorithm: Exchange, Machine: IPSC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatal(verr)
+	}
+	if _, err := ParseLayout("bogus", 5, 5, 4); err == nil {
+		t.Error("bogus spec accepted")
+	}
+}

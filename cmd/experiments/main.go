@@ -1,0 +1,121 @@
+// Command experiments regenerates the tables and figures of Johnsson & Ho's
+// matrix-transposition paper on the simulated machines.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig10
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"boolcube/internal/exper"
+)
+
+func main() {
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := flag.Bool("list", false, "list experiment ids")
+	id := flag.String("exp", "", "run one experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	format := flag.String("format", "text", "output format: text, md, csv")
+	par := flag.Int("parallel", 1, "experiments to generate concurrently with -all")
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+	render = *format
+
+	switch render {
+	case "text", "md", "csv":
+	default:
+		return fmt.Errorf("unknown format %q", render)
+	}
+
+	switch {
+	case *list:
+		for _, id := range exper.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	case *id != "":
+		return run(out, *id)
+	case *all:
+		return runAll(out, *par)
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -list, -exp, -all required")
+	}
+}
+
+var render = "text"
+
+// runAll generates every experiment, up to par at a time, printing the
+// results in id order as they complete.
+func runAll(out io.Writer, par int) error {
+	if par < 1 {
+		par = 1
+	}
+	ids := exper.IDs()
+	outs := make([]string, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tab, err := exper.Run(id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			switch render {
+			case "md":
+				outs[i] = tab.Markdown()
+			case "csv":
+				outs[i] = tab.CSV()
+			default:
+				outs[i] = tab.String()
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", id, errs[i])
+		}
+		fmt.Fprint(out, outs[i])
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func run(out io.Writer, id string) error {
+	tab, err := exper.Run(id)
+	if err != nil {
+		return err
+	}
+	switch render {
+	case "md":
+		fmt.Fprint(out, tab.Markdown())
+	case "csv":
+		fmt.Fprint(out, tab.CSV())
+	default:
+		fmt.Fprint(out, tab.String())
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := realMain(args, &sb)
+	return sb.String(), err
+}
+
+func TestList(t *testing.T) {
+	s, err := capture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig10", "table3", "theorem2", "ablation-paths"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("list missing %q", id)
+		}
+	}
+}
+
+func TestRunOneText(t *testing.T) {
+	s, err := capture(t, "-exp", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "== table1:") {
+		t.Errorf("text output malformed:\n%s", s)
+	}
+}
+
+func TestRunOneMarkdownAndCSV(t *testing.T) {
+	s, err := capture(t, "-exp", "table2", "-format", "md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "### table2") {
+		t.Errorf("md output malformed:\n%s", s)
+	}
+	s, err = capture(t, "-exp", "table2", "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s, "encoding/partitioning,") {
+		t.Errorf("csv output malformed:\n%s", s)
+	}
+}
+
+func TestExperimentsErrors(t *testing.T) {
+	if _, err := capture(t, "-exp", "fig999"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := capture(t, "-exp", "table1", "-format", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := capture(t); err == nil {
+		t.Error("no mode accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Command transpose runs a single simulated matrix transposition and prints
+// a timing and traffic report.
+//
+// Example:
+//
+//	transpose -p 5 -q 5 -n 4 -layout 2d-consecutive -enc gray -alg mpt -machine ipsc-nport
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"boolcube"
+)
+
+// layoutFor parses a before-layout spec (for the p x q matrix) and an
+// after-layout spec (for the transposed q x p matrix). An empty after spec
+// reuses the before spec on the transposed shape.
+func layoutFor(spec, afterSpec string, p, q, n int, enc boolcube.Encoding) (before, after boolcube.Layout, err error) {
+	full := spec
+	if enc == boolcube.Gray && !hasEncSuffix(spec) {
+		full = spec + ":gray"
+	}
+	b, err := boolcube.ParseLayout(full, p, q, n)
+	if err != nil {
+		return before, after, err
+	}
+	if afterSpec == "" {
+		afterSpec = full
+	} else if enc == boolcube.Gray && !hasEncSuffix(afterSpec) {
+		afterSpec += ":gray"
+	}
+	a, err := boolcube.ParseLayout(afterSpec, q, p, n)
+	if err != nil {
+		return before, after, fmt.Errorf("after layout: %w", err)
+	}
+	return b, a, nil
+}
+
+func hasEncSuffix(spec string) bool {
+	return strings.HasSuffix(spec, ":gray") || strings.HasSuffix(spec, ":binary") ||
+		strings.HasPrefix(spec, "custom(")
+}
+
+func machineFor(name string) (boolcube.Machine, error) {
+	switch name {
+	case "ipsc":
+		return boolcube.IPSC(), nil
+	case "ipsc-nport":
+		return boolcube.IPSCNPort(), nil
+	case "cm":
+		return boolcube.ConnectionMachine(), nil
+	case "ideal":
+		return boolcube.Ideal(boolcube.OnePort), nil
+	case "ideal-nport":
+		return boolcube.Ideal(boolcube.NPort), nil
+	}
+	return boolcube.Machine{}, fmt.Errorf("unknown machine %q (ipsc, ipsc-nport, cm, ideal, ideal-nport)", name)
+}
+
+func algorithmFor(name string) (boolcube.Algorithm, error) {
+	for _, a := range boolcube.Algorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	var names []string
+	for _, a := range boolcube.Algorithms() {
+		names = append(names, a.String())
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (%s)", name, strings.Join(names, ", "))
+}
+
+func main() {
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "transpose: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("transpose", flag.ContinueOnError)
+	p := flag.Int("p", 5, "log2 of the row count")
+	q := flag.Int("q", 5, "log2 of the column count")
+	n := flag.Int("n", 4, "cube dimensions")
+	layout := flag.String("layout", "2d-consecutive", "partitioning spec: named (1d-consecutive-rows, 1d-cyclic-cols, 2d-consecutive, 2d-cyclic, 2d-mixed, 2d-mixed-enc, banded:<nc>,<s>) or custom([lo,hi):enc+...)")
+	afterSpec := flag.String("after", "", "layout of the transposed matrix (default: same spec)")
+	encName := flag.String("enc", "binary", "encoding (binary, gray)")
+	algName := flag.String("alg", "exchange", "algorithm (see boolcube.Algorithms)")
+	machName := flag.String("machine", "ipsc", "machine model")
+	copies := flag.Bool("copies", false, "charge local pack/unpack copies")
+	traceOut := flag.Bool("trace", false, "print an operation timeline (Gantt) of the run")
+	tau := flag.Float64("tau", -1, "override start-up time τ (µs)")
+	tc := flag.Float64("tc", -1, "override per-byte transfer time (µs)")
+	bm := flag.Int("bm", -1, "override max packet size (bytes)")
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	enc := boolcube.Binary
+	if *encName == "gray" {
+		enc = boolcube.Gray
+	} else if *encName != "binary" {
+		return fmt.Errorf("unknown encoding %q", *encName)
+	}
+
+	before, after, err := layoutFor(*layout, *afterSpec, *p, *q, *n, enc)
+	if err != nil {
+		return err
+	}
+	mach, err := machineFor(*machName)
+	if err != nil {
+		return err
+	}
+	if *tau >= 0 {
+		mach.Tau = *tau
+	}
+	if *tc >= 0 {
+		mach.Tc = *tc
+	}
+	if *bm >= 0 {
+		mach.Bm = *bm
+	}
+	alg, err := algorithmFor(*algName)
+	if err != nil {
+		return err
+	}
+
+	m := boolcube.NewIotaMatrix(*p, *q)
+	d := boolcube.Scatter(m, before)
+	cls := boolcube.Classify(before, after)
+
+	opt := boolcube.Options{Algorithm: alg, Machine: mach, LocalCopies: *copies}
+	if *traceOut {
+		opt.Trace = boolcube.NewTrace()
+	}
+	res, err := boolcube.Transpose(d, after, opt)
+	if err != nil {
+		return err
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		return fmt.Errorf("result verification failed: %w", verr)
+	}
+
+	st := res.Stats
+	fmt.Fprintf(out, "matrix:            %dx%d (%d KB of %d-byte elements)\n",
+		m.Rows(), m.Cols(), m.Rows()*m.Cols()*mach.ElemBytes/1024, mach.ElemBytes)
+	fmt.Fprintf(out, "cube:              %d dimensions, %d processors (%s)\n", *n, 1<<uint(*n), mach.Ports)
+	fmt.Fprintf(out, "layout:            %s -> %s\n", before, after)
+	fmt.Fprintf(out, "communication:     %s (k=%d splitting, l=%d exchange steps)\n", cls.Pattern, cls.K, cls.L)
+	fmt.Fprintf(out, "algorithm:         %s on %s\n", alg, mach.Name)
+	fmt.Fprintf(out, "result:            verified element-exact\n")
+	fmt.Fprintf(out, "simulated time:    %.3f ms\n", st.Time/1000)
+	fmt.Fprintf(out, "start-ups:         %d\n", st.Startups)
+	fmt.Fprintf(out, "messages (hops):   %d\n", st.Sends)
+	fmt.Fprintf(out, "bytes over links:  %d\n", st.Bytes)
+	fmt.Fprintf(out, "copy time:         %.3f ms over %d bytes\n", st.CopyTime/1000, st.CopyBytes)
+	fmt.Fprintf(out, "max link load:     %d bytes, %.3f ms busy\n", st.MaxLinkBytes, st.MaxLinkBusy/1000)
+	if opt.Trace != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, opt.Trace.Gantt(100))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := realMain(args, &sb)
+	return sb.String(), err
+}
+
+func TestRunBasic(t *testing.T) {
+	out, err := run(t, "-p", "4", "-q", "4", "-n", "2", "-alg", "mpt", "-machine", "ipsc-nport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"matrix:            16x16",
+		"verified element-exact",
+		"communication:     pairwise",
+		"algorithm:         mpt on iPSC-nport",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStorageConversion(t *testing.T) {
+	out, err := run(t, "-p", "5", "-q", "5", "-n", "3",
+		"-layout", "1d-consecutive-rows", "-after", "1d-cyclic-cols:gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1d-cyclic-cols/gray") {
+		t.Errorf("after layout not applied:\n%s", out)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, err := run(t, "-p", "3", "-q", "3", "-n", "2", "-alg", "spt", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "legend: S send") {
+		t.Errorf("trace gantt missing:\n%s", out)
+	}
+}
+
+func TestRunMachineOverrides(t *testing.T) {
+	fast, err := run(t, "-p", "4", "-q", "4", "-n", "2", "-tau", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := run(t, "-p", "4", "-q", "4", "-n", "2", "-tau", "100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast == slow {
+		t.Error("tau override had no effect")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "warp-drive"},
+		{"-machine", "cray"},
+		{"-enc", "trinary"},
+		{"-layout", "nope"},
+		{"-layout", "1d-consecutive-rows", "-after", "custom([0,99))"},
+		{"-p", "2", "-q", "2", "-n", "4", "-layout", "1d-consecutive-rows"},
+	}
+	for _, args := range cases {
+		if _, err := run(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

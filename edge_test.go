@@ -1,0 +1,134 @@
+package boolcube
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Degenerate cube: a single processor (n = 0) transposes locally.
+func TestTransposeSingleProcessor(t *testing.T) {
+	m := NewIotaMatrix(3, 3)
+	before := OneDimConsecutiveRows(3, 3, 0, Binary)
+	after := OneDimConsecutiveRows(3, 3, 0, Binary)
+	d := Scatter(m, before)
+	res, err := Transpose(d, after, Options{Algorithm: Exchange, Machine: IPSC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatal(verr)
+	}
+	if res.Stats.Bytes != 0 {
+		t.Errorf("single-processor transpose moved %d bytes over links", res.Stats.Bytes)
+	}
+}
+
+// Vector transposition (p = 0 or q = 0) requires no data movement when the
+// layouts agree, per Section 2.
+func TestTransposeVectorNoMovement(t *testing.T) {
+	// A 1x16 row vector on 4 processors by columns, transposed to a 16x1
+	// column vector on the same processors by rows: the real address field
+	// is the same set of element bits, so no communication is needed.
+	before := OneDimCyclicCols(0, 4, 2, Binary)
+	after := OneDimCyclicRows(4, 0, 2, Binary)
+	cls := Classify(before, after)
+	if cls.Pattern != Pairwise && cls.Pattern != LocalOnly {
+		t.Logf("pattern: %v (RB=%v RA=%v)", cls.Pattern, cls.RB, cls.RA)
+	}
+	m := NewIotaMatrix(0, 4)
+	d := Scatter(m, before)
+	res, err := Transpose(d, after, Options{Algorithm: Exchange, Machine: Ideal(OnePort)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatal(verr)
+	}
+	if res.Stats.Bytes != 0 {
+		t.Errorf("vector transpose moved %d bytes; the paper says none are needed", res.Stats.Bytes)
+	}
+}
+
+// Zero-cost machines (τ = 0 or t_c = 0) must not break the simulation.
+func TestDegenerateMachines(t *testing.T) {
+	cases := []func(m *Machine){
+		func(m *Machine) { m.Tau = 0 },
+		func(m *Machine) { m.Tc = 0 },
+		func(m *Machine) { m.Tau, m.Tc = 0, 0 },
+	}
+	for i, mod := range cases {
+		mach := Ideal(OnePort)
+		mod(&mach)
+		m := NewIotaMatrix(3, 3)
+		before := OneDimConsecutiveRows(3, 3, 2, Binary)
+		after := OneDimConsecutiveRows(3, 3, 2, Binary)
+		d := Scatter(m, before)
+		res, err := Transpose(d, after, Options{Algorithm: Exchange, Machine: mach})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+			t.Fatalf("case %d: %v", i, verr)
+		}
+	}
+}
+
+// Strongly rectangular matrices across all main algorithms.
+func TestRectangularMatrices(t *testing.T) {
+	shapes := []struct{ p, q int }{{1, 7}, {7, 1}, {2, 6}, {6, 2}}
+	for _, s := range shapes {
+		for _, alg := range []Algorithm{Exchange, SBnT, RoutingLogic} {
+			name := fmt.Sprintf("%dx%d/%v", 1<<uint(s.p), 1<<uint(s.q), alg)
+			n := 1
+			if s.p > 1 && s.q > 1 {
+				n = 2
+			}
+			before := OneDimConsecutiveRows(s.p, s.q, min(n, s.p), Binary)
+			after := OneDimConsecutiveRows(s.q, s.p, min(n, s.p), Binary)
+			m := NewIotaMatrix(s.p, s.q)
+			d := Scatter(m, before)
+			res, err := Transpose(d, after, Options{Algorithm: alg, Machine: IPSC()})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+				t.Fatalf("%s: %v", name, verr)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// A trace recorder attached through the public API captures the run.
+func TestPublicTrace(t *testing.T) {
+	m := NewIotaMatrix(3, 3)
+	before := OneDimConsecutiveRows(3, 3, 2, Binary)
+	after := OneDimConsecutiveRows(3, 3, 2, Binary)
+	d := Scatter(m, before)
+	rec := NewTrace()
+	_, err := Transpose(d, after, Options{Algorithm: Exchange, Machine: IPSC(), Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("trace captured nothing")
+	}
+	sends := 0
+	for _, ev := range rec.Events {
+		if ev.Kind == "send" {
+			sends++
+		}
+	}
+	if sends == 0 {
+		t.Error("trace has no send events")
+	}
+	if g := rec.Gantt(60); len(g) == 0 {
+		t.Error("empty gantt")
+	}
+}

@@ -1,0 +1,180 @@
+// ADI solves the 2-D heat equation u_t = u_xx + u_yy with the
+// Peaceman-Rachford Alternating Direction Implicit method on a simulated
+// hypercube — the workload that motivates matrix transposition in the
+// paper's introduction: each half step solves tridiagonal systems along one
+// grid direction, and the data is transposed between the direction sweeps
+// so every solve is processor-local.
+//
+// The distributed run is checked step by step against a serial reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"boolcube"
+	"boolcube/internal/solve"
+)
+
+const (
+	pBits, qBits = 5, 5 // 32 x 32 interior grid
+	nCube        = 4    // 16 processors, one-dimensional row partitioning
+	steps        = 8
+	r            = 0.4 // lambda = dt/dx^2 (per half step factor r/2)
+)
+
+// thomas and explicitRow delegate to the internal/solve substrate: the
+// Peaceman-Rachford implicit half-step operator (I - lam/2 d2)^{-1} and its
+// explicit counterpart (I + lam/2 d2).
+func thomas(d []float64, lam float64) {
+	if err := solve.HeatImplicit(lam, d, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func explicitRow(row []float64, lam float64, out []float64) {
+	solve.HeatExplicit(lam, row, out)
+}
+
+// applyExplicitLocal applies the explicit half-step operator along the
+// local row direction of every processor's block. With the transposed ADI
+// formulation, the explicit operator is applied along local rows *before*
+// each transpose and the implicit solve along local rows *after* it, so no
+// non-local stencil access is ever needed.
+func applyExplicitLocal(d *boolcube.Dist, cols int, lam float64) {
+	rows, gotCols, ok := d.LocalShape()
+	if !ok || gotCols != cols {
+		log.Fatalf("unexpected local shape (%d, %v) for width %d", gotCols, ok, cols)
+	}
+	tmp := make([]float64, cols)
+	for proc := range d.Local {
+		for r := 0; r < rows; r++ {
+			row := d.LocalRow(proc, r)
+			explicitRow(row, lam, tmp)
+			copy(row, tmp)
+		}
+	}
+}
+
+func applyImplicitLocal(d *boolcube.Dist, cols int, lam float64) {
+	rows, gotCols, ok := d.LocalShape()
+	if !ok || gotCols != cols {
+		log.Fatalf("unexpected local shape (%d, %v) for width %d", gotCols, ok, cols)
+	}
+	for proc := range d.Local {
+		for r := 0; r < rows; r++ {
+			thomas(d.LocalRow(proc, r), lam)
+		}
+	}
+}
+
+func main() {
+	P, Q := 1<<pBits, 1<<qBits
+
+	// Initial condition: a peaked bump, plus identity-checkable asymmetry.
+	u := boolcube.NewMatrix(pBits, qBits)
+	for i := 0; i < P; i++ {
+		for j := 0; j < Q; j++ {
+			x := float64(i+1) / float64(P+1)
+			y := float64(j+1) / float64(Q+1)
+			u.Set(uint64(i), uint64(j), math.Sin(math.Pi*x)*math.Sin(2*math.Pi*y)+0.1*x*y)
+		}
+	}
+	ref := boolcube.NewMatrix(pBits, qBits)
+	copy(ref.Data, u.Data)
+
+	rows := boolcube.OneDimConsecutiveRows(pBits, qBits, nCube, boolcube.Binary)
+	rowsT := boolcube.OneDimConsecutiveRows(qBits, pBits, nCube, boolcube.Binary)
+	d := boolcube.Scatter(u, rows)
+
+	mach := boolcube.IPSC()
+	totalComm := 0.0
+	var startups int64
+
+	for s := 0; s < steps; s++ {
+		// Half step A: explicit along rows (y-direction local), transpose,
+		// implicit along what are now local rows (the x-direction).
+		applyExplicitLocal(d, Q, r)
+		res, err := boolcube.Transpose(d, rowsT, boolcube.Options{Algorithm: boolcube.Exchange, Machine: mach, Strategy: boolcube.Buffered})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = res.Dist
+		totalComm += res.Stats.Time
+		startups += res.Stats.Startups
+		applyImplicitLocal(d, P, r)
+
+		// Half step B: explicit along the current rows, transpose back,
+		// implicit along the original rows.
+		applyExplicitLocal(d, P, r)
+		res, err = boolcube.Transpose(d, rows, boolcube.Options{Algorithm: boolcube.Exchange, Machine: mach, Strategy: boolcube.Buffered})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = res.Dist
+		totalComm += res.Stats.Time
+		startups += res.Stats.Startups
+		applyImplicitLocal(d, Q, r)
+
+		// Serial reference for the same two half steps.
+		serialStep(ref, r)
+	}
+
+	got := d.Gather()
+	maxErr := 0.0
+	for i := range got.Data {
+		if e := math.Abs(got.Data[i] - ref.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	energy := 0.0
+	for _, v := range got.Data {
+		energy += v * v
+	}
+	fmt.Printf("ADI heat equation on a %dx%d grid, %d processors, %d steps\n", P, Q, 1<<nCube, steps)
+	fmt.Printf("transposes: %d (2 per step), simulated comm time %.1f ms, %d start-ups\n",
+		2*steps, totalComm/1000, startups)
+	fmt.Printf("distributed vs serial max |error|: %.3g\n", maxErr)
+	fmt.Printf("solution energy after %d steps: %.6f (decaying, as diffusion must)\n", steps, energy)
+	if maxErr > 1e-12 {
+		log.Fatal("distributed ADI diverged from the serial reference")
+	}
+	fmt.Println("distributed ADI matches the serial reference")
+}
+
+// serialStep performs the same Peaceman-Rachford step on a dense matrix.
+func serialStep(m *boolcube.Matrix, lam float64) {
+	P, Q := m.Rows(), m.Cols()
+	tmp := make([]float64, Q)
+	// Half step A: explicit along rows, then implicit along columns.
+	for i := 0; i < P; i++ {
+		row := m.Data[i*Q : (i+1)*Q]
+		explicitRow(row, lam, tmp)
+		copy(row, tmp)
+	}
+	col := make([]float64, P)
+	for j := 0; j < Q; j++ {
+		for i := 0; i < P; i++ {
+			col[i] = m.At(uint64(i), uint64(j))
+		}
+		thomas(col, lam)
+		for i := 0; i < P; i++ {
+			m.Set(uint64(i), uint64(j), col[i])
+		}
+	}
+	// Half step B: explicit along columns, then implicit along rows.
+	tmpc := make([]float64, P)
+	for j := 0; j < Q; j++ {
+		for i := 0; i < P; i++ {
+			col[i] = m.At(uint64(i), uint64(j))
+		}
+		explicitRow(col, lam, tmpc)
+		for i := 0; i < P; i++ {
+			m.Set(uint64(i), uint64(j), tmpc[i])
+		}
+	}
+	for i := 0; i < P; i++ {
+		thomas(m.Data[i*Q:(i+1)*Q], lam)
+	}
+}

@@ -1,0 +1,138 @@
+// Poisson solves the discrete Poisson equation ∇²u = f on a 2^p x 2^q grid
+// with zero Dirichlet boundaries by the Fourier analysis method the paper's
+// introduction cites (FACR): a sine transform along one grid direction
+// decouples the system into independent tridiagonal solves along the other.
+// On a hypercube with one-dimensional row partitioning, both phases are
+// processor-local if the data is transposed between them — two transposes
+// plus local work solve the whole problem.
+//
+// The result is verified by applying the five-point Laplacian to the
+// computed solution and comparing against f.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"boolcube"
+	"boolcube/internal/fourier"
+	"boolcube/internal/solve"
+)
+
+const (
+	pBits, qBits = 5, 5
+	nCube        = 4
+)
+
+// dst, lambda and thomasVar delegate to the internal substrates: the
+// orthonormal DST-I (its own inverse), the Dirichlet Laplacian eigenvalues,
+// and the general tridiagonal solver.
+func dst(x []float64) []float64 { return fourier.DST1(x) }
+
+func lambda(k, n int) float64 { return solve.Laplacian1DEigenvalue(k, n) }
+
+func thomasVar(diag, d []float64) {
+	n := len(d)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := solve.Tridiagonal(ones, diag, ones, d, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func transpose(d *boolcube.Dist, after boolcube.Layout, mach boolcube.Machine, comm *float64) *boolcube.Dist {
+	res, err := boolcube.Transpose(d, after, boolcube.Options{
+		Algorithm: boolcube.Exchange, Machine: mach, Strategy: boolcube.Buffered,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	*comm += res.Stats.Time
+	return res.Dist
+}
+
+func main() {
+	P, Q := 1<<pBits, 1<<qBits
+
+	// Right-hand side: a couple of point charges.
+	f := boolcube.NewMatrix(pBits, qBits)
+	f.Set(uint64(P/3), uint64(Q/4), 1)
+	f.Set(uint64(2*P/3), uint64(3*Q/4), -1)
+
+	rows := boolcube.OneDimConsecutiveRows(pBits, qBits, nCube, boolcube.Binary)
+	rowsT := boolcube.OneDimConsecutiveRows(qBits, pBits, nCube, boolcube.Binary)
+	mach := boolcube.IPSC()
+	comm := 0.0
+
+	d := boolcube.Scatter(f, rows)
+
+	// Phase 1: sine transform along every (local) row: decouples the
+	// column direction into modes.
+	localRows, _, _ := d.LocalShape()
+	for proc := range d.Local {
+		for r := 0; r < localRows; r++ {
+			row := d.LocalRow(proc, r)
+			copy(row, dst(row))
+		}
+	}
+
+	// Transpose so each original column (now a local row) is local.
+	d = transpose(d, rowsT, mach, &comm)
+
+	// Phase 2: for mode k (the local row index after transposition is the
+	// original column j... each local row is the j-th transformed column,
+	// whose Fourier index is the original column position), solve
+	// (δxx + λ_k I) û = f̂ along the row.
+	localRowsT, _, _ := d.LocalShape()
+	for proc := range d.Local {
+		for r := 0; r < localRowsT; r++ {
+			j := int(d.RowIndex(proc, r)) // original column index = mode k
+			lam := lambda(j, Q)
+			diag := make([]float64, P)
+			for i := range diag {
+				diag[i] = -2 + lam
+			}
+			thomasVar(diag, d.LocalRow(proc, r))
+		}
+	}
+
+	// Transpose back and apply the inverse sine transform (DST-I is its
+	// own inverse in the orthonormal normalization).
+	d = transpose(d, rows, mach, &comm)
+	for proc := range d.Local {
+		for r := 0; r < localRows; r++ {
+			row := d.LocalRow(proc, r)
+			copy(row, dst(row))
+		}
+	}
+
+	u := d.Gather()
+
+	// Verify: five-point Laplacian of u must reproduce f.
+	maxRes := 0.0
+	at := func(i, j int) float64 {
+		if i < 0 || j < 0 || i >= P || j >= Q {
+			return 0
+		}
+		return u.At(uint64(i), uint64(j))
+	}
+	for i := 0; i < P; i++ {
+		for j := 0; j < Q; j++ {
+			lap := at(i-1, j) + at(i+1, j) + at(i, j-1) + at(i, j+1) - 4*at(i, j)
+			if r := math.Abs(lap - f.At(uint64(i), uint64(j))); r > maxRes {
+				maxRes = r
+			}
+		}
+	}
+
+	fmt.Printf("Poisson equation on a %dx%d grid, %d processors\n", P, Q, 1<<nCube)
+	fmt.Printf("2 transposes, simulated comm time %.1f ms\n", comm/1000)
+	fmt.Printf("max |∇²u - f| residual: %.3g\n", maxRes)
+	if maxRes > 1e-9 {
+		log.Fatal("Poisson solve failed verification")
+	}
+	fmt.Println("solution verified against the discrete Laplacian")
+}

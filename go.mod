@@ -1,0 +1,3 @@
+module boolcube
+
+go 1.22

@@ -1,0 +1,35 @@
+package bits
+
+import "testing"
+
+func BenchmarkHamming(b *testing.B) {
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += Hamming(uint64(i), uint64(i)*2654435761, 32)
+	}
+	_ = s
+}
+
+func BenchmarkRotL(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= RotL(uint64(i), i&15, 16)
+	}
+	_ = s
+}
+
+func BenchmarkReverse(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= Reverse(uint64(i), 20)
+	}
+	_ = s
+}
+
+func BenchmarkBase(b *testing.B) {
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += Base(uint64(i)&1023, 10)
+	}
+	_ = s
+}

@@ -1,0 +1,175 @@
+// Package bits provides the bit-level machinery underlying address
+// manipulation on Boolean n-cubes: Hamming distance, cyclic shifts of
+// fixed-width bit strings (the paper's shuffle operator sh^k), bit reversal,
+// rotation canonicalization (the "base" of an address used by spanning
+// balanced n-tree routing), and parity.
+//
+// Throughout, a "bit string of width m" is the low m bits of a uint64; bit 0
+// is the least significant bit. All operations panic on widths outside
+// [1, 64] because a bad width is a programming error, never a data error.
+package bits
+
+import "math/bits"
+
+// MaxWidth is the largest supported bit-string width.
+const MaxWidth = 64
+
+func checkWidth(m int) {
+	if m < 1 || m > MaxWidth {
+		panic("bits: width out of range [1,64]")
+	}
+}
+
+// Mask returns a mask with the low m bits set.
+func Mask(m int) uint64 {
+	checkWidth(m)
+	if m == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(m)) - 1
+}
+
+// Hamming returns the Hamming distance between the low m bits of w and z
+// (Definition 4 of the paper).
+func Hamming(w, z uint64, m int) int {
+	return bits.OnesCount64((w ^ z) & Mask(m))
+}
+
+// OnesCount returns the number of set bits among the low m bits of w.
+func OnesCount(w uint64, m int) int {
+	return bits.OnesCount64(w & Mask(m))
+}
+
+// Parity reports whether the low m bits of w contain an odd number of ones.
+func Parity(w uint64, m int) bool {
+	return OnesCount(w, m)%2 == 1
+}
+
+// Shuffle performs the paper's sh^1 operation on a width-m bit string: a one
+// step left cyclic shift, loc(w_{m-1} ... w_0) <- loc(w_{m-2} ... w_0 w_{m-1})
+// (Definition 3). As an address map this sends bit i to position i+1 mod m.
+func Shuffle(w uint64, m int) uint64 {
+	return RotL(w, 1, m)
+}
+
+// Unshuffle performs sh^-1, a one step right cyclic shift.
+func Unshuffle(w uint64, m int) uint64 {
+	return RotR(w, 1, m)
+}
+
+// RotL rotates the low m bits of w left by k (k may exceed m or be 0).
+// Equivalent to the paper's sh^k.
+func RotL(w uint64, k, m int) uint64 {
+	checkWidth(m)
+	k = ((k % m) + m) % m
+	w &= Mask(m)
+	if k == 0 {
+		return w
+	}
+	return ((w << uint(k)) | (w >> uint(m-k))) & Mask(m)
+}
+
+// RotR rotates the low m bits of w right by k. Equivalent to sh^-k.
+func RotR(w uint64, k, m int) uint64 {
+	return RotL(w, -k, m)
+}
+
+// Reverse returns the bit-reversal of the low m bits of w:
+// (w_{m-1} ... w_0) -> (w_0 ... w_{m-1}) (Section 7).
+func Reverse(w uint64, m int) uint64 {
+	checkWidth(m)
+	return bits.Reverse64(w&Mask(m)) >> uint(64-m)
+}
+
+// Base returns the minimum number of right rotations of the width-m string w
+// that yields the minimum value among all rotations of w. This is the "base"
+// used by spanning balanced n-tree routing in the paper's SBnT transpose
+// pseudo code. For w == 0 the base is 0.
+func Base(w uint64, m int) int {
+	checkWidth(m)
+	w &= Mask(m)
+	best := w
+	bestK := 0
+	for k := 1; k < m; k++ {
+		r := RotR(w, k, m)
+		if r < best {
+			best = r
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+// GCD returns the greatest common divisor of a and b (both > 0 expected;
+// GCD(0, b) = b).
+func GCD(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// MaxShuffleHamming returns max_w Hamming(w, sh^k w) for width m, per the
+// paper's Lemma 2: m if m/gcd(m,k) is even, else m - gcd(m,k).
+func MaxShuffleHamming(k, m int) int {
+	checkWidth(m)
+	k = ((k % m) + m) % m
+	if k == 0 {
+		return 0
+	}
+	g := GCD(m, k)
+	if (m/g)%2 == 0 {
+		return m
+	}
+	return m - g
+}
+
+// Concat returns the concatenation (u || v) where u occupies the high uw bits
+// and v the low vw bits; the result has width uw+vw (Section 2's address of
+// matrix element a(u,v)).
+func Concat(u, v uint64, uw, vw int) uint64 {
+	checkWidth(uw)
+	checkWidth(vw)
+	checkWidth(uw + vw)
+	return (u&Mask(uw))<<uint(vw) | v&Mask(vw)
+}
+
+// Split is the inverse of Concat: it splits a width uw+vw string into its
+// high uw bits and low vw bits.
+func Split(w uint64, uw, vw int) (u, v uint64) {
+	checkWidth(uw)
+	checkWidth(vw)
+	checkWidth(uw + vw)
+	return (w >> uint(vw)) & Mask(uw), w & Mask(vw)
+}
+
+// SwapHalves exchanges the high and low halves of an even-width string:
+// (u || v) -> (v || u). This is the node-address image of matrix
+// transposition for a square two-dimensional partitioning (the paper's tr(x)).
+func SwapHalves(w uint64, m int) uint64 {
+	checkWidth(m)
+	if m%2 != 0 {
+		panic("bits: SwapHalves requires even width")
+	}
+	h := m / 2
+	u, v := Split(w, h, h)
+	return Concat(v, u, h, h)
+}
+
+// Bit returns bit i of w as 0 or 1.
+func Bit(w uint64, i int) uint64 {
+	return (w >> uint(i)) & 1
+}
+
+// SetBit returns w with bit i set to b (b must be 0 or 1).
+func SetBit(w uint64, i int, b uint64) uint64 {
+	return (w &^ (uint64(1) << uint(i))) | (b&1)<<uint(i)
+}
+
+// FlipBit returns w with bit i complemented.
+func FlipBit(w uint64, i int) uint64 {
+	return w ^ (uint64(1) << uint(i))
+}

@@ -1,0 +1,284 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		m    int
+		want uint64
+	}{
+		{1, 1}, {2, 3}, {8, 0xff}, {16, 0xffff}, {63, (1 << 63) - 1}, {64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.m); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMaskPanics(t *testing.T) {
+	for _, m := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", m)
+				}
+			}()
+			Mask(m)
+		}()
+	}
+}
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		w, z uint64
+		m    int
+		want int
+	}{
+		{0, 0, 8, 0},
+		{0b1010, 0b0101, 4, 4},
+		{0b1010, 0b0101, 3, 3},
+		{0xff, 0x00, 8, 8},
+		{0b1001, 0b1000, 4, 1},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.w, c.z, c.m); got != c.want {
+			t.Errorf("Hamming(%b,%b,%d) = %d, want %d", c.w, c.z, c.m, got, c.want)
+		}
+	}
+}
+
+func TestShuffleUnshuffleInverse(t *testing.T) {
+	f := func(w uint64, mseed uint8) bool {
+		m := int(mseed)%16 + 1
+		w &= Mask(m)
+		return Unshuffle(Shuffle(w, m), m) == w && Shuffle(Unshuffle(w, m), m) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleExample(t *testing.T) {
+	// sh^1 on (w3 w2 w1 w0) = (w2 w1 w0 w3): address 0b1000 -> 0b0001.
+	if got := Shuffle(0b1000, 4); got != 0b0001 {
+		t.Errorf("Shuffle(1000,4) = %04b, want 0001", got)
+	}
+	if got := Shuffle(0b0110, 4); got != 0b1100 {
+		t.Errorf("Shuffle(0110,4) = %04b, want 1100", got)
+	}
+}
+
+func TestRotLFullCycle(t *testing.T) {
+	// sh^m = identity (Definition 3: sh^k(w) = sh^{-(m-k)}(w)).
+	f := func(w uint64, mseed, kseed uint8) bool {
+		m := int(mseed)%16 + 1
+		k := int(kseed)
+		w &= Mask(m)
+		if RotL(w, m, m) != w {
+			return false
+		}
+		return RotL(w, k, m) == RotR(w, m-k%m, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		m    int
+		want uint64
+	}{
+		{0b001, 3, 0b100},
+		{0b1011, 4, 0b1101},
+		{0b1, 1, 0b1},
+		{0b10000000, 8, 0b00000001},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.w, c.m); got != c.want {
+			t.Errorf("Reverse(%b,%d) = %b, want %b", c.w, c.m, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(w uint64, mseed uint8) bool {
+		m := int(mseed)%32 + 1
+		w &= Mask(m)
+		return Reverse(Reverse(w, m), m) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 2: for m even, w = 0101...01 attains Hamming(w, sh^1 w) = m; for m
+// odd the maximum is m-1. In general max_w Hamming(w, sh^k w) follows the
+// gcd formula. We verify the formula by exhaustive search for small m.
+func TestLemma2MaxShuffleHamming(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for k := 1; k < m; k++ {
+			max := 0
+			for w := uint64(0); w < 1<<uint(m); w++ {
+				if h := Hamming(w, RotL(w, k, m), m); h > max {
+					max = h
+				}
+			}
+			if want := MaxShuffleHamming(k, m); max != want {
+				t.Errorf("m=%d k=%d: exhaustive max %d != formula %d", m, k, max, want)
+			}
+		}
+	}
+}
+
+// Corollary 2: for m even, max_w Hamming(w, sh^{m/2} w) = m.
+func TestCorollary2(t *testing.T) {
+	for m := 2; m <= 16; m += 2 {
+		if got := MaxShuffleHamming(m/2, m); got != m {
+			t.Errorf("m=%d: MaxShuffleHamming(m/2,m) = %d, want %d", m, got, m)
+		}
+	}
+}
+
+// Lemma 3: for 0 <= k < m, max_w Hamming(w, sh^k w) >= k.
+func TestLemma3(t *testing.T) {
+	for m := 1; m <= 24; m++ {
+		for k := 1; k < m; k++ {
+			if got := MaxShuffleHamming(k, m); got < k {
+				t.Errorf("m=%d k=%d: max shuffle hamming %d < k", m, k, got)
+			}
+		}
+	}
+}
+
+func TestBase(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		m    int
+		want int
+	}{
+		{0b0000, 4, 0},
+		{0b0001, 4, 0},
+		{0b0010, 4, 1},
+		{0b0100, 4, 2},
+		{0b1000, 4, 3},
+		{0b1001, 4, 0}, // rotations: 1001,1100,0110,0011 -> min 0011 at k=0? no:
+		// RotR(1001,0)=1001(9), RotR(1001,1)=1100(12), RotR(1001,2)=0110(6), RotR(1001,3)=0011(3) -> k=3
+	}
+	cases[5].want = 3
+	for _, c := range cases {
+		if got := Base(c.w, c.m); got != c.want {
+			t.Errorf("Base(%04b,%d) = %d, want %d", c.w, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBaseIsMinimalRotation(t *testing.T) {
+	f := func(w uint64, mseed uint8) bool {
+		m := int(mseed)%12 + 1
+		w &= Mask(m)
+		k := Base(w, m)
+		min := RotR(w, k, m)
+		for j := 0; j < m; j++ {
+			if RotR(w, j, m) < min {
+				return false
+			}
+			if RotR(w, j, m) == min && j < k {
+				return false // Base must be the minimum k
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatSplit(t *testing.T) {
+	f := func(u, v uint64, uwseed, vwseed uint8) bool {
+		uw := int(uwseed)%16 + 1
+		vw := int(vwseed)%16 + 1
+		u &= Mask(uw)
+		v &= Mask(vw)
+		w := Concat(u, v, uw, vw)
+		gu, gv := Split(w, uw, vw)
+		return gu == u && gv == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapHalves(t *testing.T) {
+	if got := SwapHalves(0b000111, 6); got != 0b111000 {
+		t.Errorf("SwapHalves(000111) = %06b, want 111000", got)
+	}
+	f := func(w uint64, mseed uint8) bool {
+		m := (int(mseed)%8 + 1) * 2
+		w &= Mask(m)
+		return SwapHalves(SwapHalves(w, m), m) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapHalvesOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SwapHalves with odd width did not panic")
+		}
+	}()
+	SwapHalves(0b101, 3)
+}
+
+func TestBitOps(t *testing.T) {
+	w := uint64(0b1010)
+	if Bit(w, 0) != 0 || Bit(w, 1) != 1 || Bit(w, 3) != 1 {
+		t.Errorf("Bit() wrong on %04b", w)
+	}
+	if got := SetBit(w, 0, 1); got != 0b1011 {
+		t.Errorf("SetBit = %04b", got)
+	}
+	if got := SetBit(w, 1, 0); got != 0b1000 {
+		t.Errorf("SetBit clear = %04b", got)
+	}
+	if got := FlipBit(w, 2); got != 0b1110 {
+		t.Errorf("FlipBit = %04b", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {8, 12, 4}, {7, 13, 1}, {0, 5, 5}, {5, 0, 5}, {6, 6, 6},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Lemma 1: A^T <- sh^p A for a 2^p x 2^q matrix: shifting the concatenated
+// address (u||v) left by p steps cyclically yields (v||u).
+func TestLemma1TransposeAsShuffle(t *testing.T) {
+	p, q := 3, 5
+	m := p + q
+	for u := uint64(0); u < 1<<uint(p); u++ {
+		for v := uint64(0); v < 1<<uint(q); v++ {
+			w := Concat(u, v, p, q)
+			want := Concat(v, u, q, p)
+			if got := RotL(w, p, m); got != want {
+				t.Fatalf("sh^p(%d||%d) = %b, want %b", u, v, got, want)
+			}
+			if got := RotR(w, q, m); got != want {
+				t.Fatalf("sh^-q(%d||%d) = %b, want %b", u, v, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package bits
+
+import "testing"
+
+// FuzzRotations checks the shuffle algebra of Definition 3 on arbitrary
+// widths and shifts: sh^k sh^-k = I and sh^k = sh^-(m-k).
+func FuzzRotations(f *testing.F) {
+	f.Add(uint64(0b1011), uint8(3), uint8(5))
+	f.Add(uint64(1)<<40, uint8(17), uint8(50))
+	f.Fuzz(func(t *testing.T, w uint64, ks, ms uint8) {
+		m := int(ms)%64 + 1
+		k := int(ks)
+		w &= Mask(m)
+		if RotR(RotL(w, k, m), k, m) != w {
+			t.Fatalf("RotR(RotL(%b,%d,%d)) != id", w, k, m)
+		}
+		if RotL(w, k, m) != RotR(w, m-k%m, m) && RotL(w, k, m) != RotR(w, (m-k%m%m+m)%m, m) {
+			// sh^k = sh^{-(m-k)} for canonical k in [0,m)
+			kk := ((k % m) + m) % m
+			if RotL(w, kk, m) != RotR(w, m-kk, m) {
+				t.Fatalf("sh^%d != sh^-(m-%d) at m=%d w=%b", kk, kk, m, w)
+			}
+		}
+		if Reverse(Reverse(w, m), m) != w {
+			t.Fatalf("double reverse broken")
+		}
+	})
+}
+
+// FuzzBaseMinimality: Base returns the minimal rotation index.
+func FuzzBaseMinimality(f *testing.F) {
+	f.Add(uint64(0b1001), uint8(4))
+	f.Fuzz(func(t *testing.T, w uint64, ms uint8) {
+		m := int(ms)%16 + 1
+		w &= Mask(m)
+		k := Base(w, m)
+		minVal := RotR(w, k, m)
+		for j := 0; j < m; j++ {
+			v := RotR(w, j, m)
+			if v < minVal || (v == minVal && j < k) {
+				t.Fatalf("Base(%b,%d)=%d not minimal (j=%d better)", w, m, k, j)
+			}
+		}
+	})
+}

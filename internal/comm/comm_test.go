@@ -1,0 +1,418 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"boolcube/internal/machine"
+	"boolcube/internal/simnet"
+)
+
+// payload encodes (src, dst) identity into the data so delivery errors are
+// detectable; size elements per block.
+func payload(src, dst uint64, size int) []float64 {
+	d := make([]float64, size)
+	for i := range d {
+		d[i] = float64(src)*1e6 + float64(dst)*1e3 + float64(i)
+	}
+	return d
+}
+
+func checkBlock(t *testing.T, data []float64, src, dst uint64, size int) {
+	t.Helper()
+	if len(data) != size {
+		t.Fatalf("block (%d->%d): %d elems, want %d", src, dst, len(data), size)
+	}
+	for i, v := range data {
+		want := float64(src)*1e6 + float64(dst)*1e3 + float64(i)
+		if v != want {
+			t.Fatalf("block (%d->%d)[%d] = %v, want %v", src, dst, i, v, want)
+		}
+	}
+}
+
+func newEngine(t *testing.T, n int, p machine.Params) *simnet.Engine {
+	t.Helper()
+	e, err := simnet.New(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAllToAllExchangeCorrectness(t *testing.T) {
+	for _, strat := range []Strategy{SingleMessage, Shuffled, Unbuffered, Buffered} {
+		for _, ports := range []machine.PortModel{machine.OnePort, machine.NPort} {
+			t.Run(fmt.Sprintf("%v/%v", strat, ports), func(t *testing.T) {
+				n, size := 4, 3
+				e := newEngine(t, n, machine.Ideal(ports))
+				got, err := AllToAllExchange(e, DescendingDims(n), strat,
+					func(s, d uint64) []float64 { return payload(s, d, size) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				N := uint64(e.Nodes())
+				for x := uint64(0); x < N; x++ {
+					if len(got[x]) != int(N) {
+						t.Fatalf("node %d received %d blocks", x, len(got[x]))
+					}
+					for s := uint64(0); s < N; s++ {
+						checkBlock(t, got[x][s], s, x, size)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Buffered strategy on the iPSC must use BCopy: small runs are copied.
+func TestBufferedChargesCopies(t *testing.T) {
+	n := 4
+	p := machine.IPSC()
+	e := newEngine(t, n, p)
+	// 1 element (4 bytes) per block: every run below 256 bytes is buffered.
+	_, err := AllToAllExchange(e, DescendingDims(n), Buffered,
+		func(s, d uint64) []float64 { return payload(s, d, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().CopyBytes == 0 {
+		t.Error("buffered strategy copied nothing")
+	}
+	// Unbuffered run for comparison: more start-ups, no copies.
+	e2 := newEngine(t, n, p)
+	_, err = AllToAllExchange(e2, DescendingDims(n), Unbuffered,
+		func(s, d uint64) []float64 { return payload(s, d, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats().CopyBytes != 0 {
+		t.Error("unbuffered strategy copied data")
+	}
+	if e2.Stats().Startups <= e.Stats().Startups {
+		t.Errorf("unbuffered start-ups (%d) not above buffered (%d)",
+			e2.Stats().Startups, e.Stats().Startups)
+	}
+}
+
+// Section 3.2: exchange all-to-all with one message per step on a one-port
+// machine costs exactly n*(K/2 * tc + τ) where K is the per-node data.
+func TestExchangeTimingFormula(t *testing.T) {
+	n, size := 4, 8
+	e := newEngine(t, n, machine.Ideal(machine.OnePort))
+	_, err := AllToAllExchange(e, DescendingDims(n), SingleMessage,
+		func(s, d uint64) []float64 { return payload(s, d, size) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := e.Nodes()
+	K := N * size // elements (= bytes on the ideal machine) per node
+	want := float64(n) * (float64(K)/2 + 1)
+	if got := e.Stats().Time; math.Abs(got-want) > 1e-9 {
+		t.Errorf("exchange time = %v, want %v", got, want)
+	}
+	// Start-ups: n per node... total N*n (each node sends one message per step).
+	if got := e.Stats().Startups; got != int64(N*n) {
+		t.Errorf("startups = %d, want %d", got, N*n)
+	}
+}
+
+// Unbuffered start-up doubling: step k sends 2^k messages per node.
+func TestUnbufferedStartupCount(t *testing.T) {
+	n, size := 3, 4
+	e := newEngine(t, n, machine.Ideal(machine.OnePort))
+	_, err := AllToAllExchange(e, DescendingDims(n), Unbuffered,
+		func(s, d uint64) []float64 { return payload(s, d, size) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per node: 1 + 2 + 4 = 7 messages; ideal machine: 1 startup each.
+	want := int64(e.Nodes()) * 7
+	if got := e.Stats().Startups; got != want {
+		t.Errorf("unbuffered startups = %d, want %d", got, want)
+	}
+}
+
+func TestAllToAllExchangeSubcube(t *testing.T) {
+	// Exchange over dims {0, 2} only: 4 independent subcubes in a 4-cube.
+	n, size := 4, 2
+	e := newEngine(t, n, machine.Ideal(machine.OnePort))
+	dims := []int{2, 0}
+	got, err := AllToAllExchange(e, dims, SingleMessage,
+		func(s, d uint64) []float64 { return payload(s, d, size) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < uint64(e.Nodes()); x++ {
+		if len(got[x]) != 4 {
+			t.Fatalf("node %d received %d blocks, want 4", x, len(got[x]))
+		}
+		for s, data := range got[x] {
+			if (s^x)&^uint64(0b0101) != 0 {
+				t.Fatalf("node %d got block from outside its subcube: %d", x, s)
+			}
+			checkBlock(t, data, s, x, size)
+		}
+	}
+}
+
+func TestExchangeRejectsBadDims(t *testing.T) {
+	e := newEngine(t, 3, machine.Ideal(machine.OnePort))
+	if _, err := AllToAllExchange(e, []int{0, 0}, SingleMessage,
+		func(s, d uint64) []float64 { return nil }); err == nil {
+		t.Error("duplicate dims accepted")
+	}
+	e2 := newEngine(t, 3, machine.Ideal(machine.OnePort))
+	if _, err := AllToAllExchange(e2, []int{5}, SingleMessage,
+		func(s, d uint64) []float64 { return nil }); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+}
+
+func TestAllToAllSBnTCorrectness(t *testing.T) {
+	n, size := 4, 2
+	e := newEngine(t, n, machine.Ideal(machine.NPort))
+	got, err := AllToAllSBnT(e, func(s, d uint64) []float64 { return payload(s, d, size) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(e.Nodes())
+	for x := uint64(0); x < N; x++ {
+		if len(got[x]) != int(N) {
+			t.Fatalf("node %d received %d blocks", x, len(got[x]))
+		}
+		for s := uint64(0); s < N; s++ {
+			checkBlock(t, got[x][s], s, x, size)
+		}
+	}
+}
+
+// With n-port communication, SBnT all-to-all should beat the one-message
+// exchange algorithm on transfer-dominated workloads (Section 3.2: t_c term
+// drops from n*K/2 to K/2).
+func TestSBnTBeatsExchangeNPort(t *testing.T) {
+	n, size := 6, 64
+	ideal := machine.Ideal(machine.NPort)
+	ideal.Tau = 0.001 // transfer-dominated
+
+	e1 := newEngine(t, n, ideal)
+	if _, err := AllToAllExchange(e1, DescendingDims(n), SingleMessage,
+		func(s, d uint64) []float64 { return payload(s, d, size) }); err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(t, n, ideal)
+	if _, err := AllToAllSBnT(e2, func(s, d uint64) []float64 { return payload(s, d, size) }); err != nil {
+		t.Fatal(err)
+	}
+	exT, sbT := e1.Stats().Time, e2.Stats().Time
+	if sbT >= exT {
+		t.Errorf("SBnT (%v) not faster than exchange (%v) with n-port", sbT, exT)
+	}
+	// The speedup should be on the order of n/2 or better than 2x at least.
+	if exT/sbT < 2 {
+		t.Errorf("SBnT speedup only %.2fx", exT/sbT)
+	}
+}
+
+func TestOneToAllCorrectness(t *testing.T) {
+	for _, kind := range []TreeKind{KindSBT, KindRotatedSBTs, KindSBnT} {
+		for _, root := range []uint64{0, 5} {
+			t.Run(fmt.Sprintf("%v/root=%d", kind, root), func(t *testing.T) {
+				n, size := 4, 6
+				e := newEngine(t, n, machine.Ideal(machine.NPort))
+				got, err := OneToAll(e, kind, root, func(dst uint64) []float64 {
+					return payload(root, dst, size)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for x := uint64(0); x < uint64(e.Nodes()); x++ {
+					checkBlock(t, got[x], root, x, size)
+				}
+			})
+		}
+	}
+}
+
+// Section 3.1: with n-port communication, n rotated SBTs reduce the
+// transfer time by ~n/2 over a single SBT.
+func TestRotatedSBTsBeatSBT(t *testing.T) {
+	n, size := 6, 64
+	p := machine.Ideal(machine.NPort)
+	p.Tau = 0.001
+
+	e1 := newEngine(t, n, p)
+	if _, err := OneToAll(e1, KindSBT, 0, func(dst uint64) []float64 {
+		return payload(0, dst, size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(t, n, p)
+	if _, err := OneToAll(e2, KindRotatedSBTs, 0, func(dst uint64) []float64 {
+		return payload(0, dst, size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats().Time >= e1.Stats().Time {
+		t.Errorf("rotated SBTs (%v) not faster than SBT (%v)",
+			e2.Stats().Time, e1.Stats().Time)
+	}
+}
+
+func TestAllToOneCorrectness(t *testing.T) {
+	n, size := 4, 3
+	e := newEngine(t, n, machine.Ideal(machine.OnePort))
+	root := uint64(9)
+	got, err := AllToOne(e, root, func(src uint64) []float64 {
+		return payload(src, root, size)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < uint64(e.Nodes()); s++ {
+		checkBlock(t, got[s], s, root, size)
+	}
+}
+
+func TestSomeToAllCorrectness(t *testing.T) {
+	for _, splitFirst := range []bool{true, false} {
+		t.Run(fmt.Sprintf("splitFirst=%v", splitFirst), func(t *testing.T) {
+			n := 4
+			splitDims := []int{3, 2}
+			exchDims := []int{1, 0}
+			size := 2
+			e := newEngine(t, n, machine.Ideal(machine.OnePort))
+			got, err := SomeToAll(e, splitDims, exchDims, SingleMessage, splitFirst,
+				func(s, d uint64) []float64 { return payload(s, d, size) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sources: nodes 0..3 (zero high bits). Every node must hold
+			// one block from the source sharing nothing (its subcube is
+			// the whole cube here).
+			for x := uint64(0); x < uint64(e.Nodes()); x++ {
+				if len(got[x]) != 4 {
+					t.Fatalf("node %d received %d blocks, want 4", x, len(got[x]))
+				}
+				for s, data := range got[x] {
+					if s > 3 {
+						t.Fatalf("node %d got block from non-source %d", x, s)
+					}
+					checkBlock(t, data, s, x, size)
+				}
+			}
+		})
+	}
+}
+
+func TestAllToSomeCorrectness(t *testing.T) {
+	for _, exchangeFirst := range []bool{true, false} {
+		t.Run(fmt.Sprintf("exchangeFirst=%v", exchangeFirst), func(t *testing.T) {
+			n := 4
+			splitDims := []int{3, 2}
+			exchDims := []int{1, 0}
+			size := 2
+			e := newEngine(t, n, machine.Ideal(machine.OnePort))
+			got, err := AllToSome(e, splitDims, exchDims, SingleMessage, exchangeFirst,
+				func(s, d uint64) []float64 { return payload(s, d, size) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			N := uint64(e.Nodes())
+			for x := uint64(0); x < N; x++ {
+				if x > 3 {
+					if len(got[x]) != 0 {
+						t.Fatalf("non-target %d holds %d blocks", x, len(got[x]))
+					}
+					continue
+				}
+				if len(got[x]) != int(N) {
+					t.Fatalf("target %d received %d blocks, want %d", x, len(got[x]), N)
+				}
+				for s := uint64(0); s < N; s++ {
+					checkBlock(t, got[x][s], s, x, size)
+				}
+			}
+		})
+	}
+}
+
+// Theorem 1: splitting first minimizes transfer for some-to-all; exchanging
+// first minimizes it for all-to-some. Compare total bytes moved.
+func TestTheorem1Ordering(t *testing.T) {
+	n := 6
+	splitDims := []int{5, 4, 3}
+	exchDims := []int{2, 1, 0}
+	size := 8
+	block := func(s, d uint64) []float64 { return payload(s, d, size) }
+
+	run := func(someToAll, optimal bool) simnet.Stats {
+		e := newEngine(t, n, machine.Ideal(machine.OnePort))
+		var err error
+		if someToAll {
+			_, err = SomeToAll(e, splitDims, exchDims, SingleMessage, optimal, block)
+		} else {
+			_, err = AllToSome(e, splitDims, exchDims, SingleMessage, optimal, block)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats()
+	}
+
+	// Both orders move the same total volume; the optimal order wins on
+	// elapsed time because the all-to-all then runs on split (smaller)
+	// per-node data across 2^k concurrent subcubes.
+	s2aOpt, s2aBad := run(true, true), run(true, false)
+	if s2aOpt.Bytes != s2aBad.Bytes {
+		t.Errorf("some-to-all orders moved different volumes: %d vs %d",
+			s2aOpt.Bytes, s2aBad.Bytes)
+	}
+	if s2aOpt.Time >= s2aBad.Time {
+		t.Errorf("some-to-all: split-first time %v not below exchange-first %v",
+			s2aOpt.Time, s2aBad.Time)
+	}
+	a2sOpt, a2sBad := run(false, true), run(false, false)
+	if a2sOpt.Time >= a2sBad.Time {
+		t.Errorf("all-to-some: exchange-first time %v not below accumulate-first %v",
+			a2sOpt.Time, a2sBad.Time)
+	}
+}
+
+func TestSomeToAllRejectsOverlappingDims(t *testing.T) {
+	e := newEngine(t, 3, machine.Ideal(machine.OnePort))
+	if _, err := SomeToAll(e, []int{1}, []int{1, 0}, SingleMessage, true,
+		func(s, d uint64) []float64 { return nil }); err == nil {
+		t.Error("overlapping dim sets accepted")
+	}
+}
+
+// SBnT all-to-all balances link load: with uniform blocks the heaviest
+// directed link carries at most ~2x the average (the point of base()
+// routing), while the exchange algorithm concentrates each step on one
+// dimension.
+func TestSBnTLinkBalance(t *testing.T) {
+	n, size := 5, 4
+	e := newEngine(t, n, machine.Ideal(machine.NPort))
+	if _, err := AllToAllSBnT(e, func(s, d uint64) []float64 {
+		return payload(s, d, size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loads := e.LinkLoads()
+	var total, max int64
+	for _, l := range loads {
+		total += l.Bytes
+		if l.Bytes > max {
+			max = l.Bytes
+		}
+	}
+	if len(loads) != n*e.Nodes() { // every directed link used
+		t.Errorf("only %d of %d directed links used", len(loads), n*e.Nodes())
+	}
+	avg := float64(total) / float64(len(loads))
+	if float64(max) > 2.2*avg {
+		t.Errorf("SBnT link imbalance: max %d vs avg %.1f", max, avg)
+	}
+}

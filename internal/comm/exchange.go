@@ -1,0 +1,296 @@
+// Package comm implements the paper's generic personalized-communication
+// algorithms (Section 3): all-to-all personalized communication by the
+// standard exchange algorithm (with the paper's unbuffered, buffered, and
+// locally-shuffled variants) and by spanning-balanced-n-tree routing;
+// one-to-all personalized communication by SBT, rotated-SBT and SBnT
+// scatter; and some-to-all / all-to-some personalized communication as k
+// splitting (or accumulation) steps combined with l all-to-all steps
+// (Theorem 1, Table 3).
+//
+// Each algorithm comes in two layers: a per-node phase function (operating
+// on a *simnet.Node inside a running program, so that phases compose) and a
+// whole-engine wrapper that runs the phase on every node.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/simnet"
+)
+
+// Strategy selects how the standard exchange algorithm packages the blocks
+// of one exchange step into messages (Section 8.1).
+type Strategy int
+
+const (
+	// SingleMessage sends each step's half of the local array as one
+	// message without charging any local copy: an idealized lower bound
+	// used by the complexity comparisons.
+	SingleMessage Strategy = iota
+	// Shuffled performs the local shuffle between steps so that a single
+	// contiguous block is exchanged per step, charging the full local data
+	// movement the paper deems too expensive on the iPSC.
+	Shuffled
+	// Unbuffered sends each contiguous run of blocks as a separate
+	// message: no copying, but the number of start-ups doubles each step.
+	Unbuffered
+	// Buffered is the paper's optimal scheme: runs of at least BCopy bytes
+	// are sent directly, smaller runs are copied into one buffer and sent
+	// as a single message.
+	Buffered
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case SingleMessage:
+		return "single-message"
+	case Shuffled:
+		return "shuffled"
+	case Unbuffered:
+		return "unbuffered"
+	default:
+		return "buffered"
+	}
+}
+
+// Block is one (source, destination) payload. The routing of ExchangeBlocks
+// over a dimension set reads only the Dst bits on those dimensions, so Dst
+// may address a node outside the exchange subcube (its remaining bits are
+// handled by other phases, as in some-to-all communication).
+type Block struct {
+	Src, Dst uint64
+	Data     []float64
+}
+
+// ExchangeBlocks runs the standard exchange algorithm (Definition 10
+// generalized) on one node, inside a node program. dims are the cube
+// dimensions to exchange over, processed in the order given (the paper
+// scans from the highest order dimension down). Every block held by this
+// node must have Src agreeing with the node's address on dims; it is
+// delivered to the node matching its Dst bits on dims. Returns the blocks
+// that belong here.
+//
+// The local blocked array is modeled faithfully: blocks live in 2^l slots
+// (l = len(dims)) whose indices are destination bits before a step and
+// source bits after it, so the number of contiguous runs — and hence
+// message count and copy cost per Strategy — doubles each step exactly as
+// in Section 8.1.
+func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block) []Block {
+	id := nd.ID()
+	l := len(dims)
+	slotOf := func(src, dst uint64, step int) int {
+		s := 0
+		for j, d := range dims {
+			var b uint64
+			if j < step { // processed: source bits
+				b = bits.Bit(src, d)
+			} else {
+				b = bits.Bit(dst, d)
+			}
+			s |= int(b) << uint(l-1-j)
+		}
+		return s
+	}
+	slots := make([][]Block, 1<<uint(l))
+	for _, b := range blocks {
+		for _, d := range dims {
+			if bits.Bit(b.Src, d) != bits.Bit(id, d) {
+				panic(fmt.Sprintf("comm: node %d holds block with foreign source %d", id, b.Src))
+			}
+		}
+		s := slotOf(b.Src, b.Dst, 0)
+		slots[s] = append(slots[s], b)
+	}
+
+	for step := 0; step < l; step++ {
+		d := dims[step]
+		i := l - 1 - step // slot bit exchanged this step
+		myBit := bits.Bit(id, d)
+		// Runs of slots to send: consecutive indices with slot bit i !=
+		// myBit. There are 2^step runs of 2^i slots each.
+		runLen := 1 << uint(i)
+		var runs []simnet.Msg
+		for base := 0; base < len(slots); base += 2 * runLen {
+			start := base
+			if myBit == 0 {
+				start = base + runLen
+			}
+			var m simnet.Msg
+			for s := start; s < start+runLen; s++ {
+				for _, b := range slots[s] {
+					m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
+					m.Data = append(m.Data, b.Data...)
+				}
+				slots[s] = nil
+			}
+			runs = append(runs, m)
+		}
+
+		// Package runs into messages per strategy.
+		var msgs []simnet.Msg
+		switch strat {
+		case SingleMessage, Shuffled:
+			var all simnet.Msg
+			for _, r := range runs {
+				all.Parts = append(all.Parts, r.Parts...)
+				all.Data = append(all.Data, r.Data...)
+			}
+			msgs = []simnet.Msg{all}
+		case Unbuffered:
+			msgs = runs
+		case Buffered:
+			var buffered simnet.Msg
+			bufBytes := 0
+			for _, r := range runs {
+				rb := len(r.Data) * nd.Params().ElemBytes
+				if rb >= nd.Params().BCopy && nd.Params().BCopy > 0 {
+					msgs = append(msgs, r)
+					continue
+				}
+				buffered.Parts = append(buffered.Parts, r.Parts...)
+				buffered.Data = append(buffered.Data, r.Data...)
+				bufBytes += rb
+			}
+			if len(buffered.Parts) > 0 {
+				nd.Copy(bufBytes)
+				msgs = append(msgs, buffered)
+			}
+		}
+
+		// Exchange: send all messages, then receive the partner's. The
+		// partner's packaging can differ (its run sizes may cross the
+		// buffering threshold differently), so each message carries the
+		// step's total message count in Tag and at least one message is
+		// always sent.
+		if len(msgs) == 0 {
+			msgs = []simnet.Msg{{}}
+		}
+		for _, m := range msgs {
+			m.Tag = len(msgs)
+			nd.Send(d, m)
+		}
+		var incoming []simnet.Part
+		var incomingData []float64
+		in := nd.Recv(d)
+		incoming = append(incoming, in.Parts...)
+		incomingData = append(incomingData, in.Data...)
+		for k := 1; k < in.Tag; k++ {
+			in = nd.Recv(d)
+			incoming = append(incoming, in.Parts...)
+			incomingData = append(incomingData, in.Data...)
+		}
+
+		// Place received blocks under the post-step slot interpretation.
+		off := 0
+		for _, p := range incoming {
+			s := slotOf(p.Src, p.Dst, step+1)
+			slots[s] = append(slots[s], Block{Src: p.Src, Dst: p.Dst, Data: incomingData[off : off+p.N]})
+			off += p.N
+		}
+
+		if strat == Shuffled && step < l-1 {
+			// Local shuffle so the next step's half is contiguous: full
+			// local data movement.
+			total := 0
+			for _, sl := range slots {
+				for _, b := range sl {
+					total += len(b.Data)
+				}
+			}
+			nd.Copy(total * nd.Params().ElemBytes)
+		}
+	}
+
+	var out []Block
+	for _, sl := range slots {
+		for _, b := range sl {
+			for _, d := range dims {
+				if bits.Bit(b.Dst, d) != bits.Bit(id, d) {
+					panic(fmt.Sprintf("comm: node %d ended with block for %d", id, b.Dst))
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Src != out[b].Src {
+			return out[a].Src < out[b].Src
+		}
+		return out[a].Dst < out[b].Dst
+	})
+	return out
+}
+
+// AllToAllExchange runs ExchangeBlocks on every node of the engine with one
+// block per (src, dst) pair. block(src, dst) supplies the payload for every
+// ordered pair of nodes that agree on all dimensions outside dims
+// (including dst == src). result[x] maps each subcube source to the data x
+// received from it.
+func AllToAllExchange(e *simnet.Engine, dims []int, strat Strategy, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+	if err := checkDims(e, dims); err != nil {
+		return nil, err
+	}
+	result := make([]map[uint64][]float64, e.Nodes())
+	err := e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		blocks := make([]Block, 0, 1<<uint(len(dims)))
+		for _, dst := range subcube(id, dims) {
+			blocks = append(blocks, Block{Src: id, Dst: dst, Data: block(id, dst)})
+		}
+		got := ExchangeBlocks(nd, dims, strat, blocks)
+		out := make(map[uint64][]float64, len(got))
+		for _, b := range got {
+			out[b.Src] = b.Data
+		}
+		result[id] = out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// DescendingDims returns [n-1, n-2, ..., 0], the paper's default scan order.
+func DescendingDims(n int) []int {
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = n - 1 - i
+	}
+	return dims
+}
+
+// subcube lists the nodes reachable from x by flipping any subset of dims,
+// in increasing address order.
+func subcube(x uint64, dims []int) []uint64 {
+	out := []uint64{0}
+	base := x
+	for _, d := range dims {
+		base = bits.SetBit(base, d, 0)
+		next := make([]uint64, 0, 2*len(out))
+		for _, v := range out {
+			next = append(next, v, v|1<<uint(d))
+		}
+		out = next
+	}
+	for i := range out {
+		out[i] |= base
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func checkDims(e *simnet.Engine, dims []int) error {
+	seen := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		if d < 0 || d >= e.Dims() {
+			return fmt.Errorf("comm: dimension %d out of range [0,%d)", d, e.Dims())
+		}
+		if seen[d] {
+			return fmt.Errorf("comm: duplicate dimension %d", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}

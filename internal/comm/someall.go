@@ -1,0 +1,208 @@
+package comm
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/simnet"
+)
+
+// This file implements some-to-all and all-to-some personalized
+// communication (Section 3.3): k steps of data splitting (or accumulation)
+// over the split dimensions combined with l steps of all-to-all personalized
+// communication over the exchange dimensions. Theorem 1 says the steps
+// commute but that splitting first (for some-to-all) and exchanging first
+// (for all-to-some) minimizes the data transfer time; both orders are
+// provided so the theorem can be measured.
+
+// zeroOn reports whether x has zero bits on all the given dimensions.
+func zeroOn(x uint64, dims []int) bool {
+	for _, d := range dims {
+		if bits.Bit(x, d) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitBlocks performs the k splitting steps over splitDims (one-to-all
+// personalized communication within each split subcube): before, only the
+// nodes with zero bits on all splitDims hold blocks; after, every node
+// holds the blocks whose destination matches it on all splitDims.
+func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
+	id := nd.ID()
+	for step, d := range splitDims {
+		unprocessed := splitDims[step+1:]
+		if !zeroOn(id, unprocessed) {
+			continue // receives in a later step
+		}
+		if bits.Bit(id, d) == 0 {
+			var keep []Block
+			var m simnet.Msg
+			for _, b := range held {
+				if bits.Bit(b.Dst, d) == 1 {
+					m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
+					m.Data = append(m.Data, b.Data...)
+				} else {
+					keep = append(keep, b)
+				}
+			}
+			nd.Send(d, m)
+			held = keep
+		} else {
+			m := nd.Recv(d)
+			off := 0
+			for _, p := range m.Parts {
+				held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
+				off += p.N
+			}
+		}
+	}
+	return held
+}
+
+// AccumulateBlocks performs the k accumulation steps over splitDims
+// (all-to-one personalized communication within each split subcube): every
+// node may start holding blocks; afterwards only the nodes with zero bits
+// on all splitDims hold them.
+func AccumulateBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
+	id := nd.ID()
+	for step, d := range splitDims {
+		if !zeroOn(id, splitDims[:step]) {
+			continue // already handed everything off in an earlier step
+		}
+		if bits.Bit(id, d) == 1 {
+			var m simnet.Msg
+			for _, b := range held {
+				m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
+				m.Data = append(m.Data, b.Data...)
+			}
+			nd.Send(d, m)
+			held = nil
+		} else {
+			m := nd.Recv(d)
+			off := 0
+			for _, p := range m.Parts {
+				held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
+				off += p.N
+			}
+		}
+	}
+	return held
+}
+
+// SomeToAll performs 2^l-to-2^(l+k) personalized communication: the sources
+// are the nodes with zero bits on all splitDims; every source holds a block
+// for every node of its splitDims+exchDims subcube. splitFirst selects the
+// phase order of Theorem 1 (true is optimal for some-to-all). result[x]
+// maps sources to the data received by x.
+func SomeToAll(e *simnet.Engine, splitDims, exchDims []int, strat Strategy, splitFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+	if err := validateDimSets(e, splitDims, exchDims); err != nil {
+		return nil, err
+	}
+	result := make([]map[uint64][]float64, e.Nodes())
+	err := e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		var held []Block
+		if zeroOn(id, splitDims) { // I am a source
+			for _, dk := range subcube(id, splitDims) {
+				for _, dst := range subcube(dk, exchDims) {
+					held = append(held, Block{Src: id, Dst: dst, Data: block(id, dst)})
+				}
+			}
+		}
+		if splitFirst {
+			held = SplitBlocks(nd, splitDims, held)
+			held = ExchangeBlocks(nd, exchDims, strat, held)
+		} else {
+			// Exchange first: the all-to-all over exchDims runs among the
+			// sources (empty elsewhere); routing reads only the exchange
+			// bits of Dst, so blocks land on the source that will split
+			// them toward their final split bits.
+			held = ExchangeBlocks(nd, exchDims, strat, held)
+			held = SplitBlocks(nd, splitDims, held)
+		}
+		out := make(map[uint64][]float64, len(held))
+		for _, b := range held {
+			if b.Dst != id {
+				panic(fmt.Sprintf("comm: node %d ended with block for %d", id, b.Dst))
+			}
+			out[b.Src] = b.Data
+		}
+		result[id] = out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// AllToSome performs 2^(l+k)-to-2^l personalized communication: every node
+// of each splitDims+exchDims subcube holds one block for every target (the
+// zero-split-bit nodes of the subcube). exchangeFirst = true is the optimal
+// order of Theorem 1. result[x] is populated only at targets.
+func AllToSome(e *simnet.Engine, splitDims, exchDims []int, strat Strategy, exchangeFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+	if err := validateDimSets(e, splitDims, exchDims); err != nil {
+		return nil, err
+	}
+	result := make([]map[uint64][]float64, e.Nodes())
+	err := e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		var held []Block
+		for _, tgt := range targets(id, splitDims, exchDims) {
+			held = append(held, Block{Src: id, Dst: tgt, Data: block(id, tgt)})
+		}
+		if exchangeFirst {
+			// Src bits on exchDims equal mine; Dst exchange bits route the
+			// block to the node that accumulates it down to the target.
+			held = ExchangeBlocks(nd, exchDims, strat, held)
+			held = AccumulateBlocks(nd, splitDims, held)
+		} else {
+			// Accumulation never moves a block across exchange dimensions,
+			// so after it the blocks' Src still agrees with the holder on
+			// exchDims and the plain exchange applies.
+			held = AccumulateBlocks(nd, splitDims, held)
+			held = ExchangeBlocks(nd, exchDims, strat, held)
+		}
+		out := make(map[uint64][]float64, len(held))
+		for _, b := range held {
+			if b.Dst != id {
+				panic(fmt.Sprintf("comm: node %d ended with block for %d", id, b.Dst))
+			}
+			out[b.Src] = b.Data
+		}
+		result[id] = out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// targets lists the zero-split-bit nodes of id's splitDims+exchDims subcube.
+func targets(id uint64, splitDims, exchDims []int) []uint64 {
+	base := id
+	for _, d := range splitDims {
+		base = bits.SetBit(base, d, 0)
+	}
+	return subcube(base, exchDims)
+}
+
+func validateDimSets(e *simnet.Engine, splitDims, exchDims []int) error {
+	if err := checkDims(e, splitDims); err != nil {
+		return err
+	}
+	if err := checkDims(e, exchDims); err != nil {
+		return err
+	}
+	set := make(map[int]bool, len(splitDims))
+	for _, d := range splitDims {
+		set[d] = true
+	}
+	for _, d := range exchDims {
+		if set[d] {
+			return fmt.Errorf("comm: dimension %d in both split and exchange sets", d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"boolcube/internal/cube"
+	"boolcube/internal/simnet"
+)
+
+// This file implements one-to-all and all-to-one personalized communication
+// (Section 3.1) by scatter/gather over spanning trees: a plain SBT (one-port
+// optimal within 2x), n rotated SBTs, or a spanning balanced n-tree, all
+// with "all data for a subtree at once" scheduling.
+
+// nextHop returns the child of x on the tree path toward dst (x must be an
+// ancestor of dst; dst != x).
+func nextHop(t *cube.Tree, x, dst uint64) uint64 {
+	cur := dst
+	for {
+		p := t.Parent[cur]
+		if p < 0 {
+			panic(fmt.Sprintf("comm: %d is not an ancestor of %d", x, dst))
+		}
+		if uint64(p) == x {
+			return cur
+		}
+		cur = uint64(p)
+	}
+}
+
+// ScatterOnNode executes the node's role in a one-to-all personalized
+// communication from root over the given spanning trees. parts(dst, k)
+// supplies the fraction of dst's data routed over trees[k]; only the root's
+// calls are used. Returns this node's received data, concatenated in tree
+// order (k ascending).
+//
+// With one tree (an SBT) this is the paper's one-port algorithm with
+// T_min = (1-1/N)PQ·t_c + nτ; with n rotated SBTs (or an SBnT) and n-port
+// communication the transfer term drops by a factor of n (Section 3.1).
+func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(dst uint64, k int) []float64) []float64 {
+	id := nd.ID()
+	var own []float64
+	ownByTree := make([][]float64, len(trees))
+
+	if id == root {
+		for k, t := range trees {
+			ownByTree[k] = parts(root, k)
+			// One message per root subtree, largest subtree first so the
+			// longest chain starts draining earliest.
+			children := append([]uint64(nil), t.Children[root]...)
+			sort.Slice(children, func(a, b int) bool {
+				sa, sb := t.SubtreeSize(children[a]), t.SubtreeSize(children[b])
+				if sa != sb {
+					return sa > sb
+				}
+				return children[a] < children[b]
+			})
+			for _, c := range children {
+				m := buildSubtreeMsg(t, c, k, parts)
+				nd.Send(dimOf(root, c), m)
+			}
+		}
+	} else {
+		// Every non-root node receives exactly one message per tree.
+		for range trees {
+			m := nd.RecvAny()
+			k := m.Tag
+			t := trees[k]
+			// Split the payload: keep own part, forward the rest grouped
+			// by child subtree.
+			type group struct {
+				child uint64
+				msg   simnet.Msg
+			}
+			groups := make(map[uint64]*group)
+			var order []uint64
+			off := 0
+			for _, p := range m.Parts {
+				data := m.Data[off : off+p.N]
+				off += p.N
+				if p.Dst == id {
+					ownByTree[k] = data
+					continue
+				}
+				c := nextHop(t, id, p.Dst)
+				g, ok := groups[c]
+				if !ok {
+					g = &group{child: c}
+					groups[c] = g
+					order = append(order, c)
+				}
+				g.msg.Parts = append(g.msg.Parts, p)
+				g.msg.Data = append(g.msg.Data, data...)
+			}
+			// Forward larger subtrees first, as at the root.
+			sort.Slice(order, func(a, b int) bool {
+				sa, sb := t.SubtreeSize(order[a]), t.SubtreeSize(order[b])
+				if sa != sb {
+					return sa > sb
+				}
+				return order[a] < order[b]
+			})
+			for _, c := range order {
+				g := groups[c]
+				g.msg.Tag = k
+				nd.Send(dimOf(id, c), g.msg)
+			}
+		}
+	}
+	for _, d := range ownByTree {
+		own = append(own, d...)
+	}
+	return own
+}
+
+func buildSubtreeMsg(t *cube.Tree, subroot uint64, k int, parts func(dst uint64, k int) []float64) simnet.Msg {
+	m := simnet.Msg{Tag: k}
+	var walk func(x uint64)
+	walk = func(x uint64) {
+		d := parts(x, k)
+		m.Parts = append(m.Parts, simnet.Part{Src: t.Root, Dst: x, N: len(d)})
+		m.Data = append(m.Data, d...)
+		for _, c := range t.Children[x] {
+			walk(c)
+		}
+	}
+	walk(subroot)
+	return m
+}
+
+func dimOf(a, b uint64) int {
+	d := a ^ b
+	dim := 0
+	for d > 1 {
+		d >>= 1
+		dim++
+	}
+	return dim
+}
+
+// GatherOnNode executes the node's role in an all-to-one personalized
+// communication toward root over one spanning tree: leaves send up, inner
+// nodes accumulate their subtree before forwarding. Returns, at the root
+// only, the gathered blocks sorted by source; other nodes return nil.
+func GatherOnNode(nd *simnet.Node, t *cube.Tree, data []float64) []Block {
+	id := nd.ID()
+	acc := []Block{{Src: id, Dst: t.Root, Data: data}}
+	for range t.Children[id] {
+		m := nd.RecvAny()
+		off := 0
+		for _, p := range m.Parts {
+			acc = append(acc, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
+			off += p.N
+		}
+	}
+	if id == t.Root {
+		sort.Slice(acc, func(a, b int) bool { return acc[a].Src < acc[b].Src })
+		return acc
+	}
+	var m simnet.Msg
+	for _, b := range acc {
+		m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
+		m.Data = append(m.Data, b.Data...)
+	}
+	p := uint64(t.Parent[id])
+	nd.Send(dimOf(id, p), m)
+	return nil
+}
+
+// TreeKind selects the spanning tree family for scatter wrappers.
+type TreeKind int
+
+const (
+	// KindSBT routes everything over one spanning binomial tree.
+	KindSBT TreeKind = iota
+	// KindRotatedSBTs splits each destination's data over n rotated SBTs.
+	KindRotatedSBTs
+	// KindSBnT routes over the spanning balanced n-tree.
+	KindSBnT
+)
+
+func (k TreeKind) String() string {
+	switch k {
+	case KindSBT:
+		return "sbt"
+	case KindRotatedSBTs:
+		return "rotated-sbts"
+	default:
+		return "sbnt"
+	}
+}
+
+// BuildTrees constructs the spanning tree set of the given kind rooted at
+// root on an n-cube.
+func BuildTrees(kind TreeKind, n int, root uint64) []*cube.Tree {
+	c := cube.New(n)
+	switch kind {
+	case KindSBT:
+		return []*cube.Tree{cube.SBT(c, root)}
+	case KindRotatedSBTs:
+		ts := make([]*cube.Tree, n)
+		for k := 0; k < n; k++ {
+			ts[k] = cube.RotatedSBT(c, root, k)
+		}
+		return ts
+	default:
+		return []*cube.Tree{cube.SBnT(c, root)}
+	}
+}
+
+// OneToAll scatters data(dst) from root to every node using the given tree
+// family. result[x] is the payload x received (its own data for x == root).
+func OneToAll(e *simnet.Engine, kind TreeKind, root uint64, data func(dst uint64) []float64) ([][]float64, error) {
+	if root >= uint64(e.Nodes()) {
+		return nil, fmt.Errorf("comm: root %d out of range", root)
+	}
+	trees := BuildTrees(kind, e.Dims(), root)
+	parts := func(dst uint64, k int) []float64 {
+		return chunkOf(data(dst), len(trees), k)
+	}
+	result := make([][]float64, e.Nodes())
+	err := e.Run(func(nd *simnet.Node) {
+		result[nd.ID()] = ScatterOnNode(nd, root, trees, parts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// AllToOne gathers data(src) from every node at root over an SBT. The
+// result is indexed by source.
+func AllToOne(e *simnet.Engine, root uint64, data func(src uint64) []float64) ([][]float64, error) {
+	if root >= uint64(e.Nodes()) {
+		return nil, fmt.Errorf("comm: root %d out of range", root)
+	}
+	tree := cube.SBT(cube.New(e.Dims()), root)
+	result := make([][]float64, e.Nodes())
+	err := e.Run(func(nd *simnet.Node) {
+		blocks := GatherOnNode(nd, tree, data(nd.ID()))
+		if nd.ID() == root {
+			for _, b := range blocks {
+				result[b.Src] = b.Data
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// chunkOf splits data into parts nearly-equal chunks and returns chunk k.
+func chunkOf(data []float64, parts, k int) []float64 {
+	base := len(data) / parts
+	rem := len(data) % parts
+	off := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		off += sz
+	}
+	sz := base
+	if k < rem {
+		sz++
+	}
+	return data[off : off+sz]
+}

@@ -1,0 +1,144 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"boolcube/internal/machine"
+	"boolcube/internal/simnet"
+)
+
+// Gather over trees rooted anywhere collects every node's payload exactly
+// once, including payloads of heterogeneous sizes.
+func TestGatherHeterogeneous(t *testing.T) {
+	n := 4
+	e, err := simnet.New(n, machine.Ideal(machine.OnePort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := uint64(11)
+	got, err := AllToOne(e, root, func(src uint64) []float64 {
+		return payload(src, root, int(src%5)) // sizes 0..4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < uint64(e.Nodes()); s++ {
+		checkBlock(t, got[s], s, root, int(s%5))
+	}
+}
+
+// Scatter/gather round trip: scatter from a root, then gather back at a
+// different root; both phases inside separate engines, contents preserved.
+func TestScatterGatherRoundTrip(t *testing.T) {
+	n, size := 4, 3
+	srcRoot, dstRoot := uint64(0), uint64(15)
+
+	e1, err := simnet.New(n, machine.Ideal(machine.NPort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, err := OneToAll(e1, KindSBnT, srcRoot, func(dst uint64) []float64 {
+		return payload(srcRoot, dst, size)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := simnet.New(n, machine.Ideal(machine.NPort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gathered, err := AllToOne(e2, dstRoot, func(src uint64) []float64 {
+		return scattered[src]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < uint64(1<<uint(n)); s++ {
+		checkBlock(t, gathered[s], srcRoot, s, size)
+	}
+}
+
+// The SBT scatter's cost on an ideal one-port machine matches the
+// Section 3.1 closed form exactly when packets are unlimited: the root
+// transmits (1-1/N)·M bytes serially plus nτ down the critical path...
+// the critical path adds forwarding, so assert the root-egress lower bound
+// and the n-start-up structure instead.
+func TestScatterCostStructure(t *testing.T) {
+	n, size := 4, 16
+	mach := machine.Ideal(machine.OnePort)
+	e, err := simnet.New(n, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OneToAll(e, KindSBT, 0, func(dst uint64) []float64 {
+		return payload(0, dst, size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	N := e.Nodes()
+	rootEgress := float64((N-1)*size) * mach.Tc // bytes the root must push
+	if e.Stats().Time < rootEgress {
+		t.Errorf("scatter time %v below root egress bound %v", e.Stats().Time, rootEgress)
+	}
+	// The root sends exactly n messages (one per subtree).
+	var rootSends int64
+	for _, l := range e.LinkLoads() {
+		if l.From == 0 {
+			rootSends++
+		}
+	}
+	if rootSends != int64(n) {
+		t.Errorf("root used %d links, want %d", rootSends, n)
+	}
+}
+
+// Tree scatter payload integrity under random tree kinds, roots, and
+// per-destination sizes.
+func TestScatterRandomizedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		kind := TreeKind(rng.Intn(3))
+		root := uint64(rng.Intn(1 << uint(n)))
+		sizes := make([]int, 1<<uint(n))
+		for i := range sizes {
+			sizes[i] = rng.Intn(6)
+		}
+		e, err := simnet.New(n, machine.Ideal(machine.NPort))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := OneToAll(e, kind, root, func(dst uint64) []float64 {
+			return payload(root, dst, sizes[dst])
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for x := uint64(0); x < uint64(e.Nodes()); x++ {
+			checkBlock(t, got[x], root, x, sizes[x])
+		}
+	}
+}
+
+// BuildTrees returns structurally valid spanning trees for every kind.
+func TestBuildTrees(t *testing.T) {
+	for _, kind := range []TreeKind{KindSBT, KindRotatedSBTs, KindSBnT} {
+		trees := BuildTrees(kind, 5, 9)
+		wantCount := 1
+		if kind == KindRotatedSBTs {
+			wantCount = 5
+		}
+		if len(trees) != wantCount {
+			t.Fatalf("%v: %d trees, want %d", kind, len(trees), wantCount)
+		}
+		for _, tr := range trees {
+			if tr.Root != 9 {
+				t.Fatalf("%v: root %d", kind, tr.Root)
+			}
+			if tr.SubtreeSize(tr.Root) != 32 {
+				t.Fatalf("%v: not spanning", kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"boolcube/internal/cube"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/router"
+	"boolcube/internal/simnet"
+)
+
+// Empirical edge-disjointness: under the SPT the paths of all nodes are
+// edge-disjoint, so no directed link may carry more than one node's payload
+// (PQ/N elements).
+func TestSPTLinkLoadsEdgeDisjoint(t *testing.T) {
+	p, q, n := 5, 5, 4
+	mach := machine.Ideal(machine.NPort)
+	before := field.TwoDimConsecutive(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimConsecutive(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+	d := matrix.Scatter(m, before)
+	res, err := TransposeSPT(d, after, Options{Machine: mach, Packets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := int64(before.LocalSize() * mach.ElemBytes)
+	if res.Stats.MaxLinkBytes > perNode {
+		t.Errorf("SPT max link bytes %d exceed one node payload %d: paths not edge-disjoint",
+			res.Stats.MaxLinkBytes, perNode)
+	}
+}
+
+// DPT: two paths per node, each carrying half the payload; still
+// edge-disjoint, so no link exceeds half a node payload.
+func TestDPTLinkLoadsHalved(t *testing.T) {
+	p, q, n := 5, 5, 4
+	mach := machine.Ideal(machine.NPort)
+	before := field.TwoDimConsecutive(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimConsecutive(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+	d := matrix.Scatter(m, before)
+	res, err := TransposeDPT(d, after, Options{Machine: mach, Packets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := int64(before.LocalSize()*mach.ElemBytes) / 2
+	if res.Stats.MaxLinkBytes > half {
+		t.Errorf("DPT max link bytes %d exceed half a node payload %d",
+			res.Stats.MaxLinkBytes, half)
+	}
+}
+
+// MPT: edges are shared only within a ~s class (Lemma 13), each class node
+// contributing one path share, so per-link bytes stay at the DPT level or
+// below while using 2H(x) paths.
+func TestMPTLinkLoadsBounded(t *testing.T) {
+	p, q, n := 5, 5, 4
+	mach := machine.Ideal(machine.NPort)
+	before := field.TwoDimConsecutive(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimConsecutive(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+	d := matrix.Scatter(m, before)
+	res, err := TransposeMPT(d, after, Options{Machine: mach, Packets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per link: the ~s class of size 2^H shares the class's edges; each
+	// node routes payload/(2H) per path and an edge carries at most one
+	// path-hop per class member pair of cycles — bounded by half a node
+	// payload for H >= 1.
+	half := int64(before.LocalSize()*mach.ElemBytes) / 2
+	if res.Stats.MaxLinkBytes > half {
+		t.Errorf("MPT max link bytes %d exceed %d", res.Stats.MaxLinkBytes, half)
+	}
+}
+
+// Routing-logic transposes concentrate traffic: the max-loaded link must
+// carry strictly more than the SPT's bound on a big enough cube, which is
+// exactly why the paper's scheduled algorithms win (Figure 14b).
+func TestRoutingLogicHotspots(t *testing.T) {
+	p, q, n := 5, 5, 6
+	mach := machine.Ideal(machine.NPort)
+	before := field.TwoDimConsecutive(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimConsecutive(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+
+	d1 := matrix.Scatter(m, before)
+	spt, err := TransposeSPT(d1, after, Options{Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := matrix.Scatter(m, before)
+	ecube, err := TransposeRoutingLogic(d2, after, Options{Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecube.Stats.MaxLinkBytes <= spt.Stats.MaxLinkBytes {
+		t.Errorf("routing logic max link load %d not above SPT %d",
+			ecube.Stats.MaxLinkBytes, spt.Stats.MaxLinkBytes)
+	}
+}
+
+// Section 3.1's small-data analysis: splitting a one-to-all scatter over
+// two spanning binomial trees, the reflected pairing spreads edge load
+// better than no rotation and at least as well as any single tree.
+func TestTwoTreeEdgeLoads(t *testing.T) {
+	n := 6
+	c := cube.New(n)
+	N := c.Nodes()
+
+	edgeLoad := func(trees []*cube.Tree) int {
+		// Each destination receives one unit over each tree; the load of a
+		// tree edge is the subtree size below it. Sum loads per edge
+		// across trees.
+		load := make(map[cube.Edge]int)
+		for _, tr := range trees {
+			for x := 0; x < N; x++ {
+				if tr.Parent[x] < 0 {
+					continue
+				}
+				p := uint64(tr.Parent[x])
+				e := cube.PathEdges(p, []int{dimBetween(p, uint64(x))})[0]
+				load[e] += tr.SubtreeSize(uint64(x))
+			}
+		}
+		max := 0
+		for _, v := range load {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+
+	single := edgeLoad([]*cube.Tree{cube.SBT(c, 0), cube.SBT(c, 0)})
+	rotated := edgeLoad([]*cube.Tree{cube.SBT(c, 0), cube.RotatedSBT(c, 0, n/2)})
+	reflected := edgeLoad([]*cube.Tree{cube.SBT(c, 0), cube.ReflectedSBT(c, 0)})
+
+	if single != N { // two copies of the same tree double the N/2 bottleneck
+		t.Errorf("single-tree doubled load = %d, want %d", single, N)
+	}
+	// Paper (Section 3.1, k=2): reflection yields max N/2 + 1, rotation by
+	// n/2 yields N/2 + sqrt(N/2).
+	if reflected != N/2+1 {
+		t.Errorf("reflected max edge load = %d, want N/2+1 = %d", reflected, N/2+1)
+	}
+	// The paper's rotation figure N/2 + sqrt(N/2) is approximate; allow
+	// rounding slack of a couple of units.
+	wantRot := N/2 + isqrt(N/2)
+	if rotated < wantRot-2 || rotated > wantRot+2 {
+		t.Errorf("rotated max edge load = %d, want ≈ N/2+sqrt(N/2) = %d", rotated, wantRot)
+	}
+	if !(reflected <= rotated && rotated < single) {
+		t.Errorf("load ordering violated: reflected %d, rotated %d, single %d",
+			reflected, rotated, single)
+	}
+}
+
+func dimBetween(a, b uint64) int {
+	d := a ^ b
+	dim := 0
+	for d > 1 {
+		d >>= 1
+		dim++
+	}
+	return dim
+}
+
+func isqrt(v int) int {
+	r := 0
+	for (r+1)*(r+1) <= v {
+		r++
+	}
+	return r
+}
+
+// The simulator's per-link accounting is consistent: summing LinkLoads
+// bytes equals Stats.Bytes.
+func TestLinkLoadAccounting(t *testing.T) {
+	e, err := simnet.New(3, machine.Ideal(machine.NPort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []router.Flow
+	for s := uint64(0); s < 8; s++ {
+		d := s ^ 7
+		flows = append(flows, router.Flow{Src: s, Dst: d, Dims: router.Ecube(s, d, 3),
+			Data: make([]float64, 4)})
+	}
+	if _, err := router.Run(e, flows); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range e.LinkLoads() {
+		sum += l.Bytes
+	}
+	if sum != e.Stats().Bytes {
+		t.Errorf("link loads sum %d != stats bytes %d", sum, e.Stats().Bytes)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/field"
+	"boolcube/internal/matrix"
+)
+
+// This file implements Section 6.3: transposing matrices whose rows and
+// columns use different encodings (binary vs binary-reflected Gray code),
+// either naively — code conversion in each column subcube, code conversion
+// in each row subcube, then the n-step transpose, for 2n-2 routing steps —
+// or with the combined algorithm that folds the conversions into the
+// transpose and needs only n routing steps.
+
+// mixedPermutation checks that the transposition from d.Layout to after is
+// a node permutation (each source sends all of its data to exactly one
+// destination), which is what the Section 6.3 algorithms route.
+func mixedPermutation(pl *plan) error {
+	for sp := 0; sp < pl.before.N(); sp++ {
+		if n := len(pl.destinations(uint64(sp))); n > 1 {
+			return fmt.Errorf("core: mixed transpose needs a node permutation; node %d sends to %d nodes", sp, n)
+		}
+	}
+	return nil
+}
+
+// naiveMixedRoute builds the 2n-2 step route: first convert the row field
+// of the node address to the target's column-half encoding (a conversion
+// within each column subcube), then convert the column field (within each
+// row subcube), then run the standard n-step transpose (paired row/column
+// dimensions, highest first).
+func naiveMixedRoute(src, dst uint64, n int) [][]int {
+	h := n / 2
+	srcRow, srcCol := bits.Split(src, h, h)
+	dstRow, dstCol := bits.Split(dst, h, h)
+	// After conversions the node holds address (a || b) with a = dstCol
+	// (the value the transpose will move into the column half) and
+	// b = dstRow.
+	var dims []int
+	rowConv := srcRow ^ dstCol
+	for i := h - 1; i >= 0; i-- {
+		if rowConv>>uint(i)&1 == 1 {
+			dims = append(dims, h+i)
+		}
+	}
+	colConv := srcCol ^ dstRow
+	for i := h - 1; i >= 0; i-- {
+		if colConv>>uint(i)&1 == 1 {
+			dims = append(dims, i)
+		}
+	}
+	// Transpose (a || b) -> (b || a): a = dstCol, b = dstRow.
+	swap := dstCol ^ dstRow
+	for i := h - 1; i >= 0; i-- {
+		if swap>>uint(i)&1 == 1 {
+			dims = append(dims, h+i, i)
+		}
+	}
+	return [][]int{dims}
+}
+
+// combinedMixedRoute folds conversion and transpose into n routing steps:
+// iteration i (descending) routes row dimension h+i and column dimension i
+// whenever source and destination addresses differ there (Section 6.3).
+func combinedMixedRoute(src, dst uint64, n int) [][]int {
+	h := n / 2
+	rel := src ^ dst
+	var dims []int
+	for i := h - 1; i >= 0; i-- {
+		if rel>>uint(h+i)&1 == 1 {
+			dims = append(dims, h+i)
+		}
+		if rel>>uint(i)&1 == 1 {
+			dims = append(dims, i)
+		}
+	}
+	return [][]int{dims}
+}
+
+func transposeMixed(d *matrix.Dist, after field.Layout, opt Options, combined bool) (*Result, error) {
+	n := d.Layout.NBits()
+	if n%2 != 0 {
+		return nil, fmt.Errorf("core: mixed transpose needs an even number of cube dimensions")
+	}
+	if err := mixedPermutation(newPlan(d.Layout, after, true)); err != nil {
+		return nil, err
+	}
+	route := naiveMixedRoute
+	if combined {
+		route = combinedMixedRoute
+	}
+	return flowTranspose(d, after, opt, route)
+}
+
+// TransposeMixedNaive transposes a mixed-encoding matrix by separate code
+// conversions followed by the transpose: up to 2n-2 routing steps.
+func TransposeMixedNaive(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return transposeMixed(d, after, opt, false)
+}
+
+// TransposeMixedCombined transposes a mixed-encoding matrix with the
+// combined conversion-transpose algorithm: n routing steps.
+func TransposeMixedCombined(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return transposeMixed(d, after, opt, true)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+)
+
+// All four encoding combinations of Section 6.3, both algorithms, verified
+// element-exactly.
+func TestTransposeMixed(t *testing.T) {
+	p, q, n := 4, 4, 4
+	encs := []struct{ br, bc, ar, ac field.Encoding }{
+		{field.Binary, field.Gray, field.Binary, field.Gray},     // §6.3 main case
+		{field.Gray, field.Binary, field.Gray, field.Binary},     // symmetric
+		{field.Binary, field.Binary, field.Gray, field.Gray},     // bin -> transposed gray
+		{field.Gray, field.Gray, field.Binary, field.Binary},     // gray -> transposed bin
+		{field.Binary, field.Binary, field.Binary, field.Binary}, // degenerate: pure transpose
+	}
+	algos := []struct {
+		name string
+		f    func(*matrix.Dist, field.Layout, Options) (*Result, error)
+	}{
+		{"naive", TransposeMixedNaive},
+		{"combined", TransposeMixedCombined},
+	}
+	for _, ec := range encs {
+		for _, a := range algos {
+			name := fmt.Sprintf("%s %v%v->%v%v", a.name, ec.br, ec.bc, ec.ar, ec.ac)
+			before := field.TwoDimEncoded(p, q, n/2, n/2, ec.br, ec.bc)
+			after := field.TwoDimEncoded(q, p, n/2, n/2, ec.ar, ec.ac)
+			m := matrix.NewIota(p, q)
+			d := matrix.Scatter(m, before)
+			res, err := a.f(d, after, opts(machine.IPSC()))
+			verifyTranspose(t, name, m, res, err)
+		}
+	}
+}
+
+// The combined algorithm must use at most n routing steps per payload; the
+// naive one up to 2n-2. On a start-up-dominated machine the combined
+// algorithm therefore wins (Figure 15).
+func TestMixedCombinedBeatsNaive(t *testing.T) {
+	p, q, n := 5, 5, 6
+	mach := machine.IPSC() // τ-dominated for small blocks
+	before := field.TwoDimEncoded(p, q, n/2, n/2, field.Binary, field.Gray)
+	after := field.TwoDimEncoded(q, p, n/2, n/2, field.Binary, field.Gray)
+	m := matrix.NewIota(p, q)
+
+	d1 := matrix.Scatter(m, before)
+	naive, err := TransposeMixedNaive(d1, after, opts(mach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := matrix.Scatter(m, before)
+	combined, err := TransposeMixedCombined(d2, after, opts(mach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Stats.Time >= naive.Stats.Time {
+		t.Errorf("combined (%v) not faster than naive (%v)",
+			combined.Stats.Time, naive.Stats.Time)
+	}
+}
+
+// Route lengths: combined routes are at most n hops; naive routes at most
+// 2n-2 hops (conversions share the MSB so each conversion is <= n/2-1).
+func TestMixedRouteLengths(t *testing.T) {
+	n := 8
+	h := n / 2
+	before := field.TwoDimEncoded(h, h, h, h, field.Binary, field.Gray)
+	after := field.TwoDimEncoded(h, h, h, h, field.Binary, field.Gray)
+	pl := newPlan(before, after, true)
+	for sp := 0; sp < before.N(); sp++ {
+		dsts := pl.destinations(uint64(sp))
+		if len(dsts) == 0 {
+			continue
+		}
+		dst := dsts[0]
+		comb := combinedMixedRoute(uint64(sp), dst, n)[0]
+		if len(comb) > n {
+			t.Fatalf("combined route from %b has %d hops > n", sp, len(comb))
+		}
+		naive := naiveMixedRoute(uint64(sp), dst, n)[0]
+		if len(naive) > 2*n-2 {
+			t.Fatalf("naive route from %b has %d hops > 2n-2", sp, len(naive))
+		}
+	}
+}
+
+func TestMixedRejectsNonPermutation(t *testing.T) {
+	// A 1-D layout pair is all-to-all, not a node permutation.
+	before := field.OneDimConsecutiveRows(4, 4, 2, field.Binary)
+	after := field.OneDimConsecutiveRows(4, 4, 2, field.Binary)
+	d := matrix.Scatter(matrix.NewIota(4, 4), before)
+	if _, err := TransposeMixedCombined(d, after, opts(machine.IPSC())); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's matrix transposition algorithms on
+// the simulated cube: the one-dimensional exchange transpose with the
+// buffering strategies of Section 8.1, the SBnT transpose for n-port
+// communication (Section 5), the two-dimensional Single/Dual/Multiple Path
+// Transposes (Section 6.1), transposition with change of assignment scheme
+// (Section 6.2, algorithms 1-3), the combined transpose + Gray/binary
+// conversion (Section 6.3), transposition through the machine routing
+// logic, and the bit-reversal and dimension permutations of Section 7.
+//
+// Every algorithm moves real matrix elements between real per-processor
+// arrays; results are returned as a matrix.Dist that callers verify
+// element-exactly against the expected transpose.
+package core
+
+import (
+	"sort"
+
+	"boolcube/internal/field"
+)
+
+// plan precomputes, for a data rearrangement from layout `before` to layout
+// `after`, which local slots each processor sends to and receives from every
+// other processor. Both sides enumerate each (srcProc, dstProc) transfer set
+// in ascending element-address order, so payloads travel as bare data with
+// no per-element headers — exactly like the machines the paper measures.
+type plan struct {
+	before, after field.Layout
+	// out[srcProc][dstProc] = source local slots in canonical order.
+	out []map[uint64][]int
+	// in[dstProc][srcProc] = destination local slots in canonical order.
+	in []map[uint64][]int
+}
+
+// newPlan builds the plan. If transpose is true, element (u, v) of the
+// before-matrix is placed as element (v, u) of the after-matrix (whose
+// layout must have the transposed shape); otherwise the shapes must match
+// and elements keep their indices (a pure repartitioning).
+func newPlan(before, after field.Layout, transpose bool) *plan {
+	if transpose {
+		if after.P != before.Q || after.Q != before.P {
+			panic("core: transpose plan needs transposed shapes")
+		}
+	} else {
+		if after.P != before.P || after.Q != before.Q {
+			panic("core: repartition plan needs matching shapes")
+		}
+	}
+	type move struct {
+		key    uint64 // element address in the before space, for ordering
+		ss, ds int
+		sp, dp uint64
+	}
+	P := uint64(1) << uint(before.P)
+	Q := uint64(1) << uint(before.Q)
+	moves := make([]move, 0, P*Q)
+	for u := uint64(0); u < P; u++ {
+		for v := uint64(0); v < Q; v++ {
+			au, av := u, v
+			if transpose {
+				au, av = v, u
+			}
+			moves = append(moves, move{
+				key: u<<uint(before.Q) | v,
+				sp:  before.ProcOf(u, v), ss: int(before.LocalOf(u, v)),
+				dp: after.ProcOf(au, av), ds: int(after.LocalOf(au, av)),
+			})
+		}
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].key < moves[b].key })
+
+	p := &plan{
+		before: before, after: after,
+		out: make([]map[uint64][]int, before.N()),
+		in:  make([]map[uint64][]int, after.N()),
+	}
+	for i := range p.out {
+		p.out[i] = make(map[uint64][]int)
+	}
+	for i := range p.in {
+		p.in[i] = make(map[uint64][]int)
+	}
+	for _, m := range moves {
+		p.out[m.sp][m.dp] = append(p.out[m.sp][m.dp], m.ss)
+		p.in[m.dp][m.sp] = append(p.in[m.dp][m.sp], m.ds)
+	}
+	return p
+}
+
+// gather collects the payload a processor sends to dstProc from its local
+// array, in canonical order.
+func (p *plan) gather(srcProc uint64, local []float64, dstProc uint64) []float64 {
+	slots := p.out[srcProc][dstProc]
+	data := make([]float64, len(slots))
+	for i, s := range slots {
+		data[i] = local[s]
+	}
+	return data
+}
+
+// scatter places a payload received from srcProc into the destination local
+// array.
+func (p *plan) scatter(dstProc uint64, local []float64, srcProc uint64, data []float64) {
+	slots := p.in[dstProc][srcProc]
+	if len(slots) != len(data) {
+		panic("core: payload size does not match plan")
+	}
+	for i, s := range slots {
+		local[s] = data[i]
+	}
+}
+
+// destinations lists the processors srcProc sends to (excluding itself),
+// ascending.
+func (p *plan) destinations(srcProc uint64) []uint64 {
+	var out []uint64
+	for dp := range p.out[srcProc] {
+		if dp != srcProc {
+			out = append(out, dp)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

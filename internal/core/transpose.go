@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"boolcube/internal/comm"
+	"boolcube/internal/cube"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/router"
+	"boolcube/internal/simnet"
+)
+
+// Result carries a transposed distribution together with the simulated cost
+// of producing it.
+type Result struct {
+	Dist  *matrix.Dist
+	Stats simnet.Stats
+}
+
+// Options configures a transpose run.
+type Options struct {
+	Machine  machine.Params
+	Strategy comm.Strategy // exchange-based algorithms (Section 8.1)
+	Packets  int           // packet count for path-based algorithms (0 = one per path)
+	// LocalCopies charges the local rearrangement cost (pack/unpack of the
+	// two-dimensional local arrays, Section 8.2.1) at the start and end.
+	LocalCopies bool
+	// Tracer, when non-nil, receives every timed operation of the run.
+	Tracer simnet.Tracer
+}
+
+// engineFor builds an engine big enough for both layouts.
+func engineFor(before, after field.Layout, mach machine.Params) (*simnet.Engine, int, error) {
+	n := before.NBits()
+	if a := after.NBits(); a > n {
+		n = a
+	}
+	e, err := simnet.New(n, mach)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, n, nil
+}
+
+// applyTracer installs the optional tracer on a fresh engine.
+func applyTracer(e *simnet.Engine, opt Options) {
+	if opt.Tracer != nil {
+		e.SetTracer(opt.Tracer)
+	}
+}
+
+// newLocal allocates the after-side local arrays.
+func newLocal(after field.Layout, nodes int) [][]float64 {
+	loc := make([][]float64, nodes)
+	for i := range loc {
+		loc[i] = nil
+	}
+	for i := 0; i < after.N(); i++ {
+		loc[i] = make([]float64, after.LocalSize())
+	}
+	return loc
+}
+
+// srcLocal returns the before-side local array of a node (empty for nodes
+// outside the before-layout's processor range).
+func srcLocal(d *matrix.Dist, id uint64) []float64 {
+	if id < uint64(len(d.Local)) {
+		return d.Local[id]
+	}
+	return nil
+}
+
+// finishDist wraps freshly filled local arrays as a Dist on the after
+// layout, trimming nodes beyond the after-layout's processor count.
+func finishDist(after field.Layout, loc [][]float64) *matrix.Dist {
+	return &matrix.Dist{Layout: after, Local: loc[:after.N()]}
+}
+
+// TransposeExchange transposes d into the after layout with the standard
+// exchange algorithm (Section 5), scanning the cube dimensions from highest
+// to lowest — for square two-dimensional layouts this is exactly the Single
+// Path Transpose as a special case of the standard exchange algorithm
+// (Section 6.1.1), and for one-dimensional layouts it is the all-to-all
+// personalized transpose of Section 5 with the chosen buffering Strategy.
+func TransposeExchange(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return transposeExchangeDims(d, after, opt, nil)
+}
+
+// TransposeExchangeSPTOrder uses the SPT dimension order (row dimension
+// then paired column dimension, highest pairs first), which for pairwise
+// two-dimensional transposes produces the SPT path for every node.
+func TransposeExchangeSPTOrder(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	n := d.Layout.NBits()
+	if n%2 != 0 {
+		return nil, fmt.Errorf("core: SPT order needs an even number of cube dimensions, got %d", n)
+	}
+	dims := make([]int, 0, n)
+	for i := n/2 - 1; i >= 0; i-- {
+		dims = append(dims, n/2+i, i)
+	}
+	return transposeExchangeDims(d, after, opt, dims)
+}
+
+func transposeExchangeDims(d *matrix.Dist, after field.Layout, opt Options, dims []int) (*Result, error) {
+	pl := newPlan(d.Layout, after, true)
+	e, n, err := engineFor(d.Layout, after, opt.Machine)
+	if err != nil {
+		return nil, err
+	}
+	applyTracer(e, opt)
+	if dims == nil {
+		dims = comm.DescendingDims(n)
+	}
+	loc := newLocal(after, e.Nodes())
+	err = e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		local := srcLocal(d, id)
+		if opt.LocalCopies && len(local) > 0 {
+			nd.Copy(len(local) * opt.Machine.ElemBytes)
+		}
+		var blocks []comm.Block
+		if local != nil {
+			for _, dp := range pl.destinations(id) {
+				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: pl.gather(id, local, dp)})
+			}
+		}
+		got := comm.ExchangeBlocks(nd, dims, opt.Strategy, blocks)
+		out := loc[id]
+		if out != nil {
+			if local != nil {
+				pl.scatter(id, out, id, pl.gather(id, local, id))
+			}
+			for _, b := range got {
+				pl.scatter(id, out, b.Src, b.Data)
+			}
+			if opt.LocalCopies {
+				nd.Copy(len(out) * opt.Machine.ElemBytes)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
+}
+
+// flowTranspose executes a transpose whose data movement is expressed as
+// source-routed flows, and assembles the resulting distribution.
+func flowTranspose(d *matrix.Dist, after field.Layout, opt Options, route func(src, dst uint64, n int) [][]int) (*Result, error) {
+	pl := newPlan(d.Layout, after, true)
+	e, n, err := engineFor(d.Layout, after, opt.Machine)
+	if err != nil {
+		return nil, err
+	}
+	applyTracer(e, opt)
+	var flows []router.Flow
+	for sp := 0; sp < d.Layout.N(); sp++ {
+		src := uint64(sp)
+		local := d.Local[sp]
+		for _, dp := range pl.destinations(src) {
+			data := pl.gather(src, local, dp)
+			paths := route(src, dp, n)
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("core: no route from %d to %d", src, dp)
+			}
+			// Split the payload evenly over the paths, then into packets.
+			for pi, dims := range paths {
+				chunk := share(data, len(paths), pi)
+				pk := opt.Packets
+				if pk < 1 {
+					// Default: the machine's natural packetization, which
+					// lets store-and-forward hops pipeline at B_m grain.
+					pk = 1
+					if bm := opt.Machine.Bm; bm > 0 {
+						cb := len(chunk) * opt.Machine.ElemBytes
+						pk = (cb + bm - 1) / bm
+						if pk < 1 {
+							pk = 1
+						}
+					}
+				}
+				flows = append(flows, router.Flow{
+					Src: src, Dst: dp, Dims: dims, Data: chunk, Packets: pk,
+				})
+			}
+		}
+	}
+	deliveries, err := router.Run(e, flows)
+	if err != nil {
+		return nil, err
+	}
+	loc := newLocal(after, e.Nodes())
+	for dp := 0; dp < after.N(); dp++ {
+		out := loc[dp]
+		// Reassemble per-source payloads: multiple flows per (src, dst)
+		// arrive as separate deliveries in flow order; merge them back in
+		// path order before scattering.
+		bySrc := make(map[uint64][]float64)
+		for _, del := range deliveries[uint64(dp)] {
+			bySrc[del.Src] = append(bySrc[del.Src], del.Data...)
+		}
+		for src, data := range bySrc {
+			pl.scatter(uint64(dp), out, src, data)
+		}
+		if uint64(dp) < uint64(d.Layout.N()) {
+			self := pl.gather(uint64(dp), d.Local[dp], uint64(dp))
+			pl.scatter(uint64(dp), out, uint64(dp), self)
+		}
+	}
+	st := e.Stats()
+	if opt.LocalCopies {
+		// Pack before sending and unpack after receiving: 2 * PQ/N copies
+		// per processor (Section 8.2.1); charged analytically since flows
+		// were materialized outside node programs.
+		per := float64(d.Layout.LocalSize() * opt.Machine.ElemBytes)
+		st.CopyTime += 2 * opt.Machine.CopyTime(int(per)) * float64(d.Layout.N())
+		st.Time += 2 * opt.Machine.CopyTime(int(per))
+	}
+	return &Result{Dist: finishDist(after, loc), Stats: st}, nil
+}
+
+// share splits data into k nearly-equal chunks and returns chunk i.
+func share(data []float64, k, i int) []float64 {
+	base := len(data) / k
+	rem := len(data) % k
+	off := 0
+	for j := 0; j < i; j++ {
+		sz := base
+		if j < rem {
+			sz++
+		}
+		off += sz
+	}
+	sz := base
+	if i < rem {
+		sz++
+	}
+	return data[off : off+sz]
+}
+
+// pairwiseOnly verifies that the transposition is between distinct
+// source/destination pairs (Section 6.1) so path-system transposes apply.
+func pairwiseOnly(before, after field.Layout, name string) error {
+	c := field.Classify(before, after)
+	if c.Pattern != field.Pairwise {
+		return fmt.Errorf("core: %s requires pairwise communication, got %v", name, c.Pattern)
+	}
+	return nil
+}
+
+// TransposeSPT transposes a square two-dimensionally partitioned matrix
+// with the Single Path Transpose (Section 6.1.1): one edge-disjoint path
+// from every node x to tr(x), packetized for pipelining.
+func TransposeSPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	if err := pairwiseOnly(d.Layout, after, "SPT"); err != nil {
+		return nil, err
+	}
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return [][]int{cube.SPTPath(src, n)}
+	})
+}
+
+// TransposeDPT uses the Dual Paths Transpose (Section 6.1.2): two directed
+// edge-disjoint paths per node, halving the transfer time.
+func TransposeDPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	if err := pairwiseOnly(d.Layout, after, "DPT"); err != nil {
+		return nil, err
+	}
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return cube.DPTPaths(src, n)
+	})
+}
+
+// TransposeMPT uses the Multiple Paths Transpose (Section 6.1.3): 2H(x)
+// edge-disjoint paths per node with the (2, 2H)-disjoint schedule, which is
+// within a factor of two of the lower bound for n-port communication
+// (Theorem 2).
+func TransposeMPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	if err := pairwiseOnly(d.Layout, after, "MPT"); err != nil {
+		return nil, err
+	}
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return cube.MPTPaths(src, n)
+	})
+}
+
+// TransposeParallelPaths splits every node's payload over the n
+// node-disjoint paths to its transpose partner (the Saad & Schultz
+// parallel-paths property quoted in Section 2). Unlike the MPT path
+// system, these paths are disjoint only per pair — different pairs'
+// paths collide — so this serves as the ablation showing why the paper
+// builds the globally edge-disjoint MPT schedule instead.
+func TransposeParallelPaths(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	if err := pairwiseOnly(d.Layout, after, "parallel-paths"); err != nil {
+		return nil, err
+	}
+	c := cube.New(d.Layout.NBits())
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return cube.DisjointPaths(c, src, dst)
+	})
+}
+
+// TransposeSBnT transposes with one spanning-balanced-n-tree route per
+// (source, destination) pair (the SBnT algorithm of Section 5), optimal
+// within a factor of two for n-port all-to-all personalized communication.
+func TransposeSBnT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return [][]int{cube.SBnTPath(src^dst, n)}
+	})
+}
+
+// TransposeRoutingLogic sends every (source, destination) payload directly
+// through the machine's dimension-order routing logic, as in the iPSC
+// "routing logic" and Connection Machine measurements (Sections 8.2.1-2).
+func TransposeRoutingLogic(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
+		return [][]int{router.Ecube(src, dst, n)}
+	})
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"boolcube/internal/comm"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+)
+
+func opts(mach machine.Params) Options {
+	return Options{Machine: mach, Strategy: comm.SingleMessage}
+}
+
+// verifyTranspose runs the algorithm and checks the resulting distribution
+// element-exactly against the dense transpose.
+func verifyTranspose(t *testing.T, name string, m *matrix.Matrix, res *Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatalf("%s: %v", name, verr)
+	}
+	if res.Stats.Time <= 0 {
+		t.Fatalf("%s: no simulated time elapsed", name)
+	}
+}
+
+func TestTransposeExchangeOneDim(t *testing.T) {
+	cases := []struct {
+		p, q, n int
+		mk      func(p, q, n int, e field.Encoding) field.Layout
+	}{
+		{4, 4, 3, field.OneDimConsecutiveRows},
+		{4, 4, 3, field.OneDimCyclicRows},
+		{4, 4, 3, field.OneDimConsecutiveCols},
+		{4, 4, 3, field.OneDimCyclicCols},
+		{5, 3, 2, field.OneDimConsecutiveRows},
+		{3, 5, 3, field.OneDimCyclicCols},
+	}
+	for _, c := range cases {
+		for _, enc := range []field.Encoding{field.Binary, field.Gray} {
+			before := c.mk(c.p, c.q, c.n, enc)
+			after := c.mk(c.q, c.p, c.n, enc)
+			name := fmt.Sprintf("%s p=%d q=%d", before, c.p, c.q)
+			m := matrix.NewIota(c.p, c.q)
+			d := matrix.Scatter(m, before)
+			res, err := TransposeExchange(d, after, opts(machine.Ideal(machine.OnePort)))
+			verifyTranspose(t, name, m, res, err)
+		}
+	}
+}
+
+// Transposing with a change of storage form (Corollary 6: consecutive <->
+// cyclic, rows <-> columns) still works through the generic exchange.
+func TestTransposeExchangeStorageConversion(t *testing.T) {
+	p, q, n := 4, 4, 3
+	forms := []func(p, q, n int, e field.Encoding) field.Layout{
+		field.OneDimConsecutiveRows,
+		field.OneDimCyclicRows,
+		field.OneDimConsecutiveCols,
+		field.OneDimCyclicCols,
+	}
+	m := matrix.NewIota(p, q)
+	for i, fb := range forms {
+		for j, fa := range forms {
+			before := fb(p, q, n, field.Binary)
+			after := fa(q, p, n, field.Gray)
+			d := matrix.Scatter(m, before)
+			res, err := TransposeExchange(d, after, opts(machine.Ideal(machine.OnePort)))
+			verifyTranspose(t, fmt.Sprintf("form %d -> %d", i, j), m, res, err)
+		}
+	}
+}
+
+func TestTransposeExchangeTwoDim(t *testing.T) {
+	p, q, n := 4, 4, 4
+	for _, enc := range []field.Encoding{field.Binary, field.Gray} {
+		for _, strat := range []comm.Strategy{comm.SingleMessage, comm.Unbuffered, comm.Buffered} {
+			before := field.TwoDimConsecutive(p, q, n/2, n/2, enc)
+			after := field.TwoDimConsecutive(q, p, n/2, n/2, enc)
+			m := matrix.NewIota(p, q)
+			d := matrix.Scatter(m, before)
+			o := opts(machine.IPSC())
+			o.Strategy = strat
+			res, err := TransposeExchange(d, after, o)
+			verifyTranspose(t, fmt.Sprintf("2d %v %v", enc, strat), m, res, err)
+		}
+	}
+}
+
+func TestTransposeExchangeSPTOrder(t *testing.T) {
+	p, q, n := 3, 3, 4
+	before := field.TwoDimCyclic(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimCyclic(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+	d := matrix.Scatter(m, before)
+	res, err := TransposeExchangeSPTOrder(d, after, opts(machine.Ideal(machine.OnePort)))
+	verifyTranspose(t, "spt-order", m, res, err)
+}
+
+func TestPathTransposes(t *testing.T) {
+	algos := []struct {
+		name string
+		f    func(*matrix.Dist, field.Layout, Options) (*Result, error)
+	}{
+		{"SPT", TransposeSPT},
+		{"DPT", TransposeDPT},
+		{"MPT", TransposeMPT},
+		{"SBnT", TransposeSBnT},
+		{"RoutingLogic", TransposeRoutingLogic},
+	}
+	p, q, n := 4, 4, 4
+	for _, enc := range []field.Encoding{field.Binary, field.Gray} {
+		for _, a := range algos {
+			before := field.TwoDimConsecutive(p, q, n/2, n/2, enc)
+			after := field.TwoDimConsecutive(q, p, n/2, n/2, enc)
+			m := matrix.NewIota(p, q)
+			d := matrix.Scatter(m, before)
+			o := opts(machine.IPSCNPort())
+			o.Packets = 2
+			res, err := a.f(d, after, o)
+			verifyTranspose(t, fmt.Sprintf("%s/%v", a.name, enc), m, res, err)
+		}
+	}
+}
+
+func TestPathTransposeRejectsNonPairwise(t *testing.T) {
+	before := field.OneDimConsecutiveRows(4, 4, 2, field.Binary)
+	after := field.OneDimConsecutiveRows(4, 4, 2, field.Binary)
+	m := matrix.NewIota(4, 4)
+	d := matrix.Scatter(m, before)
+	if _, err := TransposeSPT(d, after, opts(machine.IPSC())); err == nil {
+		t.Error("SPT accepted a non-pairwise transposition")
+	}
+}
+
+// DPT should roughly halve the SPT transfer time for transfer-dominated
+// problems (Section 6.1.2), and MPT should beat both with n-port comm.
+func TestSPTDPTMPTOrdering(t *testing.T) {
+	p, q, n := 6, 6, 4
+	mach := machine.Ideal(machine.NPort)
+	mach.Tau = 0.001
+	before := field.TwoDimConsecutive(p, q, n/2, n/2, field.Binary)
+	after := field.TwoDimConsecutive(q, p, n/2, n/2, field.Binary)
+	m := matrix.NewIota(p, q)
+
+	run := func(f func(*matrix.Dist, field.Layout, Options) (*Result, error)) float64 {
+		d := matrix.Scatter(m, before)
+		res, err := f(d, after, opts(mach))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+			t.Fatal(verr)
+		}
+		return res.Stats.Time
+	}
+	spt, dpt, mpt := run(TransposeSPT), run(TransposeDPT), run(TransposeMPT)
+	if !(dpt < spt) {
+		t.Errorf("DPT (%v) not faster than SPT (%v)", dpt, spt)
+	}
+	if !(mpt <= dpt) {
+		t.Errorf("MPT (%v) not at least as fast as DPT (%v)", mpt, dpt)
+	}
+	if spt/dpt < 1.5 {
+		t.Errorf("DPT speedup over SPT only %.2f, want ~2", spt/dpt)
+	}
+}
+
+func TestConvertAlgorithms(t *testing.T) {
+	p, q, nr := 4, 4, 1
+	for _, alg := range []ConvertAlgorithm{Convert1, Convert2, Convert3} {
+		before := field.TwoDimConsecutive(p, q, nr, nr, field.Binary)
+		m := matrix.NewIota(p, q)
+		d := matrix.Scatter(m, before)
+		res, err := ConvertConsecutiveToCyclic(d, alg, opts(machine.IPSC()))
+		verifyTranspose(t, alg.String(), m, res, err)
+		want := field.TwoDimCyclic(q, p, nr, nr, field.Binary)
+		if res.Dist.Layout.String() != want.String() {
+			t.Errorf("%v: layout %s, want %s", alg, res.Dist.Layout, want)
+		}
+	}
+}
+
+func TestConvertAlgorithmsLarger(t *testing.T) {
+	p, q, nr := 5, 4, 2
+	for _, alg := range []ConvertAlgorithm{Convert1, Convert2, Convert3} {
+		before := field.TwoDimConsecutive(p, q, nr, nr, field.Binary)
+		m := matrix.NewIota(p, q)
+		d := matrix.Scatter(m, before)
+		res, err := ConvertConsecutiveToCyclic(d, alg, opts(machine.Ideal(machine.OnePort)))
+		verifyTranspose(t, alg.String()+"-large", m, res, err)
+	}
+}
+
+// Section 6.2: algorithm 1 needs 2n communication steps, algorithms 2 and 3
+// only n; with start-up dominated costs algorithm 1 must be slowest, and
+// algorithm 3 must beat algorithm 2 on copy time.
+func TestConvertAlgorithmCosts(t *testing.T) {
+	p, q, nr := 5, 5, 2
+	mach := machine.IPSC()
+	before := field.TwoDimConsecutive(p, q, nr, nr, field.Binary)
+	m := matrix.NewIota(p, q)
+
+	times := map[ConvertAlgorithm]float64{}
+	copies := map[ConvertAlgorithm]float64{}
+	for _, alg := range []ConvertAlgorithm{Convert1, Convert2, Convert3} {
+		d := matrix.Scatter(m, before)
+		res, err := ConvertConsecutiveToCyclic(d, alg, opts(mach))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+			t.Fatal(verr)
+		}
+		times[alg] = res.Stats.Time
+		copies[alg] = res.Stats.CopyTime
+	}
+	if times[Convert1] <= times[Convert3] {
+		t.Errorf("algorithm 1 (%v) should be slower than algorithm 3 (%v) on a start-up bound machine",
+			times[Convert1], times[Convert3])
+	}
+	if copies[Convert2] <= copies[Convert3] {
+		t.Errorf("algorithm 2 copy time (%v) should exceed algorithm 3 (%v)",
+			copies[Convert2], copies[Convert3])
+	}
+}
+
+func TestConvertRejectsBadShapes(t *testing.T) {
+	before := field.TwoDimConsecutive(4, 4, 2, 1, field.Binary) // nr != nc
+	d := matrix.Scatter(matrix.NewIota(4, 4), before)
+	if _, err := ConvertConsecutiveToCyclic(d, Convert1, opts(machine.IPSC())); err == nil {
+		t.Error("nr != nc accepted")
+	}
+	before = field.TwoDimConsecutive(2, 4, 2, 2, field.Binary) // p < 2nr
+	d = matrix.Scatter(matrix.NewIota(2, 4), before)
+	if _, err := ConvertConsecutiveToCyclic(d, Convert2, opts(machine.IPSC())); err == nil {
+		t.Error("p < 2nr accepted")
+	}
+}
+
+// The exchange transpose with LocalCopies charges pack/unpack copies.
+func TestLocalCopiesCharged(t *testing.T) {
+	before := field.TwoDimConsecutive(3, 3, 1, 1, field.Binary)
+	after := field.TwoDimConsecutive(3, 3, 1, 1, field.Binary)
+	m := matrix.NewIota(3, 3)
+	d := matrix.Scatter(m, before)
+	o := opts(machine.IPSC())
+	o.LocalCopies = true
+	res, err := TransposeExchange(d, after, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CopyTime == 0 {
+		t.Error("LocalCopies did not charge copy time")
+	}
+}
+
+// The Section 6.2 conversions are encoding-agnostic: Gray-coded layouts
+// convert exactly like binary ones.
+func TestConvertAlgorithmsGray(t *testing.T) {
+	p, q, nr := 4, 4, 2
+	for _, alg := range []ConvertAlgorithm{Convert1, Convert2, Convert3} {
+		before := field.TwoDimConsecutive(p, q, nr, nr, field.Gray)
+		m := matrix.NewIota(p, q)
+		d := matrix.Scatter(m, before)
+		res, err := ConvertConsecutiveToCyclic(d, alg, opts(machine.IPSC()))
+		verifyTranspose(t, alg.String()+"-gray", m, res, err)
+		if res.Dist.Layout.Fields[0].Enc != field.Gray {
+			t.Errorf("%v: result layout lost the Gray encoding", alg)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package cube
+
+import "testing"
+
+func BenchmarkMPTPaths(b *testing.B) {
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += len(MPTPaths(uint64(i)&1023, 10))
+	}
+	_ = s
+}
+
+func BenchmarkSBnTPath(b *testing.B) {
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += len(SBnTPath(uint64(i)&4095, 12))
+	}
+	_ = s
+}
+
+func BenchmarkSBTConstruction(b *testing.B) {
+	c := New(10)
+	for i := 0; i < b.N; i++ {
+		SBT(c, uint64(i)&1023)
+	}
+}
+
+func BenchmarkSBnTConstruction(b *testing.B) {
+	c := New(10)
+	for i := 0; i < b.N; i++ {
+		SBnT(c, uint64(i)&1023)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cube provides the combinatorial structure of the Boolean n-cube:
+// node adjacency, spanning binomial trees (SBT) and their rotations,
+// reflections and translations, spanning balanced n-tree (SBnT) routing, and
+// the Single/Dual/Multiple Path Transpose path systems of Section 6.1 of the
+// paper, together with the equivalence relations (~ad and ~s) used to prove
+// their conflict-freedom.
+package cube
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+)
+
+// MaxDims bounds the cube dimension supported by this package; 2^MaxDims
+// nodes must fit comfortably in memory for full enumeration.
+const MaxDims = 24
+
+// Cube is an n-dimensional Boolean cube.
+type Cube struct {
+	n int
+}
+
+// New returns an n-dimensional cube. It panics for n outside [0, MaxDims]
+// because the dimension is a structural constant of the caller.
+func New(n int) Cube {
+	if n < 0 || n > MaxDims {
+		panic(fmt.Sprintf("cube: dimension %d out of range [0,%d]", n, MaxDims))
+	}
+	return Cube{n: n}
+}
+
+// Dims returns the number of dimensions n.
+func (c Cube) Dims() int { return c.n }
+
+// Nodes returns the number of nodes N = 2^n.
+func (c Cube) Nodes() int { return 1 << uint(c.n) }
+
+// Links returns the number of (undirected) links, n*N/2.
+func (c Cube) Links() int { return c.n * c.Nodes() / 2 }
+
+// Neighbor returns the neighbor of x across dimension d.
+func (c Cube) Neighbor(x uint64, d int) uint64 {
+	if d < 0 || d >= c.n {
+		panic(fmt.Sprintf("cube: dimension %d out of range [0,%d)", d, c.n))
+	}
+	return bits.FlipBit(x, d)
+}
+
+// Distance returns the Hamming distance between nodes x and y, which is the
+// length of a shortest path between them.
+func (c Cube) Distance(x, y uint64) int {
+	return bits.Hamming(x, y, max(c.n, 1))
+}
+
+// Edge identifies a directed link from node From across dimension Dim.
+type Edge struct {
+	From uint64
+	Dim  int
+}
+
+// To returns the node the edge points at.
+func (e Edge) To() uint64 { return bits.FlipBit(e.From, e.Dim) }
+
+// PathEdges expands a path (a dimension sequence starting at src) into its
+// directed edges.
+func PathEdges(src uint64, dims []int) []Edge {
+	edges := make([]Edge, len(dims))
+	x := src
+	for i, d := range dims {
+		edges[i] = Edge{From: x, Dim: d}
+		x = bits.FlipBit(x, d)
+	}
+	return edges
+}
+
+// PathEnd returns the node reached by following dims from src.
+func PathEnd(src uint64, dims []int) uint64 {
+	x := src
+	for _, d := range dims {
+		x = bits.FlipBit(x, d)
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package cube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boolcube/internal/bits"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, n := range []int{-1, MaxDims + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestTopologyCounts(t *testing.T) {
+	c := New(4)
+	if c.Nodes() != 16 || c.Links() != 32 || c.Dims() != 4 {
+		t.Errorf("4-cube: nodes=%d links=%d", c.Nodes(), c.Links())
+	}
+}
+
+func TestNeighborInvolution(t *testing.T) {
+	c := New(6)
+	f := func(xseed uint16, dseed uint8) bool {
+		x := uint64(xseed) % uint64(c.Nodes())
+		d := int(dseed) % c.Dims()
+		y := c.Neighbor(x, d)
+		return c.Neighbor(y, d) == x && c.Distance(x, y) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborBadDimPanics(t *testing.T) {
+	c := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Neighbor with bad dim did not panic")
+		}
+	}()
+	c.Neighbor(0, 3)
+}
+
+func TestPathEdgesAndEnd(t *testing.T) {
+	dims := []int{2, 0, 1}
+	edges := PathEdges(0b000, dims)
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	wantFrom := []uint64{0b000, 0b100, 0b101}
+	for i, e := range edges {
+		if e.From != wantFrom[i] || e.Dim != dims[i] {
+			t.Errorf("edge %d = %+v", i, e)
+		}
+	}
+	if end := PathEnd(0b000, dims); end != 0b111 {
+		t.Errorf("PathEnd = %03b", end)
+	}
+}
+
+func checkSpanningTree(t *testing.T, tree *Tree, name string) {
+	t.Helper()
+	c := tree.Cube
+	seen := 0
+	for x := 0; x < c.Nodes(); x++ {
+		if tree.Parent[x] < 0 {
+			if uint64(x) != tree.Root {
+				t.Fatalf("%s: non-root %d has no parent", name, x)
+			}
+			continue
+		}
+		seen++
+		p := uint64(tree.Parent[x])
+		if c.Distance(p, uint64(x)) != 1 {
+			t.Fatalf("%s: parent %b of %b not adjacent", name, p, x)
+		}
+	}
+	if seen != c.Nodes()-1 {
+		t.Fatalf("%s: %d non-root nodes, want %d", name, seen, c.Nodes()-1)
+	}
+	// Acyclicity + connectivity: every node reaches the root.
+	for x := 0; x < c.Nodes(); x++ {
+		tree.Depth(uint64(x)) // panics on cycles
+	}
+	if tree.SubtreeSize(tree.Root) != c.Nodes() {
+		t.Fatalf("%s: subtree size %d != %d", name, tree.SubtreeSize(tree.Root), c.Nodes())
+	}
+}
+
+func TestSBTStructure(t *testing.T) {
+	c := New(5)
+	for _, root := range []uint64{0, 7, 31} {
+		tree := SBT(c, root)
+		checkSpanningTree(t, tree, "SBT")
+		// Depth of x = popcount of relative address; max depth n.
+		for x := 0; x < c.Nodes(); x++ {
+			want := bits.OnesCount(uint64(x)^root, c.Dims())
+			if d := tree.Depth(uint64(x)); d != want {
+				t.Fatalf("SBT depth(%b) = %d, want %d", x, d, want)
+			}
+		}
+		// Root has n children; half of all nodes sit in the largest subtree.
+		if len(tree.Children[root]) != c.Dims() {
+			t.Fatalf("SBT root has %d children", len(tree.Children[root]))
+		}
+		maxSub := 0
+		for _, ch := range tree.Children[root] {
+			if s := tree.SubtreeSize(ch); s > maxSub {
+				maxSub = s
+			}
+		}
+		if maxSub != c.Nodes()/2 {
+			t.Fatalf("SBT max root subtree = %d, want N/2 = %d", maxSub, c.Nodes()/2)
+		}
+	}
+}
+
+func TestReflectedSBTStructure(t *testing.T) {
+	c := New(5)
+	tree := ReflectedSBT(c, 3)
+	checkSpanningTree(t, tree, "reflected SBT")
+	// Reflection = SBT on bit-reversed relative addresses.
+	plain := SBT(c, 0)
+	for x := 0; x < c.Nodes(); x++ {
+		rel := uint64(x) ^ 3
+		if rel == 0 {
+			continue
+		}
+		rev := bits.Reverse(rel, c.Dims())
+		wantParentRel := bits.Reverse(uint64(plain.Parent[rev]), c.Dims())
+		if uint64(tree.Parent[x]) != wantParentRel^3 {
+			t.Fatalf("reflected parent mismatch at %b", x)
+		}
+	}
+}
+
+func TestRotatedSBTStructure(t *testing.T) {
+	c := New(6)
+	for k := 0; k < c.Dims(); k++ {
+		tree := RotatedSBT(c, 0, k)
+		checkSpanningTree(t, tree, "rotated SBT")
+	}
+	// k=0 must equal the plain SBT.
+	a, b := SBT(c, 5), RotatedSBT(c, 5, 0)
+	for x := 0; x < c.Nodes(); x++ {
+		if a.Parent[x] != b.Parent[x] {
+			t.Fatalf("RotatedSBT(k=0) differs from SBT at %b", x)
+		}
+	}
+}
+
+// The n rotated SBTs rooted at the same node have disjoint first-hop
+// dimensions for every relative address class, which is what balances the
+// ports in the one-to-all algorithm (Section 3.1).
+func TestRotatedSBTsUseAllPorts(t *testing.T) {
+	c := New(4)
+	n := c.Dims()
+	for k := 0; k < n; k++ {
+		tree := RotatedSBT(c, 0, k)
+		if got := len(tree.Children[0]); got != n {
+			t.Fatalf("rotation %d: root has %d children, want %d", k, got, n)
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	c := New(5)
+	base := SBT(c, 0)
+	for _, s := range []uint64{1, 9, 30} {
+		tr := Translate(base, s)
+		checkSpanningTree(t, tr, "translated SBT")
+		if tr.Root != s {
+			t.Fatalf("translated root = %d, want %d", tr.Root, s)
+		}
+		// Translation preserves relative structure: parent(x)^s == parent0(x^s).
+		for x := 0; x < c.Nodes(); x++ {
+			old := uint64(x) ^ s
+			if base.Parent[old] < 0 {
+				continue
+			}
+			if uint64(tr.Parent[x]) != uint64(base.Parent[old])^s {
+				t.Fatalf("translation broken at %b", x)
+			}
+		}
+		// Translated SBT must equal SBT built directly at s.
+		direct := SBT(c, s)
+		for x := 0; x < c.Nodes(); x++ {
+			if tr.Parent[x] != direct.Parent[x] {
+				t.Fatalf("Translate != SBT(s) at %b", x)
+			}
+		}
+	}
+}
+
+func TestSBnTPath(t *testing.T) {
+	n := 6
+	// r = 000111: base is 0 (already minimal), dims 0,1,2.
+	got := SBnTPath(0b000111, n)
+	want := []int{0, 1, 2}
+	if !equalInts(got, want) {
+		t.Errorf("SBnTPath(000111) = %v, want %v", got, want)
+	}
+	// r = 110100: rotations... base rotation gives minimal value; path must
+	// visit exactly the set bits in ascending cyclic order from base.
+	r := uint64(0b110100)
+	got = SBnTPath(r, n)
+	if len(got) != bits.OnesCount(r, n) {
+		t.Fatalf("path visits %d dims, want %d", len(got), bits.OnesCount(r, n))
+	}
+	if PathEnd(0, got) != r {
+		t.Fatalf("path does not reach r")
+	}
+	if got[0] != (bits.Base(r, n)+firstSetAtOrAfter(r, bits.Base(r, n), n))%n && bits.Bit(r, got[0]) != 1 {
+		t.Fatalf("first hop %d not a set bit", got[0])
+	}
+}
+
+func firstSetAtOrAfter(r uint64, b, n int) int {
+	for i := 0; i < n; i++ {
+		if bits.Bit(r, (b+i)%n) == 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSBnTPathProperties(t *testing.T) {
+	f := func(rseed uint16, nseed uint8) bool {
+		n := int(nseed)%10 + 2
+		r := uint64(rseed) & bits.Mask(n)
+		dims := SBnTPath(r, n)
+		if r == 0 {
+			return len(dims) == 0
+		}
+		if len(dims) != bits.OnesCount(r, n) {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, d := range dims {
+			if d < 0 || d >= n || seen[d] || bits.Bit(r, d) != 1 {
+				return false
+			}
+			seen[d] = true
+		}
+		return PathEnd(0, dims) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBnTStructureAndBalance(t *testing.T) {
+	c := New(6)
+	tree := SBnT(c, 0)
+	checkSpanningTree(t, tree, "SBnT")
+	// Balance: the n root subtrees partition N-1 nodes roughly equally —
+	// each subtree within a factor of ~2/n of the total (the paper divides
+	// the node set into n approximately equal sets).
+	n := c.Dims()
+	sizes := make([]int, 0, n)
+	total := 0
+	for _, ch := range tree.Children[0] {
+		s := tree.SubtreeSize(ch)
+		sizes = append(sizes, s)
+		total += s
+	}
+	if total != c.Nodes()-1 {
+		t.Fatalf("subtrees cover %d nodes, want %d", total, c.Nodes()-1)
+	}
+	avg := float64(total) / float64(len(sizes))
+	for _, s := range sizes {
+		if float64(s) > 2.2*avg {
+			t.Errorf("SBnT unbalanced: subtree %d vs avg %.1f (sizes %v)", s, avg, sizes)
+		}
+	}
+	// SBnT paths are shortest paths: depth = Hamming distance from root.
+	for x := 0; x < c.Nodes(); x++ {
+		if tree.Depth(uint64(x)) != c.Distance(0, uint64(x)) {
+			t.Fatalf("SBnT path to %b not minimal", x)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

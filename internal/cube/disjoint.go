@@ -1,0 +1,55 @@
+package cube
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+)
+
+// This file implements the parallel-paths property of the Boolean cube the
+// paper quotes from Saad & Schultz [18]: between any pair of nodes (x, y)
+// with Hamming distance H there exist n node-disjoint paths — H of length
+// H and n-H of length H+2 — used for transposition algorithms that split
+// data over multiple routes.
+
+// DisjointPaths returns n paths from x to y as dimension sequences:
+// paths[i] for each differing dimension i starts by crossing i and visits
+// the differing dimensions in cyclic order (length H); paths for each
+// agreeing dimension j cross j first, then all differing dimensions, then j
+// again (length H+2). The paths are internally node-disjoint and pairwise
+// distinct. x must differ from y.
+func DisjointPaths(c Cube, x, y uint64) [][]int {
+	n := c.Dims()
+	diff := x ^ y
+	if diff == 0 {
+		panic(fmt.Sprintf("cube: no paths needed from %d to itself", x))
+	}
+	var diffDims, sameDims []int
+	for d := 0; d < n; d++ {
+		if bits.Bit(diff, d) == 1 {
+			diffDims = append(diffDims, d)
+		} else {
+			sameDims = append(sameDims, d)
+		}
+	}
+	H := len(diffDims)
+	paths := make([][]int, 0, n)
+	// H shortest paths: rotate the differing-dimension order.
+	for r := 0; r < H; r++ {
+		p := make([]int, 0, H)
+		for i := 0; i < H; i++ {
+			p = append(p, diffDims[(r+i)%H])
+		}
+		paths = append(paths, p)
+	}
+	// n-H detour paths: leave through an agreeing dimension, traverse the
+	// differing dimensions, and return.
+	for _, d := range sameDims {
+		p := make([]int, 0, H+2)
+		p = append(p, d)
+		p = append(p, diffDims...)
+		p = append(p, d)
+		paths = append(paths, p)
+	}
+	return paths
+}

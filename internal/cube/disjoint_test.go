@@ -1,0 +1,69 @@
+package cube
+
+import (
+	"testing"
+
+	"boolcube/internal/bits"
+)
+
+// Saad & Schultz [18], as quoted in Section 2: between any pair (x, y)
+// there are n paths, Hamming(x,y) of length Hamming(x,y) and n-H of length
+// H+2, and they are internally node-disjoint.
+func TestDisjointPathsProperties(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		c := New(n)
+		N := uint64(c.Nodes())
+		for x := uint64(0); x < N; x++ {
+			for y := uint64(0); y < N; y++ {
+				if x == y {
+					continue
+				}
+				H := c.Distance(x, y)
+				paths := DisjointPaths(c, x, y)
+				if len(paths) != n {
+					t.Fatalf("n=%d (%b,%b): %d paths, want %d", n, x, y, len(paths), n)
+				}
+				short, detour := 0, 0
+				seen := make(map[uint64]int)
+				for pi, p := range paths {
+					if end := PathEnd(x, p); end != y {
+						t.Fatalf("n=%d (%b,%b): path %v ends at %b", n, x, y, p, end)
+					}
+					switch len(p) {
+					case H:
+						short++
+					case H + 2:
+						detour++
+					default:
+						t.Fatalf("n=%d (%b,%b): path length %d, want %d or %d", n, x, y, len(p), H, H+2)
+					}
+					// Internal nodes must be unique across all paths.
+					cur := x
+					for i, d := range p {
+						cur = bits.FlipBit(cur, d)
+						if i == len(p)-1 {
+							break // endpoint y shared by all
+						}
+						if prev, dup := seen[cur]; dup {
+							t.Fatalf("n=%d (%b,%b): paths %d and %d share node %b", n, x, y, prev, pi, cur)
+						}
+						seen[cur] = pi
+					}
+				}
+				if short != H || detour != n-H {
+					t.Fatalf("n=%d (%b,%b): %d short + %d detours, want %d + %d",
+						n, x, y, short, detour, H, n-H)
+				}
+			}
+		}
+	}
+}
+
+func TestDisjointPathsPanicsOnSelf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DisjointPaths(x, x) did not panic")
+		}
+	}()
+	DisjointPaths(New(3), 5, 5)
+}

@@ -1,0 +1,137 @@
+package cube
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+)
+
+// This file implements the path systems of Section 6.1: the Single Path
+// Transpose (SPT), Dual Paths Transpose (DPT), and Multiple Paths Transpose
+// (MPT) routes between node x = (x_r || x_c) and its transpose partner
+// tr(x) = (x_c || x_r), together with the ~ad (same anti-diagonal) and ~s
+// equivalence relations used in Lemmas 10-14.
+
+// Tr returns the transpose partner tr(x) = (x_c || x_r) of node x in an
+// n-cube with n even.
+func Tr(x uint64, n int) uint64 {
+	return bits.SwapHalves(x, n)
+}
+
+// HalfHamming returns H(x) = Hamming(x_r, x_c), so that the distance from x
+// to tr(x) is 2H(x) (Section 6.1).
+func HalfHamming(x uint64, n int) int {
+	h := n / 2
+	xr, xc := bits.Split(x, h, h)
+	return bits.Hamming(xr, xc, h)
+}
+
+// routeDims returns the 2H(x) dimensions that must be routed, as the
+// paper's α (row dims, descending) and β (column dims, descending) with
+// α[H-1] the highest: alpha[j] = h + i_j and beta[j] = i_j where
+// i_{H-1} > ... > i_0 are the bit positions at which x_r and x_c differ.
+func routeDims(x uint64, n int) (alpha, beta []int) {
+	h := n / 2
+	xr, xc := bits.Split(x, h, h)
+	diff := xr ^ xc
+	for i := 0; i < h; i++ {
+		if bits.Bit(diff, i) == 1 {
+			alpha = append(alpha, h+i)
+			beta = append(beta, i)
+		}
+	}
+	return alpha, beta
+}
+
+// SPTPath returns the Single Path Transpose route from x to tr(x): the
+// differing dimensions visited from highest to lowest order, row dimension
+// before the paired column dimension. The length is 2H(x); it is empty for
+// diagonal nodes (x_r == x_c).
+func SPTPath(x uint64, n int) []int {
+	checkEven(n)
+	alpha, beta := routeDims(x, n)
+	H := len(alpha)
+	dims := make([]int, 0, 2*H)
+	for j := H - 1; j >= 0; j-- {
+		dims = append(dims, alpha[j], beta[j])
+	}
+	return dims
+}
+
+// DPTPaths returns the two directed edge-disjoint routes of the Dual Paths
+// Transpose: the SPT path and its row/column-swapped counterpart (paths 0
+// and H(x) of the MPT system).
+func DPTPaths(x uint64, n int) [][]int {
+	checkEven(n)
+	all := MPTPaths(x, n)
+	if len(all) == 0 {
+		return nil
+	}
+	H := len(all) / 2
+	return [][]int{all[0], all[H]}
+}
+
+// MPTPaths returns the 2H(x) pairwise edge-disjoint routes of the Multiple
+// Paths Transpose, labeled 0..2H(x)-1 exactly as in Section 6.1.3. Path 0
+// equals the SPT path; paths 0 and H(x) are the DPT pair. Diagonal nodes
+// get no paths.
+func MPTPaths(x uint64, n int) [][]int {
+	checkEven(n)
+	alpha, beta := routeDims(x, n)
+	H := len(alpha)
+	if H == 0 {
+		return nil
+	}
+	paths := make([][]int, 2*H)
+	for p := 0; p < H; p++ {
+		dims := make([]int, 0, 2*H)
+		for t := H - 1; t >= 0; t-- {
+			j := (p + t) % H
+			dims = append(dims, alpha[j], beta[j])
+		}
+		paths[p] = dims
+	}
+	for p := H; p < 2*H; p++ {
+		j0 := p - H
+		dims := make([]int, 0, 2*H)
+		for t := H - 1; t >= 0; t-- {
+			j := (j0 + t) % H
+			dims = append(dims, beta[j], alpha[j])
+		}
+		paths[p] = dims
+	}
+	return paths
+}
+
+// SameAntiDiagonal reports x' ~ad x” (Definition 12): the integer sums of
+// the row and column halves agree.
+func SameAntiDiagonal(x1, x2 uint64, n int) bool {
+	h := n / 2
+	r1, c1 := bits.Split(x1, h, h)
+	r2, c2 := bits.Split(x2, h, h)
+	return r1+c1 == r2+c2
+}
+
+// SameS reports x' ~s x” (Definition 15): same anti-diagonal and the same
+// XOR with the transpose partner.
+func SameS(x1, x2 uint64, n int) bool {
+	return SameAntiDiagonal(x1, x2, n) &&
+		x1^Tr(x1, n) == x2^Tr(x2, n)
+}
+
+// SClass returns all nodes equivalent to x under ~s, including x itself.
+func SClass(x uint64, n int) []uint64 {
+	var out []uint64
+	for y := uint64(0); y < 1<<uint(n); y++ {
+		if SameS(x, y, n) {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+func checkEven(n int) {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("cube: transpose path systems need even n, got %d", n))
+	}
+}

@@ -1,0 +1,270 @@
+package cube
+
+import (
+	"testing"
+
+	"boolcube/internal/bits"
+)
+
+// Paper example from Section 6.1.3: x = (1001||0100) on an 8-cube.
+func TestMPTPathsPaperExample(t *testing.T) {
+	n := 8
+	x := uint64(0b10010100)
+	if H := HalfHamming(x, n); H != 3 {
+		t.Fatalf("H(x) = %d, want 3", H)
+	}
+	if tr := Tr(x, n); tr != 0b01001001 {
+		t.Fatalf("tr(x) = %08b", tr)
+	}
+	want := [][]int{
+		{7, 3, 6, 2, 4, 0},
+		{4, 0, 7, 3, 6, 2},
+		{6, 2, 4, 0, 7, 3},
+		{3, 7, 2, 6, 0, 4},
+		{0, 4, 3, 7, 2, 6},
+		{2, 6, 0, 4, 3, 7},
+	}
+	got := MPTPaths(x, n)
+	if len(got) != len(want) {
+		t.Fatalf("got %d paths, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if !equalInts(got[p], want[p]) {
+			t.Errorf("path %d = %v, want %v", p, got[p], want[p])
+		}
+	}
+	// Path 0 traverses the node sequence given in the paper.
+	wantNodes := []uint64{0b00010100, 0b00011100, 0b01011100, 0b01011000, 0b01001000, 0b01001001}
+	cur := x
+	for i, d := range got[0] {
+		cur = bits.FlipBit(cur, d)
+		if cur != wantNodes[i] {
+			t.Fatalf("path 0 node %d = %08b, want %08b", i, cur, wantNodes[i])
+		}
+	}
+}
+
+func TestSPTPathIsMPTPath0(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			spt := SPTPath(x, n)
+			mpt := MPTPaths(x, n)
+			if HalfHamming(x, n) == 0 {
+				if len(spt) != 0 || mpt != nil {
+					t.Fatalf("diagonal node %b has nonempty paths", x)
+				}
+				continue
+			}
+			if !equalInts(spt, mpt[0]) {
+				t.Fatalf("n=%d x=%b: SPT %v != MPT path0 %v", n, x, spt, mpt[0])
+			}
+		}
+	}
+}
+
+func TestAllPathsReachTranspose(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			want := Tr(x, n)
+			for p, dims := range MPTPaths(x, n) {
+				if len(dims) != 2*HalfHamming(x, n) {
+					t.Fatalf("n=%d x=%b path %d has length %d", n, x, p, len(dims))
+				}
+				if end := PathEnd(x, dims); end != want {
+					t.Fatalf("n=%d x=%b path %d ends at %b, want %b", n, x, p, end, want)
+				}
+			}
+			for p, dims := range DPTPaths(x, n) {
+				if end := PathEnd(x, dims); end != want {
+					t.Fatalf("n=%d x=%b DPT path %d ends at %b", n, x, p, end)
+				}
+			}
+		}
+	}
+}
+
+func edgeSet(src uint64, dims []int) map[Edge]bool {
+	s := make(map[Edge]bool)
+	for _, e := range PathEdges(src, dims) {
+		s[e] = true
+	}
+	return s
+}
+
+// Lemma 9: the 2H(x) paths of a node are pairwise edge-disjoint.
+func TestLemma9PathsOfNodeEdgeDisjoint(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			paths := MPTPaths(x, n)
+			used := make(map[Edge]int)
+			for p, dims := range paths {
+				for e := range edgeSet(x, dims) {
+					if prev, ok := used[e]; ok {
+						t.Fatalf("n=%d x=%b: paths %d and %d share edge %+v", n, x, prev, p, e)
+					}
+					used[e] = p
+				}
+			}
+		}
+	}
+}
+
+// Lemma 13: if x' !~s x” then Paths(x') and Paths(x”) are edge-disjoint.
+func TestLemma13CrossClassDisjoint(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		N := uint64(1) << uint(n)
+		// Collect all edges per node.
+		all := make([]map[Edge]bool, N)
+		for x := uint64(0); x < N; x++ {
+			s := make(map[Edge]bool)
+			for _, dims := range MPTPaths(x, n) {
+				for e := range edgeSet(x, dims) {
+					s[e] = true
+				}
+			}
+			all[x] = s
+		}
+		for x1 := uint64(0); x1 < N; x1++ {
+			for x2 := x1 + 1; x2 < N; x2++ {
+				if SameS(x1, x2, n) {
+					continue
+				}
+				for e := range all[x1] {
+					if all[x2][e] {
+						t.Fatalf("n=%d: nodes %b !~s %b share edge %+v", n, x1, x2, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 10 consequences / Corollary 8: even-step nodes along any path stay
+// in the same ~s class as the source; odd-step nodes leave the
+// anti-diagonal and have H one less.
+func TestLemma10NodeClasses(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			H := HalfHamming(x, n)
+			for _, dims := range MPTPaths(x, n) {
+				cur := x
+				for step := 1; step <= len(dims); step++ {
+					cur = bits.FlipBit(cur, dims[step-1])
+					if step%2 == 1 {
+						if SameAntiDiagonal(x, cur, n) {
+							t.Fatalf("odd node %b on anti-diagonal of %b", cur, x)
+						}
+						if HalfHamming(cur, n) != H-1 {
+							t.Fatalf("odd node %b has H=%d, want %d", cur, HalfHamming(cur, n), H-1)
+						}
+					} else {
+						if !SameS(x, cur, n) {
+							t.Fatalf("even node %b not ~s source %b", cur, x)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 14: within a ~s class, the paths are (2, 2H)-disjoint: cycle
+// scheduling (edge k of every path is used during cycle k) never puts two
+// packets on one edge in the same cycle, and odd-cycle edges never collide
+// with even-cycle edges.
+func TestLemma14TwoTwoHDisjoint(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		N := uint64(1) << uint(n)
+		seenClass := make(map[uint64]bool)
+		for x := uint64(0); x < N; x++ {
+			if HalfHamming(x, n) == 0 || seenClass[x] {
+				continue
+			}
+			class := SClass(x, n)
+			for _, y := range class {
+				seenClass[y] = true
+			}
+			H := HalfHamming(x, n)
+			// usedAt[cycle] = set of edges used during that cycle across
+			// the whole class.
+			usedAt := make([]map[Edge]bool, 2*H)
+			for i := range usedAt {
+				usedAt[i] = make(map[Edge]bool)
+			}
+			oddEdges := make(map[Edge]bool)
+			evenEdges := make(map[Edge]bool)
+			for _, y := range class {
+				for _, dims := range MPTPaths(y, n) {
+					for k, e := range PathEdges(y, dims) {
+						if usedAt[k][e] {
+							t.Fatalf("n=%d class of %b: edge %+v reused in cycle %d", n, x, e, k)
+						}
+						usedAt[k][e] = true
+						if k%2 == 0 { // paper counts cycles from 1; k=0 is cycle 1 (odd)
+							oddEdges[e] = true
+						} else {
+							evenEdges[e] = true
+						}
+					}
+				}
+			}
+			for e := range oddEdges {
+				if evenEdges[e] {
+					t.Fatalf("n=%d class of %b: edge %+v used in both odd and even cycles", n, x, e)
+				}
+			}
+		}
+	}
+}
+
+// The ~s classes of H(x)=h form logical h-cubes: class size 2^h.
+func TestSClassSize(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			h := HalfHamming(x, n)
+			if got := len(SClass(x, n)); got != 1<<uint(h) {
+				t.Fatalf("n=%d x=%b: class size %d, want %d", n, x, got, 1<<uint(h))
+			}
+		}
+	}
+}
+
+// Definition 15's examples: (001||111) and (010||110) are ~ad but not ~s;
+// (001||111) and (011||101) are ~s.
+func TestSameSExamples(t *testing.T) {
+	n := 6
+	a := uint64(0b001111)
+	b := uint64(0b010110)
+	if !SameAntiDiagonal(a, b, n) {
+		t.Error("a and b should share an anti-diagonal")
+	}
+	if SameS(a, b, n) {
+		t.Error("a ~s b should be false")
+	}
+	c := uint64(0b011101)
+	if !SameS(a, c, n) {
+		t.Errorf("(001||111) ~s (011||101) should hold: a^tr=%b c^tr=%b",
+			a^Tr(a, n), c^Tr(c, n))
+	}
+}
+
+func TestTrInvolution(t *testing.T) {
+	n := 8
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		if Tr(Tr(x, n), n) != x {
+			t.Fatalf("Tr not involutive at %b", x)
+		}
+		if got, want := HalfHamming(x, n)*2, New(n).Distance(x, Tr(x, n)); got != want {
+			t.Fatalf("distance x->tr(x) = %d, want %d", want, got)
+		}
+	}
+}
+
+func TestOddNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SPTPath with odd n did not panic")
+		}
+	}()
+	SPTPath(1, 5)
+}

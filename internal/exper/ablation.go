@@ -1,0 +1,95 @@
+package exper
+
+import (
+	"boolcube/internal/comm"
+	"boolcube/internal/core"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+)
+
+func init() {
+	register("ablation-paths", ablationPaths)
+	register("ablation-strategy", ablationStrategy)
+}
+
+// ablationPaths compares the paper's path systems against the naive
+// alternative of splitting each pair's payload over the n node-disjoint
+// paths of Saad & Schultz: per-pair disjointness is not enough — different
+// pairs collide — which is exactly why the MPT's globally edge-disjoint
+// schedule exists.
+func ablationPaths() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-paths",
+		Title: "path-system ablation: SPT / DPT / MPT / naive n node-disjoint paths (n-port iPSC costs)",
+		Columns: []string{"cube dims n", "matrix KB", "SPT (ms)", "DPT (ms)", "MPT (ms)",
+			"naive n-paths (ms)", "MPT max link bytes", "naive max link bytes"},
+		Notes: []string{
+			"the naive splitting uses per-pair disjoint paths; collisions across pairs",
+			"raise its max link load above the MPT's class-disjoint schedule",
+		},
+	}
+	mach := machine.IPSCNPort()
+	algos := []func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error){
+		core.TransposeSPT, core.TransposeDPT, core.TransposeMPT, core.TransposeParallelPaths,
+	}
+	for _, n := range []int{4, 6} {
+		for _, logBytes := range []int{14, 18} {
+			logElems := logBytes - 2
+			if _, _, _, _, ok := twoDimLayouts(logElems, n); !ok {
+				continue
+			}
+			times := make([]float64, len(algos))
+			loads := make([]int64, len(algos))
+			for i, f := range algos {
+				st, err := runTranspose(f, logElems, n, core.Options{Machine: mach})
+				if err != nil {
+					return nil, err
+				}
+				times[i] = st.Time
+				loads[i] = st.MaxLinkBytes
+			}
+			t.AddRow(n, 1<<uint(logBytes-10), times[0]/1000, times[1]/1000,
+				times[2]/1000, times[3]/1000, loads[2], loads[3])
+		}
+	}
+	return t, nil
+}
+
+// ablationStrategy compares the four exchange packaging strategies of
+// Section 8.1 on the same one-dimensional transpose.
+func ablationStrategy() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-strategy",
+		Title: "exchange strategy ablation: single-message / shuffled / unbuffered / buffered (iPSC)",
+		Columns: []string{"cube dims n", "matrix KB", "single-msg (ms)", "shuffled (ms)",
+			"unbuffered (ms)", "buffered (ms)"},
+		Notes: []string{
+			"single-message assumes free local gather (lower bound); shuffled pays the",
+			"full local data movement the paper rejects for the iPSC; buffered is optimal",
+		},
+	}
+	mach := machine.IPSC()
+	for _, n := range []int{4, 6} {
+		for _, logBytes := range []int{14, 18} {
+			logElems := logBytes - 2
+			p, q := shapeFor(logElems)
+			if n > p || n > q {
+				continue
+			}
+			row := []interface{}{n, 1 << uint(logBytes-10)}
+			for _, strat := range []int{0, 1, 2, 3} {
+				tm, err := oneDimTranspose(p, q, n, commStrategy(strat), mach)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, tm/1000)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// commStrategy maps an ordinal to the comm.Strategy constants.
+func commStrategy(i int) comm.Strategy { return comm.Strategy(i) }

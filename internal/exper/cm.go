@@ -1,0 +1,191 @@
+package exper
+
+import (
+	"fmt"
+
+	"boolcube/internal/comm"
+
+	"boolcube/internal/core"
+	"boolcube/internal/cost"
+	"boolcube/internal/machine"
+)
+
+func init() {
+	register("fig16", fig16)
+	register("fig17", fig17)
+	register("fig18", fig18)
+	register("fig19", fig19)
+	register("sec9", sec9)
+}
+
+// cmTranspose runs the routing-logic transpose of a square matrix with
+// multiple elements per processor on the Connection Machine model.
+func cmTranspose(logElems, n int) (float64, error) {
+	st, err := runTranspose(core.TransposeRoutingLogic, logElems, n,
+		core.Options{Machine: machine.ConnectionMachine()})
+	if err != nil {
+		return 0, err
+	}
+	return st.Time, nil
+}
+
+// fig16 reproduces Figure 16: transpose on the Connection Machine with one
+// 32-bit element per processor, via the routing logic, vs machine size.
+func fig16() (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Connection Machine transpose, one element per processor (routing logic)",
+		Columns: []string{"cube dims n", "processors", "sim time (µs)"},
+		Notes: []string{
+			"bit-serial pipelined router model; machine sizes scaled down from the CM's 2^16",
+		},
+	}
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		tm, err := cmTranspose(n, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, 1<<uint(n), tm)
+	}
+	return t, nil
+}
+
+// fig17 reproduces Figure 17: Connection Machine transpose with multiple
+// elements per processor.
+func fig17() (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Connection Machine transpose, multiple elements per processor",
+		Columns: []string{"elements/processor", "n=6 (µs)", "n=8 (µs)", "n=10 (µs)"},
+	}
+	for _, logPer := range []int{0, 1, 2, 3, 4, 5, 6} {
+		row := []interface{}{1 << uint(logPer)}
+		for _, n := range []int{6, 8, 10} {
+			tm, err := cmTranspose(n+logPer, n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tm)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// fig18 reproduces Figure 18: transpose time of two fixed-size matrices as
+// a function of the machine size.
+func fig18() (*Table, error) {
+	t := &Table{
+		ID:      "fig18",
+		Title:   "Connection Machine transpose of fixed matrices vs machine size",
+		Columns: []string{"cube dims n", "processors", "64x64 matrix (µs)", "128x128 matrix (µs)"},
+	}
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		row := []interface{}{n, 1 << uint(n)}
+		for _, logElems := range []int{12, 14} { // 64x64 = 2^12, 128x128 = 2^14
+			if _, _, _, _, ok := twoDimLayouts(logElems, n); !ok || n > logElems {
+				row = append(row, "-")
+				continue
+			}
+			tm, err := cmTranspose(logElems, n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tm)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// fig19 reproduces Figure 19: one-dimensional vs two-dimensional
+// partitioning for the transpose on the iPSC.
+func fig19() (*Table, error) {
+	t := &Table{
+		ID:      "fig19",
+		Title:   "1-D vs 2-D partitioned transpose on the iPSC",
+		Columns: []string{"cube dims n", "matrix KB", "1-D buffered (ms)", "2-D SPT (ms)", "2-D/1-D"},
+		Notes: []string{
+			"one-port: 1-D moves half the data of 2-D per the paper's Section 9 comparison",
+			"2-D includes the pack/unpack copy term; copy favors 2-D on large cubes",
+		},
+	}
+	mach := machine.IPSC()
+	for _, n := range []int{2, 4, 6} {
+		for _, logBytes := range []int{12, 14, 16, 18, 20} {
+			logElems := logBytes - 2
+			p, q := shapeFor(logElems)
+			if n > p || n > q || n%2 != 0 {
+				continue
+			}
+			oneD, err := oneDimTranspose(p, q, n, comm.Buffered, mach)
+			if err != nil {
+				return nil, err
+			}
+			st, err := runTranspose(core.TransposeSPT, logElems, n,
+				core.Options{Machine: mach, LocalCopies: true})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, 1<<uint(logBytes-10), oneD/1000, st.Time/1000,
+				fmt.Sprintf("%.2f", st.Time/oneD))
+		}
+	}
+	return t, nil
+}
+
+// sec9 reproduces the Section 9 comparison for n-port communication: the
+// one-dimensional SBnT transpose vs the two-dimensional MPT, including the
+// predicted break-even region N ≈ c·r/log²r.
+func sec9() (*Table, error) {
+	t := &Table{
+		ID:      "sec9",
+		Title:   "n-port 1-D (SBnT) vs 2-D (MPT): models, simulation, break-even",
+		Columns: []string{"cube dims n", "matrix KB", "1-D model (ms)", "2-D model (ms)", "1-D sim (ms)", "2-D sim (ms)", "winner(model)"},
+		Notes: []string{
+			"Section 9: 1-D wins for n >= sqrt(M t_c/(N τ)) or n <= sqrt(M t_c/(2N τ)); 2-D can win between",
+		},
+	}
+	mach := machine.IPSCNPort()
+	for _, n := range []int{4, 6, 8} {
+		for _, logBytes := range []int{12, 16, 20} {
+			logElems := logBytes - 2
+			if _, _, _, _, ok := twoDimLayouts(logElems, n); !ok {
+				continue
+			}
+			M := float64(int64(1) << uint(logBytes))
+			m1 := cost.OneDimNPortMin(M, n, mach)
+			m2, _ := cost.MPT(M, n, mach)
+			s1, err := runTranspose(core.TransposeSBnT, logElems, n,
+				core.Options{Machine: mach, Packets: 1})
+			if err != nil {
+				return nil, err
+			}
+			s2, err := runTranspose(core.TransposeMPT, logElems, n,
+				core.Options{Machine: mach, Packets: 2})
+			if err != nil {
+				return nil, err
+			}
+			winner := "1-D"
+			if m2 < m1 {
+				winner = "2-D"
+			}
+			t.AddRow(n, 1<<uint(logBytes-10), m1/1000, m2/1000,
+				s1.Time/1000, s2.Time/1000, winner)
+		}
+	}
+	// The 2-D-wins window sqrt(M t_c/(2Nτ)) < n < sqrt(M t_c/(Nτ)) needs
+	// matrices too large to simulate quickly; show it from the models.
+	for _, logBytes := range []int{23, 24, 25} {
+		n := 6
+		M := float64(int64(1) << uint(logBytes))
+		m1 := cost.OneDimNPortMin(M, n, mach)
+		m2, _ := cost.MPT(M, n, mach)
+		winner := "1-D"
+		if m2 < m1 {
+			winner = "2-D"
+		}
+		t.AddRow(n, 1<<uint(logBytes-10), m1/1000, m2/1000, "-", "-", winner)
+	}
+	return t, nil
+}

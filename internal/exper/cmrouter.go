@@ -1,0 +1,61 @@
+package exper
+
+import (
+	"boolcube/internal/bits"
+	"boolcube/internal/core"
+	"boolcube/internal/machine"
+	"boolcube/internal/router"
+)
+
+func init() {
+	register("cmrouter", cmRouter)
+}
+
+// cmRouter compares two models of the Connection Machine's communication
+// system on the transpose permutation: per-hop store-and-forward of
+// pipelined messages (the model behind fig16-18) versus circuit-switched
+// cut-through, where a message reserves its whole path and distance costs
+// only header latency. The CM's bit-serial pipelined router is closer to
+// cut-through; both models produce the published shapes, and their gap
+// quantifies the store-and-forward approximation error.
+func cmRouter() (*Table, error) {
+	t := &Table{
+		ID:      "cmrouter",
+		Title:   "Connection Machine router models: store-and-forward vs cut-through (transpose permutation)",
+		Columns: []string{"cube dims n", "elems/proc", "store-and-forward (µs)", "cut-through (µs)", "S&F/CT"},
+		Notes: []string{
+			"cut-through pays distance only in header latency but reserves whole paths;",
+			"store-and-forward pays a full message per hop but shares path segments,",
+			"so cut-through wins on small cubes and loses ground as contention grows",
+		},
+	}
+	p := machine.ConnectionMachine()
+	for _, n := range []int{6, 8, 10} {
+		for _, elems := range []int{1, 16, 64} {
+			// Store-and-forward: simulated routing-logic transpose.
+			logElems := n + log2int(elems)
+			st, err := runTranspose(core.TransposeRoutingLogic, logElems, n,
+				core.Options{Machine: p})
+			if err != nil {
+				return nil, err
+			}
+			// Cut-through: scheduled circuit switching on the same routes.
+			perm := func(x uint64) uint64 { return bits.RotL(x, n/2, n) }
+			ct, err := router.EcubeCutThroughAllPairs(n, p, perm, elems)
+			if err != nil {
+				return nil, err
+			}
+			ratio := st.Time / ct.Time
+			t.AddRow(n, elems, st.Time, ct.Time, formatFloat(ratio))
+		}
+	}
+	return t, nil
+}
+
+func log2int(v int) int {
+	k := 0
+	for 1<<uint(k) < v {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,316 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b",
+		"fig15", "fig16", "fig17", "fig18", "fig19",
+		"theorem2", "theorem3", "sptdpt", "sec9", "sec81router", "sec7perm",
+		"ablation-paths", "ablation-strategy", "cmrouter", "sec31scatter", "sec7dims", "apps",
+	}
+	have := make(map[string]bool)
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Every experiment generates a non-trivial, well-formed table. This is the
+// repository's end-to-end test: every artifact of the paper's evaluation is
+// regenerated from scratch.
+func TestAllExperimentsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) < 3 {
+				t.Fatalf("only %d rows", len(tab.Rows))
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(r), len(tab.Columns))
+				}
+			}
+			out := tab.String()
+			if !strings.Contains(out, tab.Title) {
+				t.Error("rendered table missing title")
+			}
+		})
+	}
+}
+
+// Shape assertions on key artifacts: the qualitative claims of the paper
+// must hold in the regenerated data.
+func TestFig10UnbufferedWorseOnBigCubes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the largest cube in the table, unbuffered must exceed buffered.
+	var worst float64
+	found := false
+	for _, r := range tab.Rows {
+		n, _ := strconv.Atoi(r[0])
+		if n < 6 {
+			continue
+		}
+		un, err1 := strconv.ParseFloat(r[2], 64)
+		bu, err2 := strconv.ParseFloat(r[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if un/bu > worst {
+			worst = un / bu
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no big-cube rows in fig10")
+	}
+	if worst <= 1.2 {
+		t.Errorf("unbuffered/buffered max ratio %.2f; expected a clear gap on big cubes", worst)
+	}
+}
+
+func TestFig15CombinedAlwaysWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		sp, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", r[4])
+		}
+		if sp < 1.0 {
+			t.Errorf("n=%s KB=%s: combined slower than naive (speedup %.2f)", r[0], r[1], sp)
+		}
+	}
+}
+
+func TestFig16MonotoneInMachineSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("fig16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range tab.Rows {
+		v, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", r[2])
+		}
+		if v < prev {
+			t.Errorf("CM one-elem transpose time not monotone in machine size: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTheorem3RatiosAboveOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("theorem3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		ratio, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", r[4])
+		}
+		if ratio < 1.0 {
+			t.Errorf("%s: simulated time below the Theorem 3 lower bound (ratio %.2f)", r[0], ratio)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad numeric cell %q", s)
+	}
+	return v
+}
+
+// The §8.1 router comparison: the router must never beat optimum buffering,
+// and must be at least 5x worse somewhere in the sweep.
+func TestSec81RouterInferior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("sec81router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, r := range tab.Rows {
+		ratio := parseF(t, r[4])
+		if ratio < 0.99 {
+			t.Errorf("n=%s KB=%s: router beat buffering (ratio %.2f)", r[0], r[1], ratio)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst < 5 {
+		t.Errorf("router worst-case ratio %.1f below the paper's factor of 5", worst)
+	}
+}
+
+// The §7 generic permutation must cost more than the best dedicated
+// transpose in every row.
+func TestSec7PermCostlier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("sec7perm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if ratio := parseF(t, r[5]); ratio < 1.0 {
+			t.Errorf("row %v: generic 2x all-to-all beat the best dedicated transpose", r)
+		}
+	}
+}
+
+// The path ablation: MPT's max link load must be strictly below the naive
+// node-disjoint splitting's in every row.
+func TestAblationPathsLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("ablation-paths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		mpt := parseF(t, r[6])
+		naive := parseF(t, r[7])
+		if mpt >= naive {
+			t.Errorf("row %v: MPT link load %v not below naive %v", r[:2], mpt, naive)
+		}
+	}
+}
+
+// The strategy ablation: single-message lower-bounds buffered, which
+// lower-bounds unbuffered, in every row.
+func TestAblationStrategyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("ablation-strategy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		single := parseF(t, r[2])
+		unbuf := parseF(t, r[4])
+		buf := parseF(t, r[5])
+		if !(single <= buf*1.001 && buf <= unbuf*1.001) {
+			t.Errorf("row %v: ordering single(%v) <= buffered(%v) <= unbuffered(%v) violated",
+				r[:2], single, buf, unbuf)
+		}
+	}
+}
+
+// §3.1 scatter: the multi-tree schemes must beat the single SBT in every
+// transfer-dominated row.
+func TestSec31ScatterOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("sec31scatter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		kb := parseF(t, r[1])
+		if kb < 64 {
+			continue // start-up bound rows can tie
+		}
+		sbt := parseF(t, r[2])
+		rot := parseF(t, r[3])
+		sbnt := parseF(t, r[4])
+		if rot >= sbt || sbnt >= sbt {
+			t.Errorf("row %v: multi-tree (rot %v, sbnt %v) not below SBT %v", r[:2], rot, sbnt, sbt)
+		}
+	}
+}
+
+// The apps experiment: all candidate times positive, and the MPT 2-D
+// transpose bound always below the one-port exchange full step (the n-port
+// SBnT can legitimately win or lose against it depending on the
+// start-up/transfer balance).
+func TestAppsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		ex := parseF(t, r[2])
+		sb := parseF(t, r[3])
+		mpt := parseF(t, r[4])
+		if ex <= 0 || sb <= 0 || mpt <= 0 {
+			t.Errorf("row %v: non-positive time", r)
+		}
+		if mpt >= ex {
+			t.Errorf("row %v: MPT transpose-only cost %v not below the one-port exchange %v", r[:2], mpt, ex)
+		}
+	}
+}
+
+// cmrouter: both router models must stay within a small factor of each
+// other on the transpose permutation (the CM approximation error bound).
+func TestCMRouterModelsClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := Run("cmrouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		ratio := parseF(t, r[4])
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("row %v: store-and-forward/cut-through ratio %.2f out of [0.5, 2.0]", r[:2], ratio)
+		}
+	}
+}

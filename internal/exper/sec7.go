@@ -1,0 +1,78 @@
+package exper
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/comm"
+	"boolcube/internal/core"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/simnet"
+)
+
+func init() {
+	register("sec7perm", sec7Perm)
+}
+
+// sec7Perm reproduces the Section 7 observation: the transpose (a
+// permutation) can be realized by performing all-to-all personalized
+// communication twice, but the cost is higher than the best dedicated
+// transpose algorithm for both one-port and n-port communication.
+func sec7Perm() (*Table, error) {
+	t := &Table{
+		ID:    "sec7perm",
+		Title: "transpose as a generic permutation (2x all-to-all) vs dedicated transpose algorithms",
+		Columns: []string{"cube dims n", "matrix KB", "2x all-to-all (ms)",
+			"exchange transpose (ms)", "MPT n-port (ms)", "2xA2A/best"},
+		Notes: []string{
+			"Section 7: the generic 2x all-to-all always costs more than the best",
+			"dedicated transpose; on one-port it can still beat the exchange-based",
+			"transpose at large sizes because it balances transit load perfectly",
+		},
+	}
+	for _, n := range []int{4, 6} {
+		for _, logBytes := range []int{12, 16} {
+			logElems := logBytes - 2
+			before, after, p, q, ok := twoDimLayouts(logElems, n)
+			if !ok {
+				continue
+			}
+			m := matrix.NewIota(p, q)
+
+			// Dedicated transposes.
+			d1 := matrix.Scatter(m, before)
+			ex, err := core.TransposeExchange(d1, after, core.Options{Machine: machine.IPSC()})
+			if err != nil {
+				return nil, err
+			}
+			st2, err := runTranspose(core.TransposeMPT, logElems, n,
+				core.Options{Machine: machine.IPSCNPort()})
+			if err != nil {
+				return nil, err
+			}
+
+			// Generic two-phase permutation of whole node payloads. The
+			// transpose permutation on the node level is tr(x) = sh^(n/2).
+			e, err := simnet.New(n, machine.IPSC())
+			if err != nil {
+				return nil, err
+			}
+			d := matrix.Scatter(m, before)
+			perm := func(x uint64) uint64 { return bits.RotL(x, n/2, n) }
+			_, err = core.PermuteTwoPhase(e, perm, comm.SingleMessage, d.Local)
+			if err != nil {
+				return nil, err
+			}
+			twoPhase := e.Stats().Time
+
+			best := ex.Stats.Time
+			if st2.Time < best {
+				best = st2.Time
+			}
+			t.AddRow(n, 1<<uint(logBytes-10), twoPhase/1000, ex.Stats.Time/1000, st2.Time/1000,
+				fmt.Sprintf("%.2f", twoPhase/best))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package exper
+
+import (
+	"boolcube/internal/comm"
+	"boolcube/internal/core"
+	"boolcube/internal/machine"
+	"boolcube/internal/router"
+	"boolcube/internal/simnet"
+)
+
+func init() {
+	register("sec7dims", sec7Dims)
+}
+
+// sec7Dims compares three realizations of a dimension permutation
+// (Section 7, Lemma 15) on the worst-case full rotation sh^(n/2), which
+// maximizes the Hamming displacement (Corollary 2): ceil(log2 n) parallel
+// swappings, the generic two-phase all-to-all, and direct e-cube routing of
+// whole payloads.
+func sec7Dims() (*Table, error) {
+	t := &Table{
+		ID:    "sec7dims",
+		Title: "dimension permutation sh^(n/2): parallel swappings vs 2x all-to-all vs direct routing (iPSC)",
+		Columns: []string{"cube dims n", "KB/node", "swappings (ms)", "2x all-to-all (ms)",
+			"direct e-cube (ms)", "direct max-link/swap max-link"},
+		Notes: []string{
+			"parallel swappings need ceil(log2 n) exchange rounds of the full payload;",
+			"direct routing is fastest when uncongested but concentrates link load",
+		},
+	}
+	for _, n := range []int{4, 6, 8} {
+		for _, kb := range []int{1, 16} {
+			elems := kb * 1024 / 4
+			N := 1 << uint(n)
+			pi := make([]int, n)
+			for p := range pi {
+				pi[p] = (p + n/2) % n
+			}
+			perm := func(x uint64) uint64 {
+				var y uint64
+				for p, tgt := range pi {
+					y |= (x >> uint(p) & 1) << uint(tgt)
+				}
+				return y
+			}
+			payloads := func() [][]float64 {
+				data := make([][]float64, N)
+				for i := range data {
+					data[i] = make([]float64, elems)
+				}
+				return data
+			}
+
+			eSwap, err := simnet.New(n, machine.IPSC())
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.PermuteDims(eSwap, pi, comm.SingleMessage, payloads()); err != nil {
+				return nil, err
+			}
+
+			eTwo, err := simnet.New(n, machine.IPSC())
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.PermuteTwoPhase(eTwo, perm, comm.SingleMessage, payloads()); err != nil {
+				return nil, err
+			}
+
+			eDirect, err := simnet.New(n, machine.IPSC())
+			if err != nil {
+				return nil, err
+			}
+			var flows []router.Flow
+			for x := uint64(0); x < uint64(N); x++ {
+				if perm(x) == x {
+					continue
+				}
+				flows = append(flows, router.Flow{Src: x, Dst: perm(x),
+					Dims: router.Ecube(x, perm(x), n), Data: make([]float64, elems)})
+			}
+			if _, err := router.Run(eDirect, flows); err != nil {
+				return nil, err
+			}
+
+			loadRatio := float64(eDirect.Stats().MaxLinkBytes) / float64(eSwap.Stats().MaxLinkBytes)
+			t.AddRow(n, kb, eSwap.Stats().Time/1000, eTwo.Stats().Time/1000,
+				eDirect.Stats().Time/1000, loadRatio)
+		}
+	}
+	return t, nil
+}

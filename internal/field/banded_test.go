@@ -1,0 +1,74 @@
+package field
+
+import "testing"
+
+func TestBandedCombinedStructure(t *testing.T) {
+	p, q, nc, s := 6, 4, 2, 1
+	l := BandedCombined(p, q, nc, s, Binary)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NBits(); got != s+2*nc {
+		t.Fatalf("NBits = %d, want s+2nc = %d", got, s+2*nc)
+	}
+	// Bijection over the full matrix.
+	counts := make(map[uint64]int)
+	for u := uint64(0); u < 1<<uint(p); u++ {
+		for v := uint64(0); v < 1<<uint(q); v++ {
+			proc, local := l.ProcOf(u, v), l.LocalOf(u, v)
+			gu, gv := l.ElementOf(proc, local)
+			if gu != u || gv != v {
+				t.Fatalf("roundtrip broken at (%d,%d)", u, v)
+			}
+			counts[proc]++
+		}
+	}
+	if len(counts) != l.N() {
+		t.Fatalf("%d processors used, want %d", len(counts), l.N())
+	}
+	for proc, c := range counts {
+		if c != l.LocalSize() {
+			t.Fatalf("proc %d holds %d, want %d", proc, c, l.LocalSize())
+		}
+	}
+}
+
+// Section 2: for the banded layout the s highest order row bits select the
+// block row, the middle row field is cyclic over blocks (of 2^(q-nc) rows)
+// and columns are consecutive blocks.
+func TestBandedCombinedSemantics(t *testing.T) {
+	p, q, nc, s := 6, 4, 2, 1
+	l := BandedCombined(p, q, nc, s, Binary)
+	blockRows := uint64(1) << uint(p-s) // rows per block row
+	rowBlock := uint64(1) << uint(q-nc) // rows per cyclic block
+	colBlock := uint64(1) << uint(q-nc)
+	for u := uint64(0); u < 1<<uint(p); u++ {
+		for v := uint64(0); v < 1<<uint(q); v++ {
+			proc := l.ProcOf(u, v)
+			wantTop := u / blockRows
+			wantMid := (u / rowBlock) % (1 << uint(nc))
+			wantCol := v / colBlock
+			want := wantTop<<uint(2*nc) | wantMid<<uint(nc) | wantCol
+			if proc != want {
+				t.Fatalf("(%d,%d): proc %b, want %b", u, v, proc, want)
+			}
+		}
+	}
+}
+
+func TestBandedCombinedGray(t *testing.T) {
+	l := BandedCombined(5, 3, 1, 1, Gray)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]uint64]bool)
+	for u := uint64(0); u < 32; u++ {
+		for v := uint64(0); v < 8; v++ {
+			key := [2]uint64{l.ProcOf(u, v), l.LocalOf(u, v)}
+			if seen[key] {
+				t.Fatalf("collision at (%d,%d)", u, v)
+			}
+			seen[key] = true
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package field
+
+import "testing"
+
+func BenchmarkProcOf(b *testing.B) {
+	l := TwoDimConsecutive(10, 10, 4, 4, Gray)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= l.ProcOf(uint64(i)&1023, uint64(i*7)&1023)
+	}
+	_ = s
+}
+
+func BenchmarkLocalOf(b *testing.B) {
+	l := TwoDimCyclic(10, 10, 4, 4, Binary)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= l.LocalOf(uint64(i)&1023, uint64(i*7)&1023)
+	}
+	_ = s
+}
+
+func BenchmarkElementOf(b *testing.B) {
+	l := OneDimConsecutiveRows(10, 10, 6, Gray)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		u, v := l.ElementOf(uint64(i)&63, uint64(i*3)&16383)
+		s ^= u ^ v
+	}
+	_ = s
+}

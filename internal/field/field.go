@@ -1,0 +1,341 @@
+// Package field describes how the m = p+q address bits of a 2^p x 2^q matrix
+// are split between real-processor dimensions and virtual-processor (local
+// storage) dimensions, following Section 2 of the paper.
+//
+// The address of element a(u,v) is w = (u || v): the p highest-order bits
+// encode the row index and the q lowest-order bits the column index. A
+// Layout selects an ordered list of bit-fields of w as the real processor
+// address; the remaining bits, read from high to low, form the local
+// (virtual processor) address. Each real field may be encoded in binary or
+// binary-reflected Gray code, producing the 16 one-dimensional embeddings of
+// the paper's Tables 1 and 2 and the two-dimensional variants of Section 6.
+package field
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/gray"
+)
+
+// Encoding selects how a real-processor bit-field is encoded.
+type Encoding int
+
+const (
+	// Binary leaves the field bits as they are.
+	Binary Encoding = iota
+	// Gray applies the binary-reflected Gray code to the field.
+	Gray
+)
+
+func (e Encoding) String() string {
+	if e == Gray {
+		return "gray"
+	}
+	return "binary"
+}
+
+// Field is one contiguous run of element-address bits used for real
+// processor addressing. Bits [Lo, Hi) of the element address w form the
+// field, with Hi-1 the field's most significant bit.
+type Field struct {
+	Lo, Hi int
+	Enc    Encoding
+}
+
+// Width returns the number of bits in the field.
+func (f Field) Width() int { return f.Hi - f.Lo }
+
+// Layout maps matrix elements to processors and local storage slots.
+type Layout struct {
+	P, Q   int     // row bits p and column bits q; the matrix is 2^P x 2^Q
+	Fields []Field // real-processor fields, most significant first
+	Name   string  // human-readable description, e.g. "1d-cyclic-cols/binary"
+}
+
+// M returns the total number of element address bits, p+q.
+func (l Layout) M() int { return l.P + l.Q }
+
+// N returns the number of real processors 2^n used by the layout.
+func (l Layout) N() int { return 1 << uint(l.NBits()) }
+
+// NBits returns the number of real-processor dimensions n.
+func (l Layout) NBits() int {
+	n := 0
+	for _, f := range l.Fields {
+		n += f.Width()
+	}
+	return n
+}
+
+// Validate checks internal consistency: fields in range, non-overlapping.
+func (l Layout) Validate() error {
+	m := l.M()
+	if l.P < 0 || l.Q < 0 || m < 1 || m > 62 {
+		return fmt.Errorf("field: bad matrix shape p=%d q=%d", l.P, l.Q)
+	}
+	used := make([]bool, m)
+	for _, f := range l.Fields {
+		if f.Lo < 0 || f.Hi > m || f.Lo >= f.Hi {
+			return fmt.Errorf("field: field [%d,%d) out of range m=%d", f.Lo, f.Hi, m)
+		}
+		for i := f.Lo; i < f.Hi; i++ {
+			if used[i] {
+				return fmt.Errorf("field: bit %d used by two fields", i)
+			}
+			used[i] = true
+		}
+	}
+	return nil
+}
+
+// RealBits returns the set of element-address bit positions used for real
+// processors (the paper's R for this layout), in ascending order.
+func (l Layout) RealBits() []int {
+	var r []int
+	for _, f := range l.Fields {
+		for i := f.Lo; i < f.Hi; i++ {
+			r = append(r, i)
+		}
+	}
+	sort.Ints(r)
+	return r
+}
+
+// VirtualBits returns the element-address bit positions used for virtual
+// processors (local addresses), in ascending order.
+func (l Layout) VirtualBits() []int {
+	real := make(map[int]bool)
+	for _, b := range l.RealBits() {
+		real[b] = true
+	}
+	var v []int
+	for i := 0; i < l.M(); i++ {
+		if !real[i] {
+			v = append(v, i)
+		}
+	}
+	return v
+}
+
+// addr computes the concatenated element address w = (u || v).
+func (l Layout) addr(u, v uint64) uint64 {
+	return u<<uint(l.Q) | v
+}
+
+// ProcOf returns the real processor address holding element (u, v).
+// The first field contributes the most significant processor bits.
+func (l Layout) ProcOf(u, v uint64) uint64 {
+	w := l.addr(u, v)
+	var proc uint64
+	for _, f := range l.Fields {
+		fw := f.Width()
+		val := (w >> uint(f.Lo)) & bits.Mask(fw)
+		if f.Enc == Gray {
+			val = gray.Encode(val) & bits.Mask(fw)
+		}
+		proc = proc<<uint(fw) | val
+	}
+	return proc
+}
+
+// LocalOf returns the local storage slot of element (u, v) within its
+// processor: the virtual-processor bits of w read from most to least
+// significant.
+func (l Layout) LocalOf(u, v uint64) uint64 {
+	w := l.addr(u, v)
+	vb := l.VirtualBits()
+	var local uint64
+	for i := len(vb) - 1; i >= 0; i-- { // high bit first
+		local = local<<1 | (w>>uint(vb[i]))&1
+	}
+	return local
+}
+
+// LocalSize returns the number of elements stored per processor, 2^(m-n).
+func (l Layout) LocalSize() int { return 1 << uint(l.M()-l.NBits()) }
+
+// ElementOf inverts (proc, local) back to the element (u, v). It is the
+// exact inverse of ProcOf/LocalOf and is used by placement verification.
+func (l Layout) ElementOf(proc, local uint64) (u, v uint64) {
+	var w uint64
+	// Real fields: most significant field holds the top processor bits.
+	shift := l.NBits()
+	for _, f := range l.Fields {
+		fw := f.Width()
+		shift -= fw
+		val := (proc >> uint(shift)) & bits.Mask(fw)
+		if f.Enc == Gray {
+			val = gray.Decode(val) & bits.Mask(fw)
+		}
+		w |= val << uint(f.Lo)
+	}
+	vb := l.VirtualBits()
+	for i, pos := range vb {
+		w |= (local >> uint(i)) & 1 << uint(pos)
+	}
+	return w >> uint(l.Q), w & bits.Mask(max(l.Q, 1))
+}
+
+// String renders the layout for diagnostics and golden tests.
+func (l Layout) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s p=%d q=%d n=%d [", l.Name, l.P, l.Q, l.NBits())
+	for i, f := range l.Fields {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s[%d,%d)", f.Enc, f.Lo, f.Hi)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Constructors (Tables 1 and 2 and Section 6) ---
+
+// trim drops zero-width fields so that n=0 (or nr/nc=0) partitionings are
+// well-formed single-processor layouts.
+func trim(l Layout) Layout {
+	kept := l.Fields[:0:0]
+	for _, f := range l.Fields {
+		if f.Width() > 0 {
+			kept = append(kept, f)
+		}
+	}
+	l.Fields = kept
+	return l
+}
+
+// OneDimConsecutiveRows assigns block rows consecutively: the n highest
+// order row bits are the processor address (Table 1, "Binary, Row",
+// consecutive).
+func OneDimConsecutiveRows(p, q, n int, enc Encoding) Layout {
+	m := p + q
+	return trim(Layout{P: p, Q: q, Name: "1d-consecutive-rows/" + enc.String(),
+		Fields: []Field{{Lo: m - n, Hi: m, Enc: enc}}})
+}
+
+// OneDimCyclicRows assigns rows cyclically: the n lowest order row bits are
+// the processor address.
+func OneDimCyclicRows(p, q, n int, enc Encoding) Layout {
+	return trim(Layout{P: p, Q: q, Name: "1d-cyclic-rows/" + enc.String(),
+		Fields: []Field{{Lo: q, Hi: q + n, Enc: enc}}})
+}
+
+// OneDimConsecutiveCols assigns block columns consecutively: the n highest
+// order column bits are the processor address.
+func OneDimConsecutiveCols(p, q, n int, enc Encoding) Layout {
+	return trim(Layout{P: p, Q: q, Name: "1d-consecutive-cols/" + enc.String(),
+		Fields: []Field{{Lo: q - n, Hi: q, Enc: enc}}})
+}
+
+// OneDimCyclicCols assigns columns cyclically: the n lowest order column
+// bits are the processor address.
+func OneDimCyclicCols(p, q, n int, enc Encoding) Layout {
+	return trim(Layout{P: p, Q: q, Name: "1d-cyclic-cols/" + enc.String(),
+		Fields: []Field{{Lo: 0, Hi: n, Enc: enc}}})
+}
+
+// TwoDimConsecutive partitions into 2^nr x 2^nc consecutive blocks: the nr
+// highest row bits and nc highest column bits form the processor address
+// (row field most significant).
+func TwoDimConsecutive(p, q, nr, nc int, enc Encoding) Layout {
+	m := p + q
+	return trim(Layout{P: p, Q: q, Name: "2d-consecutive/" + enc.String(),
+		Fields: []Field{
+			{Lo: m - nr, Hi: m, Enc: enc},
+			{Lo: q - nc, Hi: q, Enc: enc},
+		}})
+}
+
+// TwoDimEncoded is TwoDimConsecutive with independent encodings for the row
+// and column fields, as in Section 6.3's matrices with rows in binary code
+// and columns in Gray code (or vice versa).
+func TwoDimEncoded(p, q, nr, nc int, encRow, encCol Encoding) Layout {
+	m := p + q
+	return trim(Layout{P: p, Q: q,
+		Name: "2d-consecutive/" + encRow.String() + "-rows/" + encCol.String() + "-cols",
+		Fields: []Field{
+			{Lo: m - nr, Hi: m, Enc: encRow},
+			{Lo: q - nc, Hi: q, Enc: encCol},
+		}})
+}
+
+// TwoDimCyclic partitions cyclically in both directions: the nr lowest row
+// bits and nc lowest column bits form the processor address.
+func TwoDimCyclic(p, q, nr, nc int, enc Encoding) Layout {
+	return trim(Layout{P: p, Q: q, Name: "2d-cyclic/" + enc.String(),
+		Fields: []Field{
+			{Lo: q, Hi: q + nr, Enc: enc},
+			{Lo: 0, Hi: nc, Enc: enc},
+		}})
+}
+
+// TwoDimMixed uses consecutive assignment for rows and cyclic for columns
+// (Section 6, "mixed assignment": rows consecutive, columns cyclic).
+func TwoDimMixed(p, q, nr, nc int, enc Encoding) Layout {
+	m := p + q
+	return trim(Layout{P: p, Q: q, Name: "2d-mixed-consrow-cyccol/" + enc.String(),
+		Fields: []Field{
+			{Lo: m - nr, Hi: m, Enc: enc},
+			{Lo: 0, Hi: nc, Enc: enc},
+		}})
+}
+
+// CombinedContiguous places the processor field at an interior offset i of
+// the row (or column) address: bits [top-i-n, top-i) where top is the top of
+// the row/column field (Table 2, "Contiguous"). For rows top = m; for
+// columns top = q.
+func CombinedContiguous(p, q, n, offset int, rows bool, enc Encoding) Layout {
+	top := q
+	name := "combined-contiguous-cols/"
+	if rows {
+		top = p + q
+		name = "combined-contiguous-rows/"
+	}
+	return trim(Layout{P: p, Q: q, Name: name + enc.String(),
+		Fields: []Field{{Lo: top - offset - n, Hi: top - offset, Enc: enc}}})
+}
+
+// BandedCombined is the banded-matrix storage example of Section 2: the
+// relevant elements sit in a 2^p x 2^q array, blocks of 2^(q-nc) x 2^(q-nc)
+// elements are stored per processor on a 2^nc x 2^nc processor grid with
+// block rows assigned cyclically over the row addresses, and the s highest
+// order row bits address S = 2^s concurrent block rows. The real processor
+// address field is (u_{p-1..p-s} || u_{q-1..q-nc} || v_{q-1..q-nc}), s+2nc
+// dimensions in two row fields and one column field. Requires p-s >= q >= nc.
+func BandedCombined(p, q, nc, s int, enc Encoding) Layout {
+	m := p + q
+	return trim(Layout{P: p, Q: q, Name: "banded-combined/" + enc.String(),
+		Fields: []Field{
+			{Lo: m - s, Hi: m, Enc: enc},        // u_{p-1} .. u_{p-s}
+			{Lo: 2*q - nc, Hi: 2 * q, Enc: enc}, // u_{q-1} .. u_{q-nc}
+			{Lo: q - nc, Hi: q, Enc: enc},       // v_{q-1} .. v_{q-nc}
+		}})
+}
+
+// CombinedSplit splits the processor field in two: s bits from the top of
+// the row (or column) address and n-s bits from the bottom (Table 2,
+// "Non-contiguous"). The top field is most significant.
+func CombinedSplit(p, q, n, s int, rows bool, enc Encoding) Layout {
+	top, lo := q, 0
+	name := "combined-split-cols/"
+	if rows {
+		top, lo = p+q, q
+		name = "combined-split-rows/"
+	}
+	return trim(Layout{P: p, Q: q, Name: name + enc.String(),
+		Fields: []Field{
+			{Lo: top - s, Hi: top, Enc: enc},
+			{Lo: lo, Hi: lo + n - s, Enc: enc},
+		}})
+}

@@ -1,0 +1,46 @@
+package field
+
+import "testing"
+
+// FuzzLayoutRoundTrip drives the (ProcOf, LocalOf) -> ElementOf inverse
+// through arbitrary layout parameters and elements.
+func FuzzLayoutRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(2), uint8(0), uint16(7), uint16(11))
+	f.Add(uint8(5), uint8(3), uint8(3), uint8(1), uint16(30), uint16(5))
+	f.Add(uint8(2), uint8(6), uint8(4), uint8(3), uint16(1), uint16(60))
+	f.Fuzz(func(t *testing.T, ps, qs, ns, kind uint8, us, vs uint16) {
+		p := int(ps)%6 + 1
+		q := int(qs)%6 + 1
+		var l Layout
+		switch kind % 4 {
+		case 0:
+			n := int(ns) % (p + 1)
+			l = OneDimConsecutiveRows(p, q, n, Binary)
+		case 1:
+			n := int(ns) % (q + 1)
+			l = OneDimCyclicCols(p, q, n, Gray)
+		case 2:
+			nr := int(ns) % (min(p, q) + 1)
+			l = TwoDimConsecutive(p, q, nr, nr, Gray)
+		default:
+			nr := int(ns) % (min(p, q) + 1)
+			l = TwoDimCyclic(p, q, nr, nr, Binary)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("constructor produced invalid layout: %v", err)
+		}
+		u := uint64(us) % (1 << uint(p))
+		v := uint64(vs) % (1 << uint(q))
+		proc, local := l.ProcOf(u, v), l.LocalOf(u, v)
+		if proc >= uint64(l.N()) {
+			t.Fatalf("proc %d out of range", proc)
+		}
+		if local >= uint64(l.LocalSize()) {
+			t.Fatalf("local %d out of range", local)
+		}
+		gu, gv := l.ElementOf(proc, local)
+		if gu != u || gv != v {
+			t.Fatalf("%s: roundtrip (%d,%d) -> (%d,%d)", l, u, v, gu, gv)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package field
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a layout from a compact textual specification, used by the
+// command-line tools. Grammar:
+//
+//	spec    := name [":" enc]
+//	        | "custom(" field ("+" field)* ")"
+//	field   := "[" lo "," hi ")" [":" enc]
+//	enc     := "binary" | "gray"
+//
+// Named layouts (parameterized by the matrix shape p x q and the processor
+// count 2^n):
+//
+//	1d-consecutive-rows, 1d-cyclic-rows, 1d-consecutive-cols,
+//	1d-cyclic-cols, 2d-consecutive, 2d-cyclic, 2d-mixed,
+//	2d-mixed-enc (binary rows / Gray columns), banded:<nc>,<s>
+//
+// Custom fields give element-address bit ranges directly, most significant
+// processor field first, e.g. "custom([8,10):gray+[3,5))" for a 2-D layout
+// with a Gray row field.
+func Parse(spec string, p, q, n int) (Layout, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.HasPrefix(spec, "custom(") {
+		if !strings.HasSuffix(spec, ")") {
+			return Layout{}, fmt.Errorf("field: custom spec %q missing ')'", spec)
+		}
+		return parseCustom(spec[len("custom("):len(spec)-1], p, q)
+	}
+
+	name := spec
+	enc := Binary
+	if i := strings.LastIndex(spec, ":"); i >= 0 {
+		switch spec[i+1:] {
+		case "binary":
+			name, enc = spec[:i], Binary
+		case "gray":
+			name, enc = spec[:i], Gray
+		}
+	}
+
+	needRow := func(k int) error {
+		if k > p {
+			return fmt.Errorf("field: layout %q needs %d row bits, matrix has %d", name, k, p)
+		}
+		return nil
+	}
+	needCol := func(k int) error {
+		if k > q {
+			return fmt.Errorf("field: layout %q needs %d column bits, matrix has %d", name, k, q)
+		}
+		return nil
+	}
+	switch {
+	case name == "1d-consecutive-rows":
+		if err := needRow(n); err != nil {
+			return Layout{}, err
+		}
+		return checkParsed(OneDimConsecutiveRows(p, q, n, enc), n)
+	case name == "1d-cyclic-rows":
+		if err := needRow(n); err != nil {
+			return Layout{}, err
+		}
+		return checkParsed(OneDimCyclicRows(p, q, n, enc), n)
+	case name == "1d-consecutive-cols":
+		if err := needCol(n); err != nil {
+			return Layout{}, err
+		}
+		return checkParsed(OneDimConsecutiveCols(p, q, n, enc), n)
+	case name == "1d-cyclic-cols":
+		if err := needCol(n); err != nil {
+			return Layout{}, err
+		}
+		return checkParsed(OneDimCyclicCols(p, q, n, enc), n)
+	case name == "2d-consecutive", name == "2d-cyclic", name == "2d-mixed", name == "2d-mixed-enc":
+		nr, nc := n/2, n-n/2
+		if err := needRow(nr); err != nil {
+			return Layout{}, err
+		}
+		if err := needCol(nc); err != nil {
+			return Layout{}, err
+		}
+		switch name {
+		case "2d-consecutive":
+			return checkParsed(TwoDimConsecutive(p, q, nr, nc, enc), n)
+		case "2d-cyclic":
+			return checkParsed(TwoDimCyclic(p, q, nr, nc, enc), n)
+		case "2d-mixed":
+			return checkParsed(TwoDimMixed(p, q, nr, nc, enc), n)
+		default:
+			return checkParsed(TwoDimEncoded(p, q, nr, nc, Binary, Gray), n)
+		}
+	case strings.HasPrefix(name, "banded:"):
+		parts := strings.Split(name[len("banded:"):], ",")
+		if len(parts) != 2 {
+			return Layout{}, fmt.Errorf("field: banded spec needs banded:<nc>,<s>")
+		}
+		nc, err1 := strconv.Atoi(parts[0])
+		s, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return Layout{}, fmt.Errorf("field: bad banded parameters %q", name)
+		}
+		return checkParsed(BandedCombined(p, q, nc, s, enc), s+2*nc)
+	}
+	return Layout{}, fmt.Errorf("field: unknown layout %q", name)
+}
+
+func checkParsed(l Layout, n int) (Layout, error) {
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
+	if l.NBits() != n {
+		return Layout{}, fmt.Errorf("field: layout %s uses %d processor dimensions, expected %d",
+			l, l.NBits(), n)
+	}
+	return l, nil
+}
+
+func parseCustom(body string, p, q int) (Layout, error) {
+	l := Layout{P: p, Q: q, Name: "custom"}
+	for _, fs := range strings.Split(body, "+") {
+		fs = strings.TrimSpace(fs)
+		enc := Binary
+		if i := strings.LastIndex(fs, ":"); i > strings.Index(fs, ")") {
+			switch fs[i+1:] {
+			case "binary":
+				enc = Binary
+			case "gray":
+				enc = Gray
+			default:
+				return Layout{}, fmt.Errorf("field: unknown encoding %q", fs[i+1:])
+			}
+			fs = fs[:i]
+		}
+		if !strings.HasPrefix(fs, "[") || !strings.HasSuffix(fs, ")") {
+			return Layout{}, fmt.Errorf("field: bad field range %q (want [lo,hi))", fs)
+		}
+		nums := strings.Split(fs[1:len(fs)-1], ",")
+		if len(nums) != 2 {
+			return Layout{}, fmt.Errorf("field: bad field range %q", fs)
+		}
+		lo, err1 := strconv.Atoi(strings.TrimSpace(nums[0]))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(nums[1]))
+		if err1 != nil || err2 != nil {
+			return Layout{}, fmt.Errorf("field: bad field bounds %q", fs)
+		}
+		l.Fields = append(l.Fields, Field{Lo: lo, Hi: hi, Enc: enc})
+	}
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
+	return l, nil
+}

@@ -1,0 +1,121 @@
+package field
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNamedLayouts(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Layout
+	}{
+		{"1d-consecutive-rows", OneDimConsecutiveRows(5, 5, 4, Binary)},
+		{"1d-consecutive-rows:gray", OneDimConsecutiveRows(5, 5, 4, Gray)},
+		{"1d-cyclic-cols:binary", OneDimCyclicCols(5, 5, 4, Binary)},
+		{"2d-consecutive", TwoDimConsecutive(5, 5, 2, 2, Binary)},
+		{"2d-cyclic:gray", TwoDimCyclic(5, 5, 2, 2, Gray)},
+		{"2d-mixed", TwoDimMixed(5, 5, 2, 2, Binary)},
+		{"2d-mixed-enc", TwoDimEncoded(5, 5, 2, 2, Binary, Gray)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec, 5, 5, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got.String() != c.want.String() {
+			t.Errorf("%q: got %s, want %s", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseBanded(t *testing.T) {
+	got, err := Parse("banded:2,1", 6, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BandedCombined(6, 4, 2, 1, Binary)
+	if got.String() != want.String() {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseCustom(t *testing.T) {
+	got, err := Parse("custom([8,10):gray+[3,5))", 5, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NBits() != 4 || len(got.Fields) != 2 {
+		t.Fatalf("custom layout malformed: %s", got)
+	}
+	if got.Fields[0].Enc != Gray || got.Fields[0].Lo != 8 || got.Fields[0].Hi != 10 {
+		t.Errorf("field 0 = %+v", got.Fields[0])
+	}
+	if got.Fields[1].Enc != Binary || got.Fields[1].Lo != 3 {
+		t.Errorf("field 1 = %+v", got.Fields[1])
+	}
+	// Spaces tolerated.
+	if _, err := Parse("custom( [8,10) + [0,2):gray )", 5, 5, 4); err != nil {
+		t.Errorf("spaced custom rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		frag string
+	}{
+		{"nope", "unknown layout"},
+		{"2d-cyclic:hex", "unknown layout"},
+		{"custom([1,3", "missing ')'"},
+		{"custom([1,3)", "bad field range"},
+		{"custom(1..3)", "bad field range"},
+		{"custom([a,b))", "bad field bounds"},
+		{"custom([0,3)+[2,5))", "used by two fields"},
+		{"custom([0,99))", "out of range"},
+		{"banded:x,y", "bad banded parameters"},
+		{"banded:2", "needs banded"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec, 5, 5, 4)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %v, want fragment %q", c.spec, err, c.frag)
+		}
+	}
+	// Processor-count mismatch for named layouts.
+	if _, err := Parse("1d-consecutive-rows", 2, 2, 4); err == nil {
+		t.Error("n > p accepted for a row layout")
+	}
+}
+
+// Parsed layouts must round-trip elements like constructor-built ones.
+func TestParsedLayoutBijection(t *testing.T) {
+	specs := []string{
+		"2d-cyclic:gray", "custom([8,10):gray+[3,5))", "banded:1,1",
+	}
+	for _, spec := range specs {
+		p, q, n := 5, 5, 4
+		if strings.HasPrefix(spec, "banded") {
+			p, q, n = 6, 4, 3 // banded requires p-s >= q
+		}
+		l, err := Parse(spec, p, q, n)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		seen := make(map[[2]uint64]bool)
+		for u := uint64(0); u < 1<<uint(p); u++ {
+			for v := uint64(0); v < 1<<uint(q); v++ {
+				proc, local := l.ProcOf(u, v), l.LocalOf(u, v)
+				gu, gv := l.ElementOf(proc, local)
+				if gu != u || gv != v {
+					t.Fatalf("%q: roundtrip broken at (%d,%d)", spec, u, v)
+				}
+				k := [2]uint64{proc, local}
+				if seen[k] {
+					t.Fatalf("%q: collision at (%d,%d)", spec, u, v)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package fourier provides the transforms behind the paper's
+// Fourier-analysis workloads (Section 1's FACR Poisson solver) and the FFT
+// example: an iterative radix-2 complex FFT, its inverse, the orthonormal
+// discrete sine transform DST-I (its own inverse), and the twiddle/butterfly
+// helpers the distributed decimation-in-frequency stages use.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two. The forward transform uses the
+// exp(-2πi/N) convention without normalization.
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the in-place inverse FFT (exp(+2πi/N), scaled by 1/N).
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("fourier: length %d is not a power of two", n)
+	}
+	// Bit-reversal reorder.
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	for i := 0; i < n; i++ {
+		j := reverseBits(i, logN)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for span := 2; span <= n; span *= 2 {
+		half := span / 2
+		w := cmplx.Exp(complex(0, sign*2*math.Pi/float64(span)))
+		for off := 0; off < n; off += span {
+			tw := complex(1, 0)
+			for j := 0; j < half; j++ {
+				a := x[off+j]
+				b := x[off+j+half] * tw
+				x[off+j] = a + b
+				x[off+j+half] = a - b
+				tw *= w
+			}
+		}
+	}
+	return nil
+}
+
+func reverseBits(v, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (v>>uint(i))&1
+	}
+	return r
+}
+
+// DFT computes the naive O(n^2) discrete Fourier transform, the reference
+// the FFT is tested against.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// DST1 applies the orthonormal discrete sine transform (DST-I) to x,
+// returning a new slice. With the orthonormal scaling sqrt(2/(n+1)) the
+// transform is an involution: DST1(DST1(x)) == x. Implemented via a
+// length-2(n+1) FFT of the odd extension, O(n log n) when 2(n+1) is a power
+// of two and by the direct sum otherwise.
+func DST1(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	m := 2 * (n + 1)
+	if m&(m-1) == 0 {
+		// Odd extension: y = [0, x0..x_{n-1}, 0, -x_{n-1}..-x0]; the
+		// imaginary part of its FFT gives the sine sums.
+		y := make([]complex128, m)
+		for j := 0; j < n; j++ {
+			y[j+1] = complex(x[j], 0)
+			y[m-1-j] = complex(-x[j], 0)
+		}
+		if err := FFT(y); err != nil {
+			// Unreachable: m is a power of two here.
+			panic(err)
+		}
+		out := make([]float64, n)
+		scale := math.Sqrt(2 / float64(n+1))
+		for k := 0; k < n; k++ {
+			out[k] = -imag(y[k+1]) / 2 * scale
+		}
+		return out
+	}
+	// Direct sum for awkward lengths.
+	out := make([]float64, n)
+	scale := math.Sqrt(2 / float64(n+1))
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += x[j] * math.Sin(math.Pi*float64((j+1)*(k+1))/float64(n+1))
+		}
+		out[k] = scale * s
+	}
+	return out
+}
+
+// DIFButterfly computes one decimation-in-frequency butterfly at global
+// index gIdx within a stage of the given span: the upper output is a+b, the
+// lower is (a-b) times the stage twiddle for gIdx. It is the per-element
+// operation of both the local and the inter-processor distributed FFT
+// stages.
+func DIFButterfly(a, b complex128, gIdx, span int) (upper, lower complex128) {
+	k := gIdx % (span / 2)
+	w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(span)))
+	return a + b, (a - b) * w
+}
+
+// Interleave packs complex values as re/im float pairs for the simulated
+// wire (matrix elements are float64).
+func Interleave(z []complex128) []float64 {
+	out := make([]float64, 2*len(z))
+	for i, v := range z {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+// Deinterleave is the inverse of Interleave.
+func Deinterleave(d []float64) []complex128 {
+	out := make([]complex128, len(d)/2)
+	for i := range out {
+		out[i] = complex(d[2*i], d[2*i+1])
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 1024} {
+		x := randComplex(rng, n)
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: FFT differs from DFT by %v", n, d)
+		}
+	}
+}
+
+func TestIFFTInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 16, 256} {
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		if err := FFT(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(y); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(x, y); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: roundtrip error %v", n, d)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("length 3 accepted")
+	}
+	if err := FFT(nil); err != nil {
+		t.Errorf("empty input rejected: %v", err)
+	}
+}
+
+// Parseval: the FFT preserves energy up to the 1/N convention.
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 64
+	x := randComplex(rng, n)
+	var inE float64
+	for _, v := range x {
+		inE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var outE float64
+	for _, v := range x {
+		outE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(outE-float64(n)*inE) > 1e-8*outE {
+		t.Errorf("Parseval violated: %v vs %v", outE, float64(n)*inE)
+	}
+}
+
+// DST-I with orthonormal scaling is its own inverse, for both the FFT fast
+// path (n = 2^k - 1) and the direct path.
+func TestDST1Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 3, 7, 31, 63, 5, 10, 20} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		y := DST1(DST1(x))
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-9 {
+				t.Fatalf("n=%d: involution broken at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+// The FFT fast path of DST-I must agree with the direct sum.
+func TestDST1FastMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 31 // 2(n+1) = 64: fast path
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	fast := DST1(x)
+	scale := math.Sqrt(2 / float64(n+1))
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += x[j] * math.Sin(math.Pi*float64((j+1)*(k+1))/float64(n+1))
+		}
+		if math.Abs(fast[k]-scale*s) > 1e-9 {
+			t.Fatalf("fast DST differs at %d: %v vs %v", k, fast[k], scale*s)
+		}
+	}
+}
+
+// DST-I diagonalizes the 1-D Dirichlet Laplacian: transform, scale by the
+// eigenvalues, inverse-transform equals applying the second difference.
+func TestDST1DiagonalizesLaplacian(t *testing.T) {
+	n := 15
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	// Reference: apply d2 with zero boundaries.
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l, r := 0.0, 0.0
+		if i > 0 {
+			l = x[i-1]
+		}
+		if i < n-1 {
+			r = x[i+1]
+		}
+		want[i] = l - 2*x[i] + r
+	}
+	// Via the transform.
+	xt := DST1(x)
+	for k := range xt {
+		s := math.Sin(math.Pi * float64(k+1) / (2 * float64(n+1)))
+		xt[k] *= -4 * s * s
+	}
+	got := DST1(xt)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("diagonalization broken at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// DIFButterfly stages compose into the full FFT: run log2(n) global DIF
+// stages with the helper and compare against FFT output (bit-reversed).
+func TestDIFButterflyComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 64
+	x := randComplex(rng, n)
+	work := append([]complex128(nil), x...)
+	for span := n; span >= 2; span /= 2 {
+		half := span / 2
+		for off := 0; off < n; off += span {
+			for j := 0; j < half; j++ {
+				up, lo := DIFButterfly(work[off+j], work[off+j+half], off+j, span)
+				work[off+j], work[off+j+half] = up, lo
+			}
+		}
+	}
+	want := append([]complex128(nil), x...)
+	if err := FFT(want); err != nil {
+		t.Fatal(err)
+	}
+	// DIF leaves results in bit-reversed order.
+	logN := 6
+	for i := 0; i < n; i++ {
+		j := reverseBits(i, logN)
+		if d := cmplx.Abs(work[i] - want[j]); d > 1e-9 {
+			t.Fatalf("DIF composition differs at %d: %v", i, d)
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	z := randComplex(rng, 17)
+	got := Deinterleave(Interleave(z))
+	if maxDiff(z, got) != 0 {
+		t.Error("interleave roundtrip broken")
+	}
+}

@@ -1,0 +1,19 @@
+package gray
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= Encode(uint64(i))
+	}
+	_ = s
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= Decode(uint64(i))
+	}
+	_ = s
+}

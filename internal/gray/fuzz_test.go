@@ -1,0 +1,20 @@
+package gray
+
+import "testing"
+
+// FuzzGrayInverse: Decode(Encode(w)) == w and the adjacency property for
+// consecutive values.
+func FuzzGrayInverse(f *testing.F) {
+	f.Add(uint64(12345))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		if Decode(Encode(w)) != w {
+			t.Fatalf("inverse broken at %d", w)
+		}
+		if w < 1<<62 {
+			d := Encode(w) ^ Encode(w+1)
+			if d == 0 || d&(d-1) != 0 {
+				t.Fatalf("G(%d) and G(%d) differ in %b (not one bit)", w, w+1, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package gray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boolcube/internal/bits"
+)
+
+func TestEncodeSmall(t *testing.T) {
+	want := []uint64{0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100}
+	for i, w := range want {
+		if got := Encode(uint64(i)); got != w {
+			t.Errorf("Encode(%d) = %03b, want %03b", i, got, w)
+		}
+	}
+}
+
+func TestDecodeInverse(t *testing.T) {
+	f := func(w uint64) bool {
+		return Decode(Encode(w)) == w && Encode(Decode(w)) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Gray code adjacency: consecutive codes differ in exactly one bit, and the
+// sequence is cyclic (last and first also adjacent).
+func TestAdjacency(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		seq := Sequence(m)
+		n := len(seq)
+		for i := 0; i < n; i++ {
+			a, b := seq[i], seq[(i+1)%n]
+			if !Adjacent(a, b, m) {
+				t.Fatalf("m=%d: G(%d)=%b and G(%d)=%b not adjacent", m, i, a, (i+1)%n, b)
+			}
+		}
+	}
+}
+
+func TestSequenceIsPermutation(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		seq := Sequence(m)
+		seen := make(map[uint64]bool, len(seq))
+		for _, g := range seq {
+			if seen[g] {
+				t.Fatalf("m=%d: duplicate code %b", m, g)
+			}
+			if g > bits.Mask(m) {
+				t.Fatalf("m=%d: code %b out of range", m, g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestTransitionBit(t *testing.T) {
+	// The transition sequence for a 3-bit code is 0 1 0 2 0 1 0.
+	want := []int{0, 1, 0, 2, 0, 1, 0}
+	for i, d := range want {
+		if got := TransitionBit(uint64(i)); got != d {
+			t.Errorf("TransitionBit(%d) = %d, want %d", i, got, d)
+		}
+	}
+	// Cross-check against Encode: G(i) XOR G(i+1) == 1<<TransitionBit(i).
+	for i := uint64(0); i < 1<<12; i++ {
+		if Encode(i)^Encode(i+1) != 1<<uint(TransitionBit(i)) {
+			t.Fatalf("transition mismatch at %d", i)
+		}
+	}
+}
+
+// The most significant bit of G(w) equals that of w (used in Section 6.3:
+// "the Gray and binary codes have identical most significant bits").
+func TestMSBPreserved(t *testing.T) {
+	f := func(w uint64, mseed uint8) bool {
+		m := int(mseed)%16 + 1
+		w &= bits.Mask(m)
+		return bits.Bit(Encode(w), m-1) == bits.Bit(w, m-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityOdd(t *testing.T) {
+	// Parity of the binary encoding: 0:even 1:odd 2:odd 3:even ...
+	cases := []struct {
+		i    uint64
+		want bool
+	}{{0, false}, {1, true}, {2, true}, {3, false}, {7, true}, {6, false}}
+	for _, c := range cases {
+		if got := ParityOdd(c.i, 8); got != c.want {
+			t.Errorf("ParityOdd(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+// G(i) and G(i + 2^k) for i in the first half differ in at most 2 bits; more
+// importantly, reflection property: G(2^m - 1 - i) differs from G(i) only in
+// the top bit.
+func TestReflectionProperty(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n := uint64(1) << uint(m)
+		for i := uint64(0); i < n/2; i++ {
+			a := Encode(i)
+			b := Encode(n - 1 - i)
+			if a^b != n>>1 {
+				t.Fatalf("m=%d i=%d: reflection violated: %b vs %b", m, i, a, b)
+			}
+		}
+	}
+}

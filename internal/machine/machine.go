@@ -1,0 +1,147 @@
+// Package machine defines the communication cost parameters of the ensemble
+// architectures modeled in this reproduction: start-up time τ per
+// communication, transmission time t_c per byte, maximum packet size B_m,
+// the local copy cost model, and the port model (one-port vs n-port).
+//
+// All times are in microseconds of simulated virtual time. The Intel iPSC
+// parameters follow Section 2 of the paper (τ ≈ 5 ms, t_c ≈ 1 µs/byte,
+// B_m = 1 KB); the copy model is affine, fitted to the paper's two data
+// points (copying 4 KB ≈ 37 ms from Figure 9, and copying 256 B ≈ one
+// start-up from Section 8.1).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// PortModel selects how many links a node can drive concurrently.
+type PortModel int
+
+const (
+	// OnePort allows one send and one concurrent receive at a time
+	// (bi-directional communication, Section 2): an exchange of two
+	// adjacent nodes costs the same as one send.
+	OnePort PortModel = iota
+	// NPort allows concurrent communication on all n ports.
+	NPort
+)
+
+func (p PortModel) String() string {
+	if p == NPort {
+		return "n-port"
+	}
+	return "one-port"
+}
+
+// Params is a machine model.
+type Params struct {
+	Name      string
+	Tau       float64   // communication start-up overhead, µs
+	Tc        float64   // transmission time per byte, µs
+	ElemBytes int       // bytes per matrix element
+	Bm        int       // maximum packet size in bytes (0 = unlimited)
+	Pipelined bool      // bit-serial pipelined router: τ incurred once per message
+	CopyC0    float64   // fixed cost of a local copy call, µs
+	TCopy     float64   // per-byte local copy cost, µs
+	BCopy     int       // block size (bytes) at/above which sending unbuffered beats copying
+	Ports     PortModel // port model
+}
+
+// IPSC returns the Intel iPSC model of the paper: one-port, packetized
+// communication with τ ≈ 5 ms, t_c ≈ 1 µs/byte, B_m = 1 KB, and the
+// measured (slow) copy performance of Figure 9.
+func IPSC() Params {
+	return Params{
+		Name:      "iPSC",
+		Tau:       5000, // 5 ms
+		Tc:        1,    // 1 µs/byte
+		ElemBytes: 4,    // single-precision floats
+		Bm:        1024, // 1 KB packets
+		// Fit of copy(bytes) = c0 + bytes*tcopy to 37 ms per 4 KB (Fig. 9)
+		// and 5 ms per 256 B (≈ one start-up, Section 8.1).
+		CopyC0: 2867,
+		TCopy:  8.333,
+		BCopy:  256,
+		Ports:  OnePort,
+	}
+}
+
+// IPSCNPort is the iPSC cost structure with concurrent communication on all
+// ports, used for the paper's n-port complexity comparisons (Section 9).
+func IPSCNPort() Params {
+	p := IPSC()
+	p.Name = "iPSC-nport"
+	p.Ports = NPort
+	return p
+}
+
+// ConnectionMachine returns a model of the Connection Machine's bit-serial,
+// pipelined communication system (Section 8.2.2): the start-up overhead is
+// incurred only once per message through pipelining, transfers are bit
+// serial, and all ports can operate concurrently. The absolute constants
+// are chosen so that a one-element transpose lands in the paper's reported
+// "two orders of magnitude faster than the iPSC" regime.
+func ConnectionMachine() Params {
+	return Params{
+		Name:      "CM",
+		Tau:       50,   // router start-up, µs (pipelined, incurred once)
+		Tc:        0.25, // bit-serial: 32-bit element ≈ 8 µs
+		ElemBytes: 4,    // 32-bit elements
+		Bm:        0,    // no packetization: pipelined router
+		Pipelined: true,
+		CopyC0:    1,
+		TCopy:     0.05,
+		BCopy:     0,
+		Ports:     NPort,
+	}
+}
+
+// Ideal returns a clean theoretical machine: unit costs, no copy overhead,
+// unlimited packets. Useful for verifying complexity formulas exactly.
+func Ideal(ports PortModel) Params {
+	return Params{
+		Name:      "ideal-" + ports.String(),
+		Tau:       1,
+		Tc:        1,
+		ElemBytes: 1,
+		Bm:        0,
+		CopyC0:    0,
+		TCopy:     0,
+		BCopy:     0,
+		Ports:     ports,
+	}
+}
+
+// SendTime returns the link occupancy time of transmitting b bytes, and the
+// number of communication start-ups it costs.
+func (p Params) SendTime(b int) (dur float64, startups int) {
+	if b <= 0 {
+		return 0, 0
+	}
+	if p.Pipelined || p.Bm <= 0 {
+		return p.Tau + float64(b)*p.Tc, 1
+	}
+	pk := (b + p.Bm - 1) / p.Bm
+	return float64(pk)*p.Tau + float64(b)*p.Tc, pk
+}
+
+// CopyTime returns the cost of locally copying b bytes.
+func (p Params) CopyTime(b int) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return p.CopyC0 + float64(b)*p.TCopy
+}
+
+// Validate reports obviously broken parameter sets.
+func (p Params) Validate() error {
+	if p.Tau < 0 || p.Tc < 0 || p.ElemBytes <= 0 || p.Bm < 0 ||
+		p.CopyC0 < 0 || p.TCopy < 0 || p.BCopy < 0 {
+		return fmt.Errorf("machine %q: negative or zero parameter", p.Name)
+	}
+	if math.IsNaN(p.Tau) || math.IsNaN(p.Tc) {
+		return fmt.Errorf("machine %q: NaN parameter", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateAll(t *testing.T) {
+	for _, p := range []Params{IPSC(), IPSCNPort(), ConnectionMachine(), Ideal(OnePort), Ideal(NPort)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	p := IPSC()
+	p.Tau = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative tau accepted")
+	}
+	p = IPSC()
+	p.ElemBytes = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero elem bytes accepted")
+	}
+	p = IPSC()
+	p.Tc = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Error("NaN tc accepted")
+	}
+}
+
+func TestSendTimePacketized(t *testing.T) {
+	p := IPSC()
+	// 1 byte: one packet.
+	d, s := p.SendTime(1)
+	if s != 1 || d != p.Tau+p.Tc {
+		t.Errorf("1 byte: dur=%v startups=%d", d, s)
+	}
+	// Exactly one packet boundary.
+	d, s = p.SendTime(1024)
+	if s != 1 || d != p.Tau+1024*p.Tc {
+		t.Errorf("1024 bytes: dur=%v startups=%d", d, s)
+	}
+	// One byte over: two packets.
+	d, s = p.SendTime(1025)
+	if s != 2 || d != 2*p.Tau+1025*p.Tc {
+		t.Errorf("1025 bytes: dur=%v startups=%d", d, s)
+	}
+	// Zero bytes: free.
+	d, s = p.SendTime(0)
+	if s != 0 || d != 0 {
+		t.Errorf("0 bytes: dur=%v startups=%d", d, s)
+	}
+}
+
+func TestSendTimePipelined(t *testing.T) {
+	p := ConnectionMachine()
+	d, s := p.SendTime(100000)
+	if s != 1 {
+		t.Errorf("pipelined machine counted %d startups", s)
+	}
+	if d != p.Tau+100000*p.Tc {
+		t.Errorf("pipelined dur = %v", d)
+	}
+}
+
+// The iPSC copy model must reproduce the paper's two calibration points:
+// ~37 ms per 4 KB (Figure 9) and ~one start-up (5 ms) per 256 B copy.
+func TestIPSCCopyCalibration(t *testing.T) {
+	p := IPSC()
+	got4k := p.CopyTime(4096)
+	if math.Abs(got4k-37000) > 500 {
+		t.Errorf("copy(4KB) = %v µs, want ≈ 37000", got4k)
+	}
+	got256 := p.CopyTime(256)
+	if math.Abs(got256-p.Tau) > 150 {
+		t.Errorf("copy(256B) = %v µs, want ≈ τ = %v", got256, p.Tau)
+	}
+}
+
+func TestCopyTimeMonotone(t *testing.T) {
+	p := IPSC()
+	prev := 0.0
+	for b := 0; b <= 1<<16; b += 1024 {
+		c := p.CopyTime(b)
+		if c < prev {
+			t.Fatalf("copy time not monotone at %d bytes", b)
+		}
+		prev = c
+	}
+}

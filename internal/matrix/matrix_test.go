@@ -1,0 +1,147 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"boolcube/internal/field"
+)
+
+func TestNewIotaAt(t *testing.T) {
+	m := NewIota(2, 3)
+	if m.Rows() != 4 || m.Cols() != 8 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 0 || m.At(1, 0) != 8 || m.At(3, 7) != 31 {
+		t.Errorf("iota values wrong: %v %v %v", m.At(0, 0), m.At(1, 0), m.At(3, 7))
+	}
+}
+
+func TestTransposed(t *testing.T) {
+	m := NewIota(2, 3)
+	tr := m.Transposed()
+	if tr.Rows() != 8 || tr.Cols() != 4 {
+		t.Fatalf("transposed shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for u := uint64(0); u < 4; u++ {
+		for v := uint64(0); v < 8; v++ {
+			if tr.At(v, u) != m.At(u, v) {
+				t.Fatalf("tr(%d,%d) != m(%d,%d)", v, u, u, v)
+			}
+		}
+	}
+	// Transposing twice is the identity.
+	if !tr.Transposed().Equal(m) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := NewIota(2, 2), NewIota(2, 2)
+	if !a.Equal(b) {
+		t.Error("equal matrices reported unequal")
+	}
+	b.Set(1, 1, -1)
+	if a.Equal(b) {
+		t.Error("unequal matrices reported equal")
+	}
+	if a.Equal(NewIota(2, 3)) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	m := NewIota(4, 4)
+	layouts := []field.Layout{
+		field.OneDimConsecutiveRows(4, 4, 2, field.Binary),
+		field.OneDimCyclicCols(4, 4, 3, field.Gray),
+		field.TwoDimConsecutive(4, 4, 2, 2, field.Binary),
+		field.TwoDimCyclic(4, 4, 2, 2, field.Gray),
+		field.TwoDimMixed(4, 4, 1, 2, field.Binary),
+	}
+	for _, l := range layouts {
+		d := Scatter(m, l)
+		if err := d.Verify(m); err != nil {
+			t.Errorf("%s: scatter not verified: %v", l, err)
+		}
+		if !d.Gather().Equal(m) {
+			t.Errorf("%s: gather != original", l)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	m := NewIota(3, 3)
+	l := field.TwoDimConsecutive(3, 3, 1, 1, field.Binary)
+	d := Scatter(m, l)
+	d.Local[2][5] = -42
+	err := d.Verify(m)
+	if err == nil || !strings.Contains(err.Error(), "proc 2 slot 5") {
+		t.Errorf("corruption not located: %v", err)
+	}
+}
+
+func TestVerifyDetectsShapeMismatch(t *testing.T) {
+	m := NewIota(3, 3)
+	l := field.OneDimCyclicCols(3, 3, 2, field.Binary)
+	d := Scatter(m, l)
+	if err := d.Verify(NewIota(3, 2)); err == nil {
+		t.Error("shape mismatch not detected")
+	}
+}
+
+func TestScatterPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scatter with wrong layout shape did not panic")
+		}
+	}()
+	Scatter(NewIota(3, 3), field.OneDimCyclicCols(2, 2, 1, field.Binary))
+}
+
+func TestLocalShape(t *testing.T) {
+	m := NewIota(4, 3)
+	// Row partitioning: contiguous row blocks.
+	d := Scatter(m, field.OneDimConsecutiveRows(4, 3, 2, field.Binary))
+	rows, cols, ok := d.LocalShape()
+	if !ok || rows != 4 || cols != 8 {
+		t.Fatalf("LocalShape = (%d,%d,%v), want (4,8,true)", rows, cols, ok)
+	}
+	// Every local row must be a contiguous matrix row.
+	for proc := 0; proc < 4; proc++ {
+		for r := 0; r < rows; r++ {
+			row := d.LocalRow(proc, r)
+			u := d.RowIndex(proc, r)
+			for v := 0; v < cols; v++ {
+				if row[v] != m.At(u, uint64(v)) {
+					t.Fatalf("proc %d local row %d: element %d wrong", proc, r, v)
+				}
+			}
+		}
+	}
+	// Cyclic rows also store full rows.
+	d = Scatter(m, field.OneDimCyclicRows(4, 3, 2, field.Binary))
+	if _, _, ok := d.LocalShape(); !ok {
+		t.Error("cyclic rows should have a row-block local shape")
+	}
+	// Column partitioning does not.
+	d = Scatter(m, field.OneDimConsecutiveCols(4, 3, 2, field.Binary))
+	if _, _, ok := d.LocalShape(); ok {
+		t.Error("column partitioning wrongly reported row blocks")
+	}
+	// Two-dimensional partitioning does not.
+	d = Scatter(m, field.TwoDimConsecutive(4, 3, 1, 1, field.Binary))
+	if _, _, ok := d.LocalShape(); ok {
+		t.Error("2-D partitioning wrongly reported row blocks")
+	}
+}
+
+func TestLocalRowPanicsOnBadLayout(t *testing.T) {
+	d := Scatter(NewIota(3, 3), field.OneDimConsecutiveCols(3, 3, 2, field.Binary))
+	defer func() {
+		if recover() == nil {
+			t.Error("LocalRow on a column layout did not panic")
+		}
+	}()
+	d.LocalRow(0, 0)
+}

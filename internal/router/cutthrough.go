@@ -1,0 +1,136 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"boolcube/internal/machine"
+)
+
+// This file models circuit-switched (cut-through) routing, the behaviour of
+// the Connection Machine's bit-serial pipelined communication system
+// (Section 8.2.2): a message reserves its whole path, pays the start-up τ
+// once and a small per-hop header latency, and then streams its body at
+// t_c per byte regardless of distance. Contention is at path granularity:
+// a transmission begins when every link on its route is free.
+//
+// The scheduler is deterministic: transmissions start in earliest-possible-
+// time order with flow index as the tie breaker.
+
+// CutThroughStats summarizes a circuit-switched schedule.
+type CutThroughStats struct {
+	Time         float64 // makespan, µs
+	Startups     int64
+	Bytes        int64
+	MaxLinkBytes int64
+	MaxWait      float64 // longest time a flow waited on busy links
+}
+
+// HopLatency is the per-hop header forwarding delay of the cut-through
+// router, as a fraction of τ. The CM's routing cycle is small relative to
+// the message start-up.
+const HopLatency = 0.1
+
+// CutThrough schedules the flows under circuit switching and returns the
+// aggregate statistics. Flow payload sizes are taken from Data (in
+// elements, converted with the machine's element size); routes must be
+// valid as in Run.
+func CutThrough(n int, p machine.Params, flows []Flow) (CutThroughStats, error) {
+	type pending struct {
+		idx   int
+		edges []linkID
+		dur   float64
+		bytes int
+	}
+	var st CutThroughStats
+	linkFree := make(map[linkID]float64)
+	linkBytes := make(map[linkID]int64)
+
+	items := make([]pending, 0, len(flows))
+	for i, f := range flows {
+		x := f.Src
+		edges := make([]linkID, 0, len(f.Dims))
+		for _, d := range f.Dims {
+			if d < 0 || d >= n {
+				return st, fmt.Errorf("router: flow %d dimension %d out of range", i, d)
+			}
+			edges = append(edges, linkID{from: x, dim: d})
+			x ^= 1 << uint(d)
+		}
+		if x != f.Dst {
+			return st, fmt.Errorf("router: flow %d route ends at %d, not %d", i, x, f.Dst)
+		}
+		if len(edges) == 0 {
+			continue // local
+		}
+		bytes := len(f.Data) * p.ElemBytes
+		// One start-up, per-hop header latency, pipelined body.
+		dur := p.Tau + float64(len(edges)-1)*HopLatency*p.Tau + float64(bytes)*p.Tc
+		items = append(items, pending{idx: i, edges: edges, dur: dur, bytes: bytes})
+	}
+
+	remaining := items
+	for len(remaining) > 0 {
+		// Pick the flow that can start earliest (ties by flow index).
+		best := -1
+		bestT := math.Inf(1)
+		for j, it := range remaining {
+			t := 0.0
+			for _, e := range it.edges {
+				if f := linkFree[e]; f > t {
+					t = f
+				}
+			}
+			if t < bestT || (t == bestT && (best == -1 || remaining[j].idx < remaining[best].idx)) {
+				bestT = t
+				best = j
+			}
+		}
+		it := remaining[best]
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+		end := bestT + it.dur
+		for _, e := range it.edges {
+			linkFree[e] = end
+			linkBytes[e] += int64(it.bytes)
+		}
+		st.Startups++
+		st.Bytes += int64(it.bytes)
+		if bestT > st.MaxWait {
+			st.MaxWait = bestT
+		}
+		if end > st.Time {
+			st.Time = end
+		}
+	}
+	for _, b := range linkBytes {
+		if b > st.MaxLinkBytes {
+			st.MaxLinkBytes = b
+		}
+	}
+	return st, nil
+}
+
+type linkID struct {
+	from uint64
+	dim  int
+}
+
+// EcubeCutThroughAllPairs schedules one cut-through flow per (src, dst)
+// pair of the permutation perm with `elems` elements each, over e-cube
+// routes — the Connection Machine "routing logic" model.
+func EcubeCutThroughAllPairs(n int, p machine.Params, perm func(uint64) uint64, elems int) (CutThroughStats, error) {
+	N := uint64(1) << uint(n)
+	flows := make([]Flow, 0, N)
+	for s := uint64(0); s < N; s++ {
+		d := perm(s)
+		if d == s {
+			continue
+		}
+		flows = append(flows, Flow{Src: s, Dst: d, Dims: Ecube(s, d, n),
+			Data: make([]float64, elems)})
+	}
+	// Deterministic order.
+	sort.Slice(flows, func(a, b int) bool { return flows[a].Src < flows[b].Src })
+	return CutThrough(n, p, flows)
+}

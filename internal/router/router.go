@@ -1,0 +1,203 @@
+// Package router executes source-routed, store-and-forward traffic on a
+// simulated cube: every transfer carries its full dimension route, and
+// intermediate nodes forward packets hop by hop. Because routes are fixed
+// in advance, per-node termination counts are computed statically, so node
+// programs never need timeouts or control messages.
+//
+// The transpose path systems of the paper (SPT, DPT, MPT), spanning-tree
+// personalized communication, and the iPSC/CM "routing logic" (dimension-
+// order e-cube) experiments all reduce to flow sets executed by this
+// package.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"boolcube/internal/simnet"
+)
+
+// Flow is one source-to-destination transfer along an explicit route.
+type Flow struct {
+	Src, Dst uint64
+	Dims     []int     // route; PathEnd(Src, Dims) must equal Dst
+	Data     []float64 // payload (matrix elements)
+	Packets  int       // number of packets the payload is split into (min 1)
+}
+
+// Delivery is a completed flow at its destination, payload reassembled in
+// packet order.
+type Delivery struct {
+	Src  uint64
+	Data []float64
+}
+
+// Run executes all flows on the engine. It returns the deliveries grouped
+// by destination node, in a deterministic order (by source). Sources inject
+// their packets round-robin across their flows — packet 0 of every flow
+// first — which realizes the paper's MPT schedule of sending one packet per
+// path per cycle.
+func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
+	n := e.Dims()
+	N := uint64(e.Nodes())
+	for i, f := range flows {
+		if f.Src >= N || f.Dst >= N {
+			return nil, fmt.Errorf("router: flow %d endpoints out of range", i)
+		}
+		end := f.Src
+		for _, d := range f.Dims {
+			if d < 0 || d >= n {
+				return nil, fmt.Errorf("router: flow %d has dimension %d out of range", i, d)
+			}
+			end ^= 1 << uint(d)
+		}
+		if end != f.Dst {
+			return nil, fmt.Errorf("router: flow %d route ends at %d, not %d", i, end, f.Dst)
+		}
+	}
+
+	// Static planning: per-source flow lists and per-node arrival counts.
+	bySrc := make(map[uint64][]int)
+	expect := make([]int, N)
+	for i, f := range flows {
+		pk := f.Packets
+		if pk < 1 {
+			pk = 1
+		}
+		if pk > len(f.Data) && len(f.Data) > 0 {
+			pk = len(f.Data)
+		}
+		if len(f.Dims) == 0 {
+			continue // local; no traffic
+		}
+		bySrc[f.Src] = append(bySrc[f.Src], i)
+		x := f.Src
+		for _, d := range f.Dims {
+			x ^= 1 << uint(d)
+			expect[x] += pk
+		}
+	}
+
+	type pkt struct {
+		flow, idx int
+		data      []float64
+	}
+	// finals[node] accumulates (flow, packet, data) at destinations.
+	finals := make([][]pkt, N)
+
+	err := e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		// Inject own packets, round-robin across flows.
+		myFlows := bySrc[id]
+		type cursor struct {
+			flow   int
+			chunks [][]float64
+			next   int
+		}
+		cursors := make([]cursor, 0, len(myFlows))
+		for _, fi := range myFlows {
+			f := flows[fi]
+			pk := f.Packets
+			if pk < 1 {
+				pk = 1
+			}
+			if pk > len(f.Data) && len(f.Data) > 0 {
+				pk = len(f.Data)
+			}
+			cursors = append(cursors, cursor{flow: fi, chunks: splitChunks(f.Data, pk)})
+		}
+		for remaining := true; remaining; {
+			remaining = false
+			for ci := range cursors {
+				c := &cursors[ci]
+				if c.next >= len(c.chunks) {
+					continue
+				}
+				f := flows[c.flow]
+				nd.Send(f.Dims[0], simnet.Msg{
+					Src: f.Src, Dst: f.Dst, Tag: c.flow, Rel: uint64(c.next),
+					Path: f.Dims[1:], Data: c.chunks[c.next],
+				})
+				c.next++
+				if c.next < len(c.chunks) {
+					remaining = true
+				}
+			}
+		}
+		// Receive and forward until the static arrival count is met.
+		for i := 0; i < expect[id]; i++ {
+			m := nd.RecvAny()
+			if len(m.Path) == 0 {
+				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data})
+				continue
+			}
+			next := m.Path[0]
+			m.Path = m.Path[1:]
+			nd.Send(next, m)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reassemble deliveries: local flows first, then received packets.
+	out := make(map[uint64][]Delivery)
+	byFlow := make(map[int][]pkt)
+	for _, ps := range finals {
+		for _, p := range ps {
+			byFlow[p.flow] = append(byFlow[p.flow], p)
+		}
+	}
+	for i, f := range flows {
+		var data []float64
+		if len(f.Dims) == 0 {
+			data = append([]float64(nil), f.Data...)
+		} else {
+			ps := byFlow[i]
+			sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+			for _, p := range ps {
+				data = append(data, p.data...)
+			}
+		}
+		out[f.Dst] = append(out[f.Dst], Delivery{Src: f.Src, Data: data})
+	}
+	for _, ds := range out {
+		// Stable: deliveries from the same source keep flow order, so
+		// multi-path payloads reassemble deterministically.
+		sort.SliceStable(ds, func(a, b int) bool { return ds[a].Src < ds[b].Src })
+	}
+	return out, nil
+}
+
+// splitChunks splits data into pk nearly equal chunks (earlier chunks get
+// the remainder). Empty data yields pk empty chunks so that timing-only
+// flows still generate traffic-free messages; callers normally provide
+// payload.
+func splitChunks(data []float64, pk int) [][]float64 {
+	chunks := make([][]float64, pk)
+	base := len(data) / pk
+	rem := len(data) % pk
+	off := 0
+	for i := 0; i < pk; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		chunks[i] = data[off : off+sz]
+		off += sz
+	}
+	return chunks
+}
+
+// Ecube returns the dimension-order (ascending) route from src to dst, the
+// paths taken by the iPSC and Connection Machine routing logic.
+func Ecube(src, dst uint64, n int) []int {
+	var dims []int
+	diff := src ^ dst
+	for d := 0; d < n; d++ {
+		if diff>>uint(d)&1 == 1 {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}

@@ -1,0 +1,38 @@
+package simnet
+
+import (
+	"testing"
+
+	"boolcube/internal/machine"
+)
+
+// BenchmarkEngineExchange measures the host-side overhead of the
+// baton-passing engine: one full dimension scan of exchanges on a 6-cube.
+func BenchmarkEngineExchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := New(6, machine.Ideal(machine.OnePort))
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = e.Run(func(nd *Node) {
+			for d := 5; d >= 0; d-- {
+				nd.Exchange(d, Msg{Data: make([]float64, 8)})
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSpawn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := New(8, machine.Ideal(machine.NPort))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(func(nd *Node) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"fmt"
+
+	"boolcube/internal/machine"
+)
+
+// ID returns the node's cube address.
+func (nd *Node) ID() uint64 { return nd.id }
+
+// Dims returns the cube dimension n.
+func (nd *Node) Dims() int { return nd.eng.n }
+
+// Nodes returns the node count N.
+func (nd *Node) Nodes() int { return nd.eng.nodesCount }
+
+// Clock returns the node's current virtual time in µs.
+func (nd *Node) Clock() float64 { return nd.clock }
+
+// Params returns the machine model in force.
+func (nd *Node) Params() machine.Params { return nd.eng.params }
+
+// Neighbor returns the node's neighbor across dimension d.
+func (nd *Node) Neighbor(d int) uint64 {
+	nd.checkDim(d)
+	return nd.id ^ 1<<uint(d)
+}
+
+// submit parks the node with a pending operation and blocks until the
+// engine executes it.
+func (nd *Node) submit(o op) Msg {
+	nd.pending = o
+	nd.parked <- struct{}{}
+	m := <-nd.resume
+	if nd.eng.poisoned {
+		panic(errPoisoned)
+	}
+	return m
+}
+
+// Send transmits m to the neighbor across dimension dim. The call returns
+// when the transmission has been scheduled; the node's send port stays busy
+// for the transmission duration, so consecutive sends serialize according
+// to the machine's port model.
+func (nd *Node) Send(dim int, m Msg) {
+	nd.checkDim(dim)
+	nd.submit(op{kind: opSend, dim: dim, msg: m})
+}
+
+// Recv blocks until a message arrives from the neighbor across dimension
+// dim and returns it. Messages on one link are delivered in FIFO order.
+func (nd *Node) Recv(dim int) Msg {
+	nd.checkDim(dim)
+	return nd.submit(op{kind: opRecv, dim: dim})
+}
+
+// RecvAny blocks until a message arrives on any dimension and returns the
+// earliest-arriving one (ties broken by global send order).
+func (nd *Node) RecvAny() Msg {
+	return nd.submit(op{kind: opRecvAny})
+}
+
+// Exchange sends m across dim and receives the partner's message from the
+// same dimension. With bi-directional links the send and receive overlap,
+// so on a one-port machine an exchange costs the same as one send
+// (Section 2 of the paper).
+func (nd *Node) Exchange(dim int, m Msg) Msg {
+	nd.Send(dim, m)
+	return nd.Recv(dim)
+}
+
+// Copy charges the machine's local copy cost for b bytes (buffer packing or
+// local rearrangement, Section 8.1).
+func (nd *Node) Copy(b int) {
+	if b < 0 {
+		panic(fmt.Sprintf("simnet: negative copy size %d", b))
+	}
+	nd.submit(op{kind: opCopy, bytes: b})
+}
+
+// CopyElems charges the copy cost of k matrix elements.
+func (nd *Node) CopyElems(k int) {
+	nd.Copy(k * nd.eng.params.ElemBytes)
+}
+
+// Advance moves the node's local clock forward by dt µs of computation.
+func (nd *Node) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("simnet: negative time advance %v", dt))
+	}
+	nd.submit(op{kind: opAdvance, dt: dt})
+}
+
+func (nd *Node) checkDim(d int) {
+	if d < 0 || d >= nd.eng.n {
+		panic(fmt.Sprintf("simnet: node %d: dimension %d out of range [0,%d)", nd.id, d, nd.eng.n))
+	}
+}

@@ -1,0 +1,527 @@
+// Package simnet is a deterministic discrete-event simulator of a Boolean
+// n-cube message-passing multiprocessor, the substrate standing in for the
+// paper's Intel iPSC and Connection Machine.
+//
+// Node programs are ordinary sequential Go functions run one per node. They
+// communicate through Send/Recv/Exchange over cube links; every operation
+// advances per-node virtual clocks according to a machine.Params cost model
+// (start-up τ, per-byte transfer t_c, packetization B_m, copy cost, one-port
+// vs n-port). Contention is modeled by port and link occupancy: only one
+// transmission at a time per directed link, and a one-port node serializes
+// all its sends (and all its receives) while an n-port node has one send and
+// one receive resource per dimension.
+//
+// Determinism: the engine parks every node at each timed operation and
+// always executes the pending operation with the smallest virtual action
+// time (ties broken by node id). Since node clocks are monotone and a
+// message's arrival time is never earlier than its sender's action time,
+// this order is causally correct, and repeated runs produce identical
+// virtual-time traces regardless of goroutine scheduling.
+//
+// Concurrency contract: between a node's timed operations, only that node
+// runs — but all node prologues (before the first timed operation) and
+// epilogues (after the last) execute concurrently. State shared across node
+// programs must therefore be read-only, synchronized, or partitioned per
+// node (e.g. writing result[nd.ID()] is safe; lazily filling a shared map
+// is not).
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"boolcube/internal/machine"
+)
+
+// Part describes one logical block inside a multi-block message: N elements
+// of Data belonging to the (Src, Dst) transfer. Personalized-communication
+// algorithms bundle many blocks into one transmission; Parts keeps them
+// identifiable without extra wire cost.
+type Part struct {
+	Src, Dst uint64
+	N        int
+}
+
+// Msg is a message traveling over one cube link. Src and Dst identify the
+// original source and final destination for multi-hop (forwarded) traffic;
+// Rel and Path carry routing state for relative-address and source-routed
+// algorithms; Data is the payload in matrix elements, optionally subdivided
+// by Parts.
+type Msg struct {
+	Src, Dst uint64
+	Tag      int
+	Rel      uint64
+	Path     []int
+	Parts    []Part
+	Data     []float64
+}
+
+// Clone returns a deep copy of the message (fresh Data, Path and Parts).
+func (m Msg) Clone() Msg {
+	c := m
+	c.Data = append([]float64(nil), m.Data...)
+	c.Path = append([]int(nil), m.Path...)
+	c.Parts = append([]Part(nil), m.Parts...)
+	return c
+}
+
+// Stats aggregates what the paper measures: simulated elapsed time,
+// communication start-ups, transferred volume and link load.
+type Stats struct {
+	Time         float64 // makespan over all nodes and transmissions, µs
+	Startups     int64   // total communication start-ups
+	Sends        int64   // messages sent (per-hop)
+	Bytes        int64   // total bytes crossing links
+	CopyBytes    int64   // total bytes passed through local copies
+	CopyTime     float64 // total local copy time (sum over nodes), µs
+	MaxLinkBytes int64   // heaviest directed link, bytes
+	MaxLinkBusy  float64 // heaviest directed link, busy time µs
+}
+
+type opKind int
+
+const (
+	opSend opKind = iota
+	opRecv
+	opRecvAny
+	opCopy
+	opAdvance
+	opDone
+)
+
+type op struct {
+	kind  opKind
+	dim   int
+	msg   Msg
+	bytes int
+	dt    float64
+}
+
+type arrival struct {
+	msg     Msg
+	at      float64 // transmission completion at receiver
+	dur     float64 // transmission duration (for receive-port serialization)
+	fromDim int
+	seq     int64 // global sequence for stable FIFO ordering
+}
+
+// Node is the per-processor handle node programs use. Its methods may only
+// be called from within the program function passed to Run, on the node's
+// own goroutine.
+type Node struct {
+	id  uint64
+	eng *Engine
+
+	clock    float64
+	sendFree []float64 // one entry (one-port) or n entries (n-port)
+	recvFree []float64
+
+	queues  [][]arrival // inbound, per dimension
+	pending op
+	parked  chan struct{} // signaled by node when parked
+	resume  chan Msg      // engine -> node, carries recv results
+	done    bool
+	failure error
+}
+
+// Engine simulates one cube. Create with New, run programs with Run.
+type Engine struct {
+	n, nodesCount int
+	params        machine.Params
+
+	nodes []*Node
+	seq   int64
+
+	linkFree  map[linkKey]float64
+	linkBytes map[linkKey]int64
+	linkBusy  map[linkKey]float64
+
+	stats    Stats
+	tracer   Tracer
+	started  bool // engines are one-shot; see Run
+	poisoned bool // set before resuming nodes during drainAll
+	fail     error
+}
+
+// TraceEvent is one timed operation of one node, reported to a Tracer.
+type TraceEvent struct {
+	Node       uint64
+	Kind       string // "send", "recv", "copy", "compute"
+	Dim        int    // cube dimension for send/recv; -1 otherwise
+	Bytes      int
+	Start, End float64
+}
+
+// Tracer receives every timed operation as it executes, in deterministic
+// engine order. Implementations must not call back into the engine.
+type Tracer interface {
+	Record(TraceEvent)
+}
+
+// SetTracer installs a tracer for subsequent Runs (nil disables tracing).
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+func (e *Engine) trace(ev TraceEvent) {
+	if e.tracer != nil {
+		e.tracer.Record(ev)
+	}
+}
+
+// errPoisoned unwinds node goroutines after the engine has failed.
+var errPoisoned = fmt.Errorf("simnet: engine poisoned")
+
+type linkKey struct {
+	from uint64
+	dim  int
+}
+
+// New returns an engine for an n-dimensional cube under the given machine
+// model.
+func New(n int, params machine.Params) (*Engine, error) {
+	if n < 0 || n > 20 {
+		return nil, fmt.Errorf("simnet: cube dimension %d out of range [0,20]", n)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		n:          n,
+		nodesCount: 1 << uint(n),
+		params:     params,
+		linkFree:   make(map[linkKey]float64),
+		linkBytes:  make(map[linkKey]int64),
+		linkBusy:   make(map[linkKey]float64),
+	}
+	return e, nil
+}
+
+// Dims returns the cube dimension n.
+func (e *Engine) Dims() int { return e.n }
+
+// Nodes returns the node count N = 2^n.
+func (e *Engine) Nodes() int { return e.nodesCount }
+
+// Params returns the machine model in force.
+func (e *Engine) Params() machine.Params { return e.params }
+
+// Stats returns the accumulated statistics of the last Run.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// LinkLoad reports the traffic carried by one directed link.
+type LinkLoad struct {
+	From uint64
+	Dim  int
+	// Bytes carried and total busy time in µs.
+	Bytes int64
+	Busy  float64
+}
+
+// To returns the link's destination node.
+func (l LinkLoad) To() uint64 { return l.From ^ 1<<uint(l.Dim) }
+
+// LinkLoads returns the per-directed-link traffic of the last Run, sorted
+// by (From, Dim). Links that carried no traffic are omitted.
+func (e *Engine) LinkLoads() []LinkLoad {
+	out := make([]LinkLoad, 0, len(e.linkBytes))
+	for k, b := range e.linkBytes {
+		out = append(out, LinkLoad{From: k.from, Dim: k.dim, Bytes: b, Busy: e.linkBusy[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Dim < out[j].Dim
+	})
+	return out
+}
+
+func (e *Engine) ports() int {
+	if e.params.Ports == machine.NPort {
+		return max(e.n, 1)
+	}
+	return 1
+}
+
+func (e *Engine) portIndex(dim int) int {
+	if e.params.Ports == machine.NPort {
+		return dim
+	}
+	return 0
+}
+
+// Run executes prog on every node until all programs return. It returns an
+// error if any program panics, misuses the API, or the system deadlocks
+// (every unfinished node blocked on a receive that can never be satisfied).
+// Engines are one-shot: a second Run returns an error, because node clocks
+// would restart at zero and the statistics would mix runs — compose
+// multi-phase algorithms inside a single program instead.
+func (e *Engine) Run(prog func(*Node)) error {
+	if e.started {
+		return fmt.Errorf("simnet: engine already ran; clocks would restart at zero — create a fresh engine (compose phases inside one program instead)")
+	}
+	e.started = true
+	e.nodes = make([]*Node, e.nodesCount)
+	for i := range e.nodes {
+		nd := &Node{
+			id:       uint64(i),
+			eng:      e,
+			sendFree: make([]float64, e.ports()),
+			recvFree: make([]float64, e.ports()),
+			queues:   make([][]arrival, max(e.n, 1)),
+			parked:   make(chan struct{}, 1),
+			resume:   make(chan Msg, 1),
+		}
+		e.nodes[i] = nd
+	}
+	for _, nd := range e.nodes {
+		go func(nd *Node) {
+			defer func() {
+				if r := recover(); r != nil && r != errPoisoned {
+					nd.failure = fmt.Errorf("simnet: node %d panicked: %v", nd.id, r)
+				}
+				nd.pending = op{kind: opDone}
+				nd.parked <- struct{}{}
+			}()
+			prog(nd)
+		}(nd)
+	}
+
+	// Invariant: at the top of each iteration every live node is parked with
+	// a pending op and its park token has been consumed, so its goroutine is
+	// blocked waiting on resume.
+	for _, nd := range e.nodes {
+		<-nd.parked
+	}
+	live := e.nodesCount
+	for live > 0 {
+		// Surface program failures (panics inside node programs).
+		for _, nd := range e.nodes {
+			if !nd.done && nd.failure != nil {
+				nd.done = true
+				err := nd.failure
+				e.drainAll()
+				return err
+			}
+		}
+		// Pick the executable op with the smallest action time.
+		best := -1
+		bestT := math.Inf(1)
+		for i, nd := range e.nodes {
+			if nd.done {
+				continue
+			}
+			t, ok := e.actionTime(nd)
+			if ok && t < bestT {
+				bestT = t
+				best = i
+			}
+		}
+		if best == -1 {
+			err := e.deadlockError()
+			e.drainAll()
+			return err
+		}
+		nd := e.nodes[best]
+		if e.execute(nd) {
+			nd.done = true
+			live--
+			continue
+		}
+		<-nd.parked // wait for the resumed node to park again
+	}
+	if e.stats.Time < e.maxResourceTime() {
+		e.stats.Time = e.maxResourceTime()
+	}
+	return e.fail
+}
+
+// drainAll unwinds every still-live node goroutine after an error: the
+// engine is poisoned so the node's next operation panics with a sentinel
+// that the goroutine wrapper converts into a clean exit.
+func (e *Engine) drainAll() {
+	e.poisoned = true
+	for _, nd := range e.nodes {
+		if nd.done {
+			continue
+		}
+		if nd.pending.kind != opDone {
+			// Goroutine is blocked on resume; unblock it and let the
+			// poison sentinel unwind it to a final opDone park.
+			nd.resume <- Msg{}
+			<-nd.parked
+		}
+		nd.done = true
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []uint64
+	for _, nd := range e.nodes {
+		if !nd.done {
+			stuck = append(stuck, nd.id)
+		}
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	return fmt.Errorf("simnet: deadlock: nodes %v blocked on receive with no inbound messages", stuck)
+}
+
+// actionTime returns the virtual time at which the node's pending op can
+// execute, and whether it is executable at all right now.
+func (e *Engine) actionTime(nd *Node) (float64, bool) {
+	switch nd.pending.kind {
+	case opSend:
+		return math.Max(nd.clock, nd.sendFree[e.portIndex(nd.pending.dim)]), true
+	case opRecv:
+		q := nd.queues[nd.pending.dim]
+		if len(q) == 0 {
+			return 0, false
+		}
+		return math.Max(nd.clock, q[0].at), true
+	case opRecvAny:
+		bestT := math.Inf(1)
+		found := false
+		for _, q := range nd.queues {
+			if len(q) > 0 && q[0].at < bestT {
+				bestT = q[0].at
+				found = true
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		return math.Max(nd.clock, bestT), true
+	case opCopy, opAdvance, opDone:
+		return nd.clock, true
+	}
+	return 0, false
+}
+
+// execute runs the node's pending operation, updates time and statistics,
+// and resumes the node (except for opDone). Returns true when the node has
+// finished.
+func (e *Engine) execute(nd *Node) bool {
+	switch nd.pending.kind {
+	case opSend:
+		e.doSend(nd, nd.pending.dim, nd.pending.msg)
+		nd.resume <- Msg{}
+	case opRecv:
+		m := e.doRecv(nd, nd.pending.dim)
+		nd.resume <- m
+	case opRecvAny:
+		m := e.doRecvAny(nd)
+		nd.resume <- m
+	case opCopy:
+		t := e.params.CopyTime(nd.pending.bytes)
+		e.trace(TraceEvent{Node: nd.id, Kind: "copy", Dim: -1,
+			Bytes: nd.pending.bytes, Start: nd.clock, End: nd.clock + t})
+		nd.clock += t
+		e.stats.CopyTime += t
+		e.stats.CopyBytes += int64(nd.pending.bytes)
+		e.bumpTime(nd.clock)
+		nd.resume <- Msg{}
+	case opAdvance:
+		e.trace(TraceEvent{Node: nd.id, Kind: "compute", Dim: -1,
+			Start: nd.clock, End: nd.clock + nd.pending.dt})
+		nd.clock += nd.pending.dt
+		e.bumpTime(nd.clock)
+		nd.resume <- Msg{}
+	case opDone:
+		e.bumpTime(nd.clock)
+		return true
+	}
+	return false
+}
+
+func (e *Engine) doSend(nd *Node, dim int, m Msg) {
+	bytes := len(m.Data) * e.params.ElemBytes
+	dur, startups := e.params.SendTime(bytes)
+	port := e.portIndex(dim)
+	lk := linkKey{from: nd.id, dim: dim}
+	start := math.Max(nd.clock, nd.sendFree[port])
+	start = math.Max(start, e.linkFree[lk])
+	end := start + dur
+	nd.sendFree[port] = end
+	e.linkFree[lk] = end
+	e.linkBytes[lk] += int64(bytes)
+	e.linkBusy[lk] += dur
+	if e.linkBytes[lk] > e.stats.MaxLinkBytes {
+		e.stats.MaxLinkBytes = e.linkBytes[lk]
+	}
+	if e.linkBusy[lk] > e.stats.MaxLinkBusy {
+		e.stats.MaxLinkBusy = e.linkBusy[lk]
+	}
+	e.stats.Startups += int64(startups)
+	e.stats.Sends++
+	e.stats.Bytes += int64(bytes)
+	nd.clock = start
+	e.bumpTime(end)
+	e.trace(TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
+
+	dest := e.nodes[nd.id^1<<uint(dim)]
+	e.seq++
+	dest.queues[dim] = append(dest.queues[dim], arrival{
+		msg: m, at: end, dur: dur, fromDim: dim, seq: e.seq,
+	})
+}
+
+func (e *Engine) doRecv(nd *Node, dim int) Msg {
+	q := nd.queues[dim]
+	a := q[0]
+	nd.queues[dim] = q[1:]
+	return e.finishRecv(nd, a)
+}
+
+func (e *Engine) doRecvAny(nd *Node) Msg {
+	bestDim := -1
+	for d, q := range nd.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if bestDim == -1 || q[0].at < nd.queues[bestDim][0].at ||
+			(q[0].at == nd.queues[bestDim][0].at && q[0].seq < nd.queues[bestDim][0].seq) {
+			bestDim = d
+		}
+	}
+	a := nd.queues[bestDim][0]
+	nd.queues[bestDim] = nd.queues[bestDim][1:]
+	return e.finishRecv(nd, a)
+}
+
+// finishRecv applies receive-port serialization: a message of transmission
+// duration d completes at max(arrival, prevCompletion + d) on the relevant
+// receive port, which costs nothing when the port is idle and serializes
+// concurrent arrivals on a one-port node.
+func (e *Engine) finishRecv(nd *Node, a arrival) Msg {
+	port := e.portIndex(a.fromDim)
+	completion := math.Max(a.at, nd.recvFree[port]+a.dur)
+	nd.recvFree[port] = completion
+	nd.clock = math.Max(nd.clock, completion)
+	e.bumpTime(nd.clock)
+	e.trace(TraceEvent{Node: nd.id, Kind: "recv", Dim: a.fromDim,
+		Bytes: len(a.msg.Data) * e.params.ElemBytes, Start: completion - a.dur, End: completion})
+	return a.msg
+}
+
+func (e *Engine) bumpTime(t float64) {
+	if t > e.stats.Time {
+		e.stats.Time = t
+	}
+}
+
+func (e *Engine) maxResourceTime() float64 {
+	t := 0.0
+	for _, f := range e.linkFree {
+		if f > t {
+			t = f
+		}
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,474 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"boolcube/internal/machine"
+)
+
+func ideal(t *testing.T, n int, ports machine.PortModel) *Engine {
+	t.Helper()
+	e, err := New(n, machine.Ideal(ports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewRejectsBadDims(t *testing.T) {
+	if _, err := New(-1, machine.Ideal(machine.OnePort)); err == nil {
+		t.Error("negative dims accepted")
+	}
+	if _, err := New(21, machine.Ideal(machine.OnePort)); err == nil {
+		t.Error("oversized dims accepted")
+	}
+	bad := machine.Ideal(machine.OnePort)
+	bad.Tau = -5
+	if _, err := New(3, bad); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestSingleExchange(t *testing.T) {
+	e := ideal(t, 1, machine.OnePort)
+	var got [2]float64
+	err := e.Run(func(nd *Node) {
+		m := nd.Exchange(0, Msg{Src: nd.ID(), Data: []float64{float64(nd.ID())}})
+		got[nd.ID()] = m.Data[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("exchange payloads = %v", got)
+	}
+	// Ideal machine: τ=1, tc=1/byte, 1 elem = 1 byte: dur = 2. Both sends
+	// start at 0, arrive at 2: makespan 2, total startups 2.
+	st := e.Stats()
+	if st.Time != 2 {
+		t.Errorf("time = %v, want 2", st.Time)
+	}
+	if st.Startups != 2 || st.Sends != 2 || st.Bytes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// One-port: consecutive sends from the same node serialize on the send port.
+func TestOnePortSerializesSends(t *testing.T) {
+	e := ideal(t, 2, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 0:
+			nd.Send(0, Msg{Data: []float64{1}}) // dur 2
+			nd.Send(1, Msg{Data: []float64{1}}) // dur 2, starts at 2
+		case 1:
+			nd.Recv(0)
+		case 2:
+			nd.Recv(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Time; got != 4 {
+		t.Errorf("one-port two sends: time = %v, want 4", got)
+	}
+}
+
+// n-port: the same two sends overlap.
+func TestNPortOverlapsSends(t *testing.T) {
+	e := ideal(t, 2, machine.NPort)
+	err := e.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 0:
+			nd.Send(0, Msg{Data: []float64{1}})
+			nd.Send(1, Msg{Data: []float64{1}})
+		case 1:
+			nd.Recv(0)
+		case 2:
+			nd.Recv(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Time; got != 2 {
+		t.Errorf("n-port two sends: time = %v, want 2", got)
+	}
+}
+
+// One-port receive serialization: two messages arriving concurrently on
+// different dims complete one transmission time apart.
+func TestOnePortSerializesReceives(t *testing.T) {
+	e := ideal(t, 2, machine.OnePort)
+	var clock3 float64
+	err := e.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 1, 2:
+			// 1 -> 3 over dim 1; 2 -> 3 over dim 0. Both start at 0, dur 2.
+			d := 1
+			if nd.ID() == 2 {
+				d = 0
+			}
+			nd.Send(d, Msg{Data: []float64{9}})
+		case 3:
+			nd.RecvAny()
+			nd.RecvAny()
+			clock3 = nd.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First completes at 2, second serializes: max(2, 2+2) = 4.
+	if clock3 != 4 {
+		t.Errorf("one-port recv completion = %v, want 4", clock3)
+	}
+}
+
+func TestNPortParallelReceives(t *testing.T) {
+	e := ideal(t, 2, machine.NPort)
+	var clock3 float64
+	err := e.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 1, 2:
+			d := 1
+			if nd.ID() == 2 {
+				d = 0
+			}
+			nd.Send(d, Msg{Data: []float64{9}})
+		case 3:
+			nd.RecvAny()
+			nd.RecvAny()
+			clock3 = nd.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock3 != 2 {
+		t.Errorf("n-port recv completion = %v, want 2", clock3)
+	}
+}
+
+// Link contention: two transmissions cannot share one directed link; FIFO
+// order is preserved.
+func TestLinkFIFO(t *testing.T) {
+	e := ideal(t, 1, machine.NPort)
+	var order []float64
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Msg{Tag: 1, Data: []float64{1}})
+			nd.Send(0, Msg{Tag: 2, Data: []float64{2}})
+		} else {
+			a := nd.Recv(0)
+			b := nd.Recv(0)
+			order = []float64{a.Data[0], b.Data[0]}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Errorf("FIFO violated: %v", order)
+	}
+}
+
+func TestPacketizationStartups(t *testing.T) {
+	p := machine.IPSC() // Bm = 1024
+	e, err := New(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := 600 // 2400 bytes -> 3 packets
+	err = e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Msg{Data: make([]float64, elems)})
+		} else {
+			nd.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Startups; got != 3 {
+		t.Errorf("startups = %d, want 3", got)
+	}
+	wantT := 3*p.Tau + 2400*p.Tc
+	if got := e.Stats().Time; math.Abs(got-wantT) > 1e-9 {
+		t.Errorf("time = %v, want %v", got, wantT)
+	}
+}
+
+func TestCopyAndAdvance(t *testing.T) {
+	p := machine.IPSC()
+	e, err := New(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(func(nd *Node) {
+		nd.Copy(256)
+		nd.Advance(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.CopyTime(256) + 100
+	if got := e.Stats().Time; math.Abs(got-want) > 1e-9 {
+		t.Errorf("time = %v, want %v", got, want)
+	}
+	if e.Stats().CopyBytes != 256 {
+		t.Errorf("copy bytes = %d", e.Stats().CopyBytes)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := ideal(t, 2, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		nd.Recv(0) // everyone waits, nobody sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestPartialDeadlockDetected(t *testing.T) {
+	e := ideal(t, 1, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			return // finishes immediately
+		}
+		nd.Recv(0) // never satisfied
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestProgramPanicReported(t *testing.T) {
+	e := ideal(t, 2, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 3 {
+			panic("boom")
+		}
+		if nd.ID() == 0 {
+			nd.Recv(1) // would deadlock; panic must be reported instead
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestBadDimensionPanicsAsError(t *testing.T) {
+	e := ideal(t, 2, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(5, Msg{})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("want dimension error, got %v", err)
+	}
+}
+
+// Determinism: two identical runs produce identical stats.
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		e := ideal(t, 4, machine.NPort)
+		err := e.Run(func(nd *Node) {
+			n := nd.Dims()
+			// All-to-all exchange over all dims with varying payloads.
+			for d := 0; d < n; d++ {
+				size := int(nd.ID())%3 + 1
+				nd.Exchange(d, Msg{Src: nd.ID(), Data: make([]float64, size)})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic stats:\n%+v\n%+v", a, b)
+	}
+}
+
+// Dimension-scan exchange on an ideal one-port machine must cost exactly
+// n * (τ + B·tc) when every node exchanges B bytes per dimension.
+func TestExchangeScanTiming(t *testing.T) {
+	n, B := 4, 16
+	e := ideal(t, n, machine.OnePort)
+	err := e.Run(func(nd *Node) {
+		for d := n - 1; d >= 0; d-- {
+			nd.Exchange(d, Msg{Data: make([]float64, B)})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * (1 + float64(B))
+	if got := e.Stats().Time; got != want {
+		t.Errorf("scan time = %v, want %v", got, want)
+	}
+}
+
+// RecvAny picks the earliest arrival.
+func TestRecvAnyOrder(t *testing.T) {
+	e := ideal(t, 2, machine.NPort)
+	var first float64
+	err := e.Run(func(nd *Node) {
+		switch nd.ID() {
+		case 1: // arrives later: big message on dim 0 towards node 3
+			nd.Send(1, Msg{Data: make([]float64, 100)})
+		case 2: // arrives earlier: small message towards node 3
+			nd.Send(0, Msg{Data: []float64{7}})
+		case 3:
+			m := nd.RecvAny()
+			first = m.Data[0]
+			nd.RecvAny()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 7 {
+		t.Errorf("RecvAny returned the slower message first")
+	}
+}
+
+func TestMsgClone(t *testing.T) {
+	m := Msg{Data: []float64{1, 2}, Path: []int{3}}
+	c := m.Clone()
+	c.Data[0] = 99
+	c.Path[0] = 0
+	if m.Data[0] != 1 || m.Path[0] != 3 {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestZeroDimCube(t *testing.T) {
+	e := ideal(t, 0, machine.OnePort)
+	ran := false
+	err := e.Run(func(nd *Node) {
+		ran = true
+		nd.Advance(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Stats().Time != 5 {
+		t.Errorf("zero-dim run broken: ran=%v time=%v", ran, e.Stats().Time)
+	}
+}
+
+// Pipelined machines pay τ once regardless of message size.
+func TestPipelinedSingleStartup(t *testing.T) {
+	p := machine.ConnectionMachine()
+	e, err := New(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Msg{Data: make([]float64, 100000)})
+		} else {
+			nd.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Startups; got != 1 {
+		t.Errorf("startups = %d, want 1", got)
+	}
+}
+
+func TestMaxLinkStats(t *testing.T) {
+	e := ideal(t, 1, machine.NPort)
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Msg{Data: make([]float64, 10)})
+			nd.Send(0, Msg{Data: make([]float64, 10)})
+		} else {
+			nd.Recv(0)
+			nd.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().MaxLinkBytes != 20 {
+		t.Errorf("max link bytes = %d, want 20", e.Stats().MaxLinkBytes)
+	}
+}
+
+func TestEngineIsOneShot(t *testing.T) {
+	e := ideal(t, 1, machine.OnePort)
+	if err := e.Run(func(nd *Node) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(func(nd *Node) {}); err == nil {
+		t.Error("second Run accepted; engines must be one-shot")
+	}
+}
+
+// Asymmetric exchange: the two sides may carry different payload sizes; the
+// slower transmission bounds both completions.
+func TestAsymmetricExchange(t *testing.T) {
+	e := ideal(t, 1, machine.OnePort)
+	var clock0, clock1 float64
+	err := e.Run(func(nd *Node) {
+		size := 1
+		if nd.ID() == 1 {
+			size = 100
+		}
+		nd.Exchange(0, Msg{Data: make([]float64, size)})
+		if nd.ID() == 0 {
+			clock0 = nd.Clock()
+		} else {
+			clock1 = nd.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 receives the 100-byte message: completes at 101. Node 1
+	// receives the 1-byte message at 2.
+	if clock0 != 101 {
+		t.Errorf("node 0 clock = %v, want 101", clock0)
+	}
+	if clock1 != 2 {
+		t.Errorf("node 1 clock = %v, want 2", clock1)
+	}
+}
+
+// Messages preserve metadata (Src, Dst, Tag, Rel, Path, Parts) end to end.
+func TestMessageMetadataPreserved(t *testing.T) {
+	e := ideal(t, 1, machine.OnePort)
+	var got Msg
+	err := e.Run(func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Msg{
+				Src: 7, Dst: 9, Tag: 42, Rel: 0b101,
+				Path:  []int{2, 1},
+				Parts: []Part{{Src: 1, Dst: 2, N: 3}},
+				Data:  []float64{1, 2, 3},
+			})
+		} else {
+			got = nd.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != 7 || got.Dst != 9 || got.Tag != 42 || got.Rel != 0b101 {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if len(got.Path) != 2 || got.Path[0] != 2 || len(got.Parts) != 1 || got.Parts[0].N != 3 {
+		t.Errorf("path/parts lost: %+v", got)
+	}
+}

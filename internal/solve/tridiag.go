@@ -1,0 +1,113 @@
+// Package solve provides the tridiagonal system solvers behind the paper's
+// motivating workloads (Section 1): the Alternating Direction Method for
+// parabolic problems and the Fourier-analysis Poisson solver both reduce to
+// batches of tridiagonal solves along one grid direction, with matrix
+// transposition between direction sweeps.
+package solve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tridiagonal solves a general tridiagonal system in place:
+//
+//	lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i]
+//
+// with lower[0] and upper[n-1] ignored. rhs is overwritten with the
+// solution. The scratch slice must have length >= n (it is allocated when
+// nil). Returns an error on a zero pivot (the caller's system is singular
+// or not diagonally dominant enough for plain elimination).
+func Tridiagonal(lower, diag, upper, rhs, scratch []float64) error {
+	n := len(rhs)
+	if len(lower) != n || len(diag) != n || len(upper) != n {
+		return fmt.Errorf("solve: band lengths %d/%d/%d do not match rhs %d",
+			len(lower), len(diag), len(upper), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if scratch == nil {
+		scratch = make([]float64, n)
+	} else if len(scratch) < n {
+		return fmt.Errorf("solve: scratch length %d < %d", len(scratch), n)
+	}
+	beta := diag[0]
+	if beta == 0 {
+		return fmt.Errorf("solve: zero pivot at row 0")
+	}
+	rhs[0] /= beta
+	for i := 1; i < n; i++ {
+		scratch[i-1] = upper[i-1] / beta
+		beta = diag[i] - lower[i]*scratch[i-1]
+		if beta == 0 {
+			return fmt.Errorf("solve: zero pivot at row %d", i)
+		}
+		rhs[i] = (rhs[i] - lower[i]*rhs[i-1]) / beta
+	}
+	for i := n - 2; i >= 0; i-- {
+		rhs[i] -= scratch[i] * rhs[i+1]
+	}
+	return nil
+}
+
+// Constant solves the constant-coefficient system
+// a*x[i-1] + b*x[i] + a*x[i+1] = rhs[i] (zero Dirichlet ends) in place.
+func Constant(a, b float64, rhs, scratch []float64) error {
+	n := len(rhs)
+	if n == 0 {
+		return nil
+	}
+	if scratch == nil {
+		scratch = make([]float64, n)
+	} else if len(scratch) < n {
+		return fmt.Errorf("solve: scratch length %d < %d", len(scratch), n)
+	}
+	beta := b
+	if beta == 0 {
+		return fmt.Errorf("solve: zero pivot at row 0")
+	}
+	rhs[0] /= beta
+	for i := 1; i < n; i++ {
+		scratch[i-1] = a / beta
+		beta = b - a*scratch[i-1]
+		if beta == 0 {
+			return fmt.Errorf("solve: zero pivot at row %d", i)
+		}
+		rhs[i] = (rhs[i] - a*rhs[i-1]) / beta
+	}
+	for i := n - 2; i >= 0; i-- {
+		rhs[i] -= scratch[i] * rhs[i+1]
+	}
+	return nil
+}
+
+// HeatImplicit solves (I - lam/2 * d2) x = rhs for the Peaceman-Rachford
+// half step: diagonal 1+lam, off-diagonals -lam/2, zero Dirichlet ends.
+func HeatImplicit(lam float64, rhs, scratch []float64) error {
+	return Constant(-lam/2, 1+lam, rhs, scratch)
+}
+
+// HeatExplicit applies (I + lam/2 * d2) along row into out (out may not
+// alias row), with zero Dirichlet boundaries.
+func HeatExplicit(lam float64, row, out []float64) {
+	n := len(row)
+	for j := 0; j < n; j++ {
+		left, right := 0.0, 0.0
+		if j > 0 {
+			left = row[j-1]
+		}
+		if j < n-1 {
+			right = row[j+1]
+		}
+		out[j] = row[j] + lam/2*(left-2*row[j]+right)
+	}
+}
+
+// Laplacian1DEigenvalue returns the k-th eigenvalue of the second-difference
+// operator with zero Dirichlet boundaries on n interior points (unit
+// spacing): -4 sin^2(pi (k+1) / (2(n+1))).
+func Laplacian1DEigenvalue(k, n int) float64 {
+	s := math.Sin(math.Pi * float64(k+1) / (2 * float64(n+1)))
+	return -4 * s * s
+}

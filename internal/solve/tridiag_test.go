@@ -1,0 +1,221 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dense solves a tridiagonal system by full Gaussian elimination with
+// partial pivoting, as the reference.
+func dense(lower, diag, upper, rhs []float64) []float64 {
+	n := len(rhs)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		a[i][i] = diag[i]
+		if i > 0 {
+			a[i][i-1] = lower[i]
+		}
+		if i < n-1 {
+			a[i][i+1] = upper[i]
+		}
+		a[i][n] = rhs[i]
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := a[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x
+}
+
+func TestTridiagonalAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		lower := make([]float64, n)
+		diag := make([]float64, n)
+		upper := make([]float64, n)
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			lower[i] = rng.Float64() - 0.5
+			upper[i] = rng.Float64() - 0.5
+			// Diagonally dominant so plain elimination is stable.
+			diag[i] = 2 + rng.Float64()
+			rhs[i] = rng.Float64()*10 - 5
+		}
+		want := dense(lower, diag, upper, rhs)
+		got := append([]float64(nil), rhs...)
+		if err := Tridiagonal(lower, diag, upper, got, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTridiagonalResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	orig := make([]float64, n)
+	for i := range rhs {
+		lower[i], upper[i] = -1, -1
+		diag[i] = 4
+		rhs[i] = rng.Float64()
+		orig[i] = rhs[i]
+	}
+	if err := Tridiagonal(lower, diag, upper, rhs, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s := diag[i] * rhs[i]
+		if i > 0 {
+			s += lower[i] * rhs[i-1]
+		}
+		if i < n-1 {
+			s += upper[i] * rhs[i+1]
+		}
+		if math.Abs(s-orig[i]) > 1e-10 {
+			t.Fatalf("residual at %d: %v", i, s-orig[i])
+		}
+	}
+}
+
+func TestTridiagonalErrors(t *testing.T) {
+	if err := Tridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}, nil); err == nil {
+		t.Error("zero pivot accepted")
+	}
+	if err := Tridiagonal([]float64{0, 0}, []float64{1}, []float64{0}, []float64{1}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := Tridiagonal([]float64{0, 0}, []float64{1, 1}, []float64{0, 0},
+		[]float64{1, 1}, make([]float64, 1)); err == nil {
+		t.Error("short scratch accepted")
+	}
+	if err := Tridiagonal(nil, nil, nil, nil, nil); err != nil {
+		t.Errorf("empty system rejected: %v", err)
+	}
+}
+
+func TestConstantMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 33
+	a, b := -0.7, 3.1
+	rhs1 := make([]float64, n)
+	for i := range rhs1 {
+		rhs1[i] = rng.Float64()
+	}
+	rhs2 := append([]float64(nil), rhs1...)
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	for i := range diag {
+		lower[i], upper[i], diag[i] = a, a, b
+	}
+	if err := Constant(a, b, rhs1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Tridiagonal(lower, diag, upper, rhs2, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rhs1 {
+		if math.Abs(rhs1[i]-rhs2[i]) > 1e-12 {
+			t.Fatalf("Constant disagrees with Tridiagonal at %d", i)
+		}
+	}
+}
+
+// HeatImplicit composed with HeatExplicit is a contraction for the heat
+// equation (energy decays), and the pair is second-order symmetric:
+// applying implicit then reconstructing explicit recovers the input.
+func TestHeatOperatorsInverse(t *testing.T) {
+	n := 32
+	lam := 0.8
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(math.Pi * float64(i+1) / float64(n+1))
+	}
+	// (I - lam/2 d2)^{-1} then (I - lam/2 d2) must round trip.
+	y := append([]float64(nil), x...)
+	if err := HeatImplicit(lam, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reapply the operator: (1+lam) y_i - lam/2 (y_{i-1}+y_{i+1}).
+	for i := 0; i < n; i++ {
+		left, right := 0.0, 0.0
+		if i > 0 {
+			left = y[i-1]
+		}
+		if i < n-1 {
+			right = y[i+1]
+		}
+		got := (1+lam)*y[i] - lam/2*(left+right)
+		if math.Abs(got-x[i]) > 1e-10 {
+			t.Fatalf("implicit inverse broken at %d: %v vs %v", i, got, x[i])
+		}
+	}
+}
+
+func TestLaplacianEigenvalue(t *testing.T) {
+	// d2 applied to its eigenvector sin(pi (k+1)(j+1)/(n+1)) must scale by
+	// the eigenvalue.
+	n, k := 15, 3
+	lam := Laplacian1DEigenvalue(k, n)
+	v := make([]float64, n)
+	for j := range v {
+		v[j] = math.Sin(math.Pi * float64((k+1)*(j+1)) / float64(n+1))
+	}
+	for j := 0; j < n; j++ {
+		left, right := 0.0, 0.0
+		if j > 0 {
+			left = v[j-1]
+		}
+		if j < n-1 {
+			right = v[j+1]
+		}
+		d2 := left - 2*v[j] + right
+		if math.Abs(d2-lam*v[j]) > 1e-10 {
+			t.Fatalf("eigenvalue mismatch at %d: %v vs %v", j, d2, lam*v[j])
+		}
+	}
+}
+
+func TestHeatExplicitBoundaries(t *testing.T) {
+	row := []float64{1, 2, 3}
+	out := make([]float64, 3)
+	HeatExplicit(1.0, row, out)
+	// out[0] = 1 + 0.5*(0 - 2 + 2) = 1; out[1] = 2 + 0.5*(1-4+3) = 2;
+	// out[2] = 3 + 0.5*(2-6+0) = 1.
+	want := []float64{1, 2, 1}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}

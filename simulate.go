@@ -1,0 +1,48 @@
+package boolcube
+
+import "boolcube/internal/simnet"
+
+// Node is a processor handle inside a simulated program: Send, Recv,
+// Exchange, Copy and Advance operations advance the node's virtual clock
+// under the machine model. See Simulate.
+type Node = simnet.Node
+
+// Msg is a message between simulated processors.
+type Msg = simnet.Msg
+
+// LinkLoad reports the traffic carried by one directed cube link.
+type LinkLoad = simnet.LinkLoad
+
+// Simulate runs prog on every node of an n-cube under the machine model
+// and returns the simulated cost. This is the substrate all the library's
+// algorithms run on; it is exposed so custom hypercube algorithms can be
+// written and measured directly:
+//
+//	stats, err := boolcube.Simulate(3, boolcube.IPSC(), func(nd *boolcube.Node) {
+//		m := nd.Exchange(0, boolcube.Msg{Data: []float64{float64(nd.ID())}})
+//		_ = m
+//	})
+//
+// Runs are deterministic: identical programs produce identical stats.
+func Simulate(n int, mach Machine, prog func(*Node)) (Stats, error) {
+	e, err := simnet.New(n, commMachine(mach))
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := e.Run(prog); err != nil {
+		return Stats{}, err
+	}
+	return e.Stats(), nil
+}
+
+// SimulateLoads is Simulate but also returns the per-link traffic.
+func SimulateLoads(n int, mach Machine, prog func(*Node)) (Stats, []LinkLoad, error) {
+	e, err := simnet.New(n, commMachine(mach))
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	if err := e.Run(prog); err != nil {
+		return Stats{}, nil, err
+	}
+	return e.Stats(), e.LinkLoads(), nil
+}

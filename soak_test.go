@@ -1,0 +1,76 @@
+package boolcube
+
+import "testing"
+
+// Large-configuration soak: a 1024-processor cube moving a megabyte-scale
+// matrix through the exchange and SBnT transposes, verified element-exactly.
+// Exercises the engine's scheduling at scale (not run with -short).
+func TestSoakLargeCube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p, q, n := 9, 9, 8 // 512x512 matrix, 256 processors
+	m := NewIotaMatrix(p, q)
+	want := m.Transposed()
+	for _, alg := range []Algorithm{Exchange, SBnT} {
+		before := OneDimConsecutiveRows(p, q, n, Binary)
+		after := OneDimConsecutiveRows(q, p, n, Binary)
+		d := Scatter(m, before)
+		res, err := Transpose(d, after, Options{Algorithm: alg, Machine: IPSC(), Strategy: Buffered})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if verr := res.Dist.Verify(want); verr != nil {
+			t.Fatalf("%v: %v", alg, verr)
+		}
+	}
+}
+
+// Soak the two-dimensional path systems on a 10-cube.
+func TestSoakTenCubePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p, q, n := 9, 9, 10
+	m := NewIotaMatrix(p, q)
+	want := m.Transposed()
+	before := TwoDimConsecutive(p, q, n/2, n/2, Binary)
+	after := TwoDimConsecutive(q, p, n/2, n/2, Binary)
+	for _, alg := range []Algorithm{SPT, MPT} {
+		d := Scatter(m, before)
+		res, err := Transpose(d, after, Options{Algorithm: alg, Machine: IPSCNPort()})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if verr := res.Dist.Verify(want); verr != nil {
+			t.Fatalf("%v: %v", alg, verr)
+		}
+	}
+}
+
+// Repeated-transpose identity: eight consecutive transposes of the same
+// distributed matrix end where they started, with no drift in placement.
+func TestSoakRepeatedTransposes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p, q, n := 6, 6, 4
+	m := NewIotaMatrix(p, q)
+	fw := TwoDimCyclic(p, q, n/2, n/2, Gray)
+	bw := TwoDimCyclic(q, p, n/2, n/2, Gray)
+	d := Scatter(m, fw)
+	for i := 0; i < 8; i++ {
+		after := bw
+		if i%2 == 1 {
+			after = fw
+		}
+		res, err := Transpose(d, after, Options{Algorithm: MPT, Machine: IPSCNPort()})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		d = res.Dist
+	}
+	if verr := d.Verify(m); verr != nil {
+		t.Fatalf("after 8 transposes: %v", verr)
+	}
+}

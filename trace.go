@@ -1,0 +1,10 @@
+package boolcube
+
+import "boolcube/internal/trace"
+
+// TraceRecorder records the per-node operation timeline of a simulated run;
+// attach one via Options.Trace and render it with Gantt or Summary.
+type TraceRecorder = trace.Recorder
+
+// NewTrace returns an empty trace recorder.
+func NewTrace() *TraceRecorder { return trace.New() }
