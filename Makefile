@@ -1,0 +1,27 @@
+# Development entry points. `make check` is the pre-PR gate: it must pass
+# before any change is committed (see CHANGES.md for the convention).
+
+GO ?= go
+
+.PHONY: build test race vet cubevet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific invariants: simnet node-program captures, shift widths,
+# library error discipline, determinism. See internal/analysis and
+# `go run ./cmd/cubevet -list`.
+cubevet:
+	$(GO) run ./cmd/cubevet ./...
+
+check:
+	./scripts/check.sh

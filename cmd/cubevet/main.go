@@ -1,0 +1,112 @@
+// Cubevet is this repository's static analyzer: it enforces the invariants
+// the compiler cannot see (the simnet concurrency contract, address-width
+// shift bounds, the library error contract, and the engine's determinism
+// guarantee). See internal/analysis for the passes.
+//
+// Usage:
+//
+//	cubevet [-passes nodeprog,shiftwidth,liberrors,detbreak] [packages]
+//
+// Packages are directories, or "./..." (the default) for every package in
+// the module. Findings print as "file:line: [pass] message"; the exit
+// status is 1 when there are findings, 2 on usage or load errors, 0 when
+// clean. Suppress a finding with a "//cubevet:ignore <pass>" comment on the
+// same line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"boolcube/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	passSpec := fs.String("passes", "all", "comma-separated passes to run: "+strings.Join(analysis.PassNames(), ","))
+	list := fs.Bool("list", false, "list available passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cubevet [-passes p1,p2] [-list] [packages | ./...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+	passes, err := analysis.SelectPasses(*passSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		if t == "./..." || t == "..." {
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		pkg, err := loader.LoadDir(strings.TrimSuffix(t, "/"))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, f := range analysis.Analyze(pkg, passes) {
+			f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+			fmt.Fprintln(stdout, f)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "cubevet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens an absolute finding path relative to the working
+// directory when possible.
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil {
+		return rel
+	}
+	return path
+}

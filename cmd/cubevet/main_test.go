@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boolcube/internal/analysis"
+)
+
+// fixtureDir returns the path of one analyzer fixture package, relative to
+// this test's working directory (cmd/cubevet).
+func fixtureDir(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+}
+
+// runCubevet invokes the CLI entry point, capturing output.
+func runCubevet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// wantFindings reads a fixture's golden file and prefixes each finding
+// with the path the CLI is expected to print.
+func wantFindings(t *testing.T, name string) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(fixtureDir(name), "expect.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		want = append(want, filepath.Join(fixtureDir(name))+string(filepath.Separator)+line)
+	}
+	return want
+}
+
+// TestFixtureFindings runs the analyzer binary logic against each fixture
+// package with only its pass enabled and asserts the exact finding list
+// (including suppression-comment behavior, which the goldens encode).
+func TestFixtureFindings(t *testing.T) {
+	for _, pass := range analysis.PassNames() {
+		t.Run(pass, func(t *testing.T) {
+			code, stdout, stderr := runCubevet(t, "-passes", pass, fixtureDir(pass))
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			got := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+			want := wantFindings(t, pass)
+			if len(got) != len(want) {
+				t.Fatalf("got %d findings, want %d:\n--- got ---\n%s--- want ---\n%s",
+					len(got), len(want), stdout, strings.Join(want, "\n")+"\n")
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("finding %d:\n got %s\nwant %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCleanPackage asserts exit 0 and silence on a violation-free package
+// under every pass.
+func TestCleanPackage(t *testing.T) {
+	code, stdout, stderr := runCubevet(t, fixtureDir("clean"))
+	if code != 0 || stdout != "" {
+		t.Fatalf("clean package: exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+// TestSuppressionIsHonored re-runs a fixture and asserts the suppressed
+// line never appears even though its sibling findings do.
+func TestSuppressionIsHonored(t *testing.T) {
+	code, stdout, _ := runCubevet(t, "-passes", "shiftwidth", fixtureDir("shiftwidth"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "Suppressed") || strings.Contains(stdout, ":76:") {
+		t.Errorf("suppressed finding leaked into output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "in Mask;") {
+		t.Errorf("expected unsuppressed Mask finding, got:\n%s", stdout)
+	}
+}
+
+// TestListPasses covers -list.
+func TestListPasses(t *testing.T) {
+	code, stdout, _ := runCubevet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code = %d", code)
+	}
+	for _, name := range analysis.PassNames() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing pass %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestUnknownPass covers usage errors.
+func TestUnknownPass(t *testing.T) {
+	code, _, stderr := runCubevet(t, "-passes", "bogus", fixtureDir("clean"))
+	if code != 2 {
+		t.Fatalf("unknown pass: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown pass") {
+		t.Errorf("stderr missing diagnostic: %q", stderr)
+	}
+}

@@ -1,0 +1,209 @@
+// Package analysis is cubevet's engine: a stdlib-only (go/ast + go/parser +
+// go/types, no go/packages) static-analysis framework that enforces this
+// repository's invariants — contracts the compiler cannot see.
+//
+// Four passes ship with it:
+//
+//   - nodeprog: node-program closures handed to Simulate/SimulateLoads/
+//     (*Engine).Run must only write shared state partitioned by nd.ID()
+//     (the simnet concurrency contract: prologues and epilogues of all
+//     nodes run concurrently).
+//   - shiftwidth: shift counts derived from the address-width vocabulary
+//     (n, p, q, m, ... parameters and .P/.Q/.M fields) must be guarded
+//     below word size before shifting; m = p+q element addresses overflow
+//     silently otherwise.
+//   - liberrors: library packages must not discard error returns and must
+//     not panic with error values (invariant panics with formatted
+//     messages are the documented exception).
+//   - detbreak: simulation and cost paths must stay deterministic — no
+//     time.Now, no unseeded math/rand, no output emitted from map
+//     iteration order.
+//
+// Findings are reported as "file:line: [pass] message". A finding is
+// suppressed by a "//cubevet:ignore <pass>" comment on the same line or the
+// line directly above; bare "//cubevet:ignore" suppresses every pass for
+// that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position // file:line:col of the violation
+	Pass    string         // pass name, e.g. "shiftwidth"
+	Message string
+}
+
+// String renders the finding in the canonical "file:line: [pass] message"
+// form. The file path is reported as stored in Pos.Filename.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Message)
+}
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "boolcube/internal/bits"
+	Dir   string // directory on disk
+	Name  string // package name
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker diagnostics. Passes run on the AST
+	// regardless; partial type information degrades precision, not
+	// soundness of the syntactic fallbacks.
+	TypeErrors []error
+}
+
+// Pass is one analysis rule applied to a package.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Passes returns every registered pass in stable order.
+func Passes() []Pass {
+	return []Pass{
+		{Name: "nodeprog", Doc: "node programs must partition shared state by nd.ID()", Run: runNodeprog},
+		{Name: "shiftwidth", Doc: "shift counts derived from address widths must be guarded < 64", Run: runShiftwidth},
+		{Name: "liberrors", Doc: "library code must not drop errors or panic on error values", Run: runLiberrors},
+		{Name: "detbreak", Doc: "simulation paths must stay deterministic", Run: runDetbreak},
+	}
+}
+
+// PassNames returns the names of all registered passes, in order.
+func PassNames() []string {
+	var names []string
+	for _, p := range Passes() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// SelectPasses resolves a comma-separated pass list ("" or "all" selects
+// everything) into pass values, erroring on unknown names.
+func SelectPasses(spec string) ([]Pass, error) {
+	all := Passes()
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Pass, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var out []Pass
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown pass %q (have %s)", name, strings.Join(PassNames(), ", "))
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Analyze runs the given passes over the package and returns the surviving
+// (non-suppressed) findings sorted by position.
+func Analyze(pkg *Package, passes []Pass) []Finding {
+	sup := collectSuppressions(pkg)
+	var out []Finding
+	for _, p := range passes {
+		for _, f := range p.Run(pkg) {
+			if sup.suppressed(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "cubevet:ignore"
+
+// suppressions maps file -> line -> set of suppressed pass names ("*" for
+// all passes).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if set := lines[ln]; set != nil && (set["*"] || set[f.Pass]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in the package for
+// //cubevet:ignore directives. The directive applies to the line it sits on
+// (same-line trailing comments) and to the line below (comment-above style);
+// suppressed() checks both.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := suppressions{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				// Drop any trailing justification after " -- ".
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				if rest == "" {
+					set["*"] = true
+					continue
+				}
+				for _, name := range strings.Split(rest, ",") {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return sup
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// loadFixture loads one testdata/src/<name> fixture package.
+func loadFixture(t *testing.T, loader *Loader, name string) *Package {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// renderFindings formats findings with paths relative to the fixture dir,
+// the form stored in golden files.
+func renderFindings(t *testing.T, findings []Finding) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, f := range findings {
+		f.Pos.Filename = filepath.Base(f.Pos.Filename)
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// checkGolden compares got against testdata/src/<name>/expect.golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", "src", name, "expect.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestPassGolden runs each pass against its fixture package and compares
+// the full finding list (post-suppression) against the golden file.
+func TestPassGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pass := range Passes() {
+		t.Run(pass.Name, func(t *testing.T) {
+			pkg := loadFixture(t, loader, pass.Name)
+			findings := Analyze(pkg, []Pass{pass})
+			checkGolden(t, pass.Name, renderFindings(t, findings))
+		})
+	}
+}
+
+// TestCleanFixture asserts the clean fixture yields no findings under any
+// pass.
+func TestCleanFixture(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, loader, "clean")
+	if findings := Analyze(pkg, Passes()); len(findings) != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", renderFindings(t, findings))
+	}
+}
+
+// TestSuppressionLines pins the suppression rules: trailing same-line
+// comments and comment-above both suppress, and only the named pass.
+func TestSuppressionLines(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fixture contains exactly one suppressed finding; running with
+	// suppression disabled (raw pass output) must yield one more finding
+	// than Analyze reports.
+	for _, pass := range Passes() {
+		t.Run(pass.Name, func(t *testing.T) {
+			pkg := loadFixture(t, loader, pass.Name)
+			raw := pass.Run(pkg)
+			kept := Analyze(pkg, []Pass{pass})
+			if len(raw) != len(kept)+1 {
+				t.Errorf("expected exactly one suppressed %s finding, got %d raw vs %d kept",
+					pass.Name, len(raw), len(kept))
+			}
+		})
+	}
+}
+
+// TestSelectPasses covers the pass-selection helper.
+func TestSelectPasses(t *testing.T) {
+	all, err := SelectPasses("all")
+	if err != nil || len(all) != len(Passes()) {
+		t.Fatalf("SelectPasses(all) = %d passes, err %v", len(all), err)
+	}
+	two, err := SelectPasses("shiftwidth, liberrors")
+	if err != nil || len(two) != 2 || two[0].Name != "shiftwidth" || two[1].Name != "liberrors" {
+		t.Fatalf("SelectPasses subset failed: %v %v", two, err)
+	}
+	if _, err := SelectPasses("nope"); err == nil {
+		t.Fatal("SelectPasses accepted an unknown pass")
+	}
+}
+
+// TestModuleMapping checks the loader resolves module-internal import
+// paths without go/packages.
+func TestModuleMapping(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "boolcube" {
+		t.Fatalf("module path = %q", loader.ModulePath)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("..", "bits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "boolcube/internal/bits" {
+		t.Errorf("import path = %q, want boolcube/internal/bits", pkg.Path)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Errorf("type errors in bits: %v", pkg.TypeErrors)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runDetbreak guards the engine's determinism promise: identical programs
+// must produce identical virtual-time traces and identical rendered tables.
+// Library code (everything outside cmd/ and examples/) therefore must not
+//
+//   - read the wall clock (time.Now) — virtual time is the only clock,
+//   - draw from math/rand's shared, globally-seeded source — deterministic
+//     code uses rand.New(rand.NewSource(seed)),
+//   - emit output while ranging over a map — Go randomizes map iteration
+//     order, so anything printed, recorded or accumulated as text inside
+//     such a loop differs run to run. (Ranging over a map to fold into a
+//     max/sum or to collect-then-sort is fine and not flagged.)
+func runDetbreak(p *Package) []Finding {
+	if isMainAdjacent(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if p.isPkgFunc(x, "time", "Now") {
+					out = append(out, p.finding("detbreak", x,
+						"time.Now in a simulation/cost path; virtual time is the only clock — thread times through explicitly"))
+				}
+				if name, bad := p.unseededRand(x); bad {
+					out = append(out, p.finding("detbreak", x, fmt.Sprintf(
+						"math/rand.%s draws from the shared global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", name)))
+				}
+			case *ast.RangeStmt:
+				if f, bad := p.mapRangeOutput(x); bad {
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unseededRand reports a call to a math/rand package-level drawing function
+// (Intn, Float64, Perm, Shuffle, ...). Constructors (New, NewSource, ...)
+// and methods on an explicit *rand.Rand are fine.
+func (p *Package) unseededRand(call *ast.CallExpr) (string, bool) {
+	fn, ok := p.calleeObj(call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return "", false
+	}
+	if strings.HasPrefix(fn.Name(), "New") || fn.Name() == "Seed" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// outputCalleeNames are callees that turn iteration order into observable
+// output: printing/formatting, the repo's table and trace sinks, and
+// string-building writes.
+var outputCalleeNames = map[string]bool{
+	"AddRow": true, "Record": true, "WriteString": true, "WriteByte": true,
+}
+
+// mapRangeOutput flags a range over a map whose body emits output.
+func (p *Package) mapRangeOutput(rng *ast.RangeStmt) (Finding, bool) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return Finding{}, false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return Finding{}, false
+	}
+	var hit *ast.CallExpr
+	hitName := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if outputCalleeNames[name] {
+			hit, hitName = call, name
+			return false
+		}
+		if fn, ok := p.calleeObj(call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") ||
+				strings.HasPrefix(fn.Name(), "Sprint") || strings.HasPrefix(fn.Name(), "Append") {
+				hit, hitName = call, "fmt."+fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	if hit == nil {
+		return Finding{}, false
+	}
+	return p.finding("detbreak", hit, fmt.Sprintf(
+		"%s inside a range over a map; iteration order is randomized, so this output is nondeterministic — collect keys and sort first", hitName)), true
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runLiberrors enforces the library error contract: packages outside cmd/
+// and examples/ must not silently drop error returns, and must not panic
+// with an error value. Invariant panics carrying a formatted message
+// ("bits: width out of range [1,64]") are the documented idiom for
+// programming errors and stay allowed; panic(err) launders a runtime error
+// into a crash with no context and is not.
+//
+// Allowances, so the pass stays quiet on idiomatic code:
+//   - methods on strings.Builder and bytes.Buffer (never return a non-nil
+//     error),
+//   - fmt.Print/Printf/Println to stdout (diagnostic output),
+//   - fmt.Fprint* when the writer is a strings.Builder or bytes.Buffer.
+func runLiberrors(p *Package) []Finding {
+	if isMainAdjacent(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if f, bad := p.checkDroppedError(call); bad {
+						out = append(out, f)
+					}
+				}
+			case *ast.CallExpr:
+				if f, bad := p.checkPanicErr(st); bad {
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMainAdjacent reports whether the import path belongs to a binary or
+// example tree, where exiting on error (or printing and moving on) is the
+// normal shape.
+func isMainAdjacent(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDroppedError flags an expression-statement call whose last result is
+// an error.
+func (p *Package) checkDroppedError(call *ast.CallExpr) (Finding, bool) {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return Finding{}, false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return Finding{}, false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	if !isErrorType(last) {
+		return Finding{}, false
+	}
+	if p.errCheckedCallee(call) {
+		return Finding{}, false
+	}
+	return p.finding("liberrors", call, fmt.Sprintf(
+		"result of %s includes an error that is silently dropped; handle it or assign it to _ explicitly",
+		callDisplay(call))), true
+}
+
+// errCheckedCallee reports whether the callee is on the never-fails
+// allowlist.
+func (p *Package) errCheckedCallee(call *ast.CallExpr) bool {
+	obj := p.calleeObj(call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		s := recv.Type().String()
+		return strings.Contains(s, "strings.Builder") || strings.Contains(s, "bytes.Buffer")
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Type != nil {
+					s := tv.Type.String()
+					return strings.Contains(s, "strings.Builder") || strings.Contains(s, "bytes.Buffer")
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkPanicErr flags panic(v) where v is an error value.
+func (p *Package) checkPanicErr(call *ast.CallExpr) (Finding, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return Finding{}, false
+	}
+	if o := p.objOf(id); o != nil {
+		if _, isBuiltin := o.(*types.Builtin); !isBuiltin {
+			return Finding{}, false // a shadowing local named panic
+		}
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+		return Finding{}, false
+	}
+	return p.finding("liberrors", call,
+		"panic with an error value in library code; return the error, or panic with a formatted invariant message"), true
+}
+
+// callDisplay renders the callee for messages ("l.Validate", "fmt.Fprintf").
+func callDisplay(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return exprText(fn)
+	}
+	return "call"
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module without go/packages.
+// Module-internal import paths are resolved by mapping them onto the module
+// root on disk; everything else (the standard library) is delegated to the
+// compiler's source importer. Loaded packages are cached, so analyzing the
+// whole module type-checks each package once.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory containing go.mod
+	ModulePath string // module path declared in go.mod
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It walks
+// upward from dir until it finds a go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*Package{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", path)
+}
+
+// LoadDir loads the package rooted at dir (which may be inside or outside
+// the module tree; outside-tree dirs such as testdata fixtures get a
+// synthetic import path).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := l.load(path, abs)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll enumerates every package directory below the module root
+// (skipping testdata, hidden directories and directories without Go files)
+// and loads them all, returned in deterministic path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps an absolute directory to its import path within the
+// module, or to a synthetic rooted path for out-of-tree directories.
+func (l *Loader) importPathFor(abs string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return "dir:" + filepath.ToSlash(abs)
+}
+
+// Import implements types.Importer: module-internal paths load from disk,
+// anything else goes to the source importer. This is what lets go/types
+// resolve "boolcube/internal/..." without go/packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg.Types, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.load(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one package directory. Type-check errors are
+// collected, not fatal: passes degrade to syntactic fallbacks on partial
+// information.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	// Mark in-progress to fail fast on import cycles instead of recursing.
+	l.cache[path] = &Package{Path: path, Dir: dir}
+	defer func() {
+		if pkg := l.cache[path]; pkg != nil && pkg.Types == nil {
+			delete(l.cache, path)
+		}
+	}()
+	var fnames []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		fnames = append(fnames, n)
+	}
+	sort.Strings(fnames)
+	for _, n := range fnames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		}
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("analysis: %s contains packages %q and %q", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  name,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runNodeprog enforces the simnet concurrency contract on node programs:
+// closures handed to Simulate/SimulateLoads/(*Engine).Run run one goroutine
+// per node, and all prologues and epilogues execute concurrently. Any write
+// to captured state is therefore a data race unless it is partitioned by
+// the node's identity — indexed by a value derived from nd.ID(), or
+// dominated by an `if nd.ID() == ...` single-writer guard.
+func runNodeprog(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "Simulate", "SimulateLoads", "Run":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if param := nodeParam(lit); param != nil {
+					out = append(out, p.checkNodeProg(lit, param)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// nodeParam returns the identifier of the closure's single *Node (or
+// *simnet.Node, *boolcube.Node) parameter, or nil if the closure does not
+// look like a node program.
+func nodeParam(lit *ast.FuncLit) *ast.Ident {
+	params := lit.Type.Params.List
+	if len(params) != 1 || len(params[0].Names) != 1 {
+		return nil
+	}
+	star, ok := params[0].Type.(*ast.StarExpr)
+	if !ok {
+		return nil
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		if t.Name == "Node" {
+			return params[0].Names[0]
+		}
+	case *ast.SelectorExpr:
+		if t.Sel.Name == "Node" {
+			return params[0].Names[0]
+		}
+	}
+	return nil
+}
+
+// span is a half-open source position range.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+// checkNodeProg analyzes one node-program closure.
+func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
+	nodeObj := p.objOf(param)
+	if nodeObj == nil {
+		return nil // no type info at all; nothing reliable to say
+	}
+	litSpan := span{lit.Pos(), lit.End()}
+
+	local := func(o types.Object) bool {
+		return o != nil && litSpan.contains(o.Pos())
+	}
+
+	// Fixpoint: objects whose value derives from the node handle. Writing
+	// captured[i] is safe when i is node-derived.
+	derived := map[types.Object]bool{nodeObj: true}
+	for changed := true; changed; {
+		changed = false
+		mark := func(id *ast.Ident) {
+			if o := p.objOf(id); local(o) && !derived[o] {
+				derived[o] = true
+				changed = true
+			}
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					rhs := st.Rhs[0]
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					}
+					if !p.mentionsObj(rhs, derived) {
+						continue
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			case *ast.RangeStmt:
+				if p.mentionsObj(st.X, derived) {
+					if id, ok := st.Key.(*ast.Ident); ok && id != nil {
+						mark(id)
+					}
+					if id, ok := st.Value.(*ast.Ident); ok && id != nil {
+						mark(id)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range st.Values {
+					if p.mentionsObj(v, derived) {
+						for _, id := range st.Names {
+							mark(id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Single-writer guards: bodies of `if <cond>` where the condition
+	// compares a node-derived value with ==. Only one node takes the
+	// branch, so unpartitioned writes inside it cannot race.
+	var guards []span
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		eq := false
+		ast.Inspect(ifst.Cond, func(c ast.Node) bool {
+			if b, ok := c.(*ast.BinaryExpr); ok && b.Op == token.EQL &&
+				(p.mentionsObj(b.X, derived) || p.mentionsObj(b.Y, derived)) {
+				eq = true
+			}
+			return !eq
+		})
+		if eq {
+			guards = append(guards, span{ifst.Body.Pos(), ifst.Body.End()})
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool {
+		for _, g := range guards {
+			if g.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Finding
+	report := func(at ast.Node, lhs ast.Expr, root *ast.Ident, indexed bool) {
+		if guarded(at.Pos()) {
+			return
+		}
+		if indexed {
+			out = append(out, p.finding("nodeprog", at, fmt.Sprintf(
+				"node program writes captured %q with an index not derived from %s.ID(); concurrent node prologues/epilogues race (simnet concurrency contract)",
+				root.Name, param.Name)))
+			return
+		}
+		out = append(out, p.finding("nodeprog", at, fmt.Sprintf(
+			"node program writes captured variable %q; every node runs this concurrently — partition by %s.ID() or move the write outside the program",
+			root.Name, param.Name)))
+	}
+
+	checkWrite := func(at ast.Node, lhs ast.Expr) {
+		root := baseExpr(lhs)
+		if root == nil || root.Name == "_" {
+			return
+		}
+		obj := p.objOf(root)
+		if obj == nil || local(obj) {
+			return
+		}
+		// Collect index expressions along the access path; any one of them
+		// mentioning a node-derived value partitions the write.
+		indexed := false
+		for e := ast.Unparen(lhs); ; {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				indexed = true
+				if p.mentionsObj(x.Index, derived) {
+					return // partitioned by node identity
+				}
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			default:
+				report(at, lhs, root, indexed)
+				return
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(st, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(st, st.X)
+		}
+		return true
+	})
+	return out
+}

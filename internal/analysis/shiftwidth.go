@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Address-width vocabulary. The repo's bit machinery passes element-address
+// widths around as parameters named n (cube dimension), p/q (row/column
+// bits), m = p+q, nr/nc (2-D partition dims) and uw/vw (concat halves), and
+// as the P/Q fields and M()/NBits() accessors of field.Layout. A shift
+// whose count derives from one of these with no bound below word size is
+// silently wrong for hostile widths: 1<<uint(m) is 0 for m == 64 on the
+// relevant operand sizes, and masks built from it are empty.
+var (
+	widthParamNames = map[string]bool{
+		"n": true, "p": true, "q": true, "m": true,
+		"nr": true, "nc": true, "uw": true, "vw": true,
+	}
+	widthFieldNames  = map[string]bool{"P": true, "Q": true, "M": true, "N": true}
+	widthMethodNames = map[string]bool{"M": true, "NBits": true, "Dims": true}
+	guardCallMarkers = []string{"check", "Check", "valid", "Valid", "must", "Must"}
+)
+
+// runShiftwidth flags shift expressions whose count derives from the
+// address-width vocabulary inside functions that establish no bound on any
+// width value. A function counts as guarded when it either
+//
+//   - contains an if statement that compares a width-named value against an
+//     integer literal and then panics or returns early, or
+//   - calls a checker (any callee whose name contains check/valid/must).
+//
+// The guard scope is the whole top-level function including its closures:
+// one bound at the top of the function covers every shift below it.
+func runShiftwidth(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, p.checkShiftFunc(fn)...)
+		}
+	}
+	return out
+}
+
+func (p *Package) checkShiftFunc(fn *ast.FuncDecl) []Finding {
+	if p.funcIsWidthGuarded(fn) {
+		return nil
+	}
+	params := p.collectParamObjs(fn)
+	var out []Finding
+	check := func(at ast.Node, count ast.Expr) {
+		if tv, ok := p.Info.Types[count]; ok && tv.Value != nil {
+			return // constant count: the compiler rejects out-of-range shifts
+		}
+		if name := p.widthSuspect(count, params); name != "" {
+			out = append(out, p.finding("shiftwidth", at, fmt.Sprintf(
+				"shift count derives from address width %q with no bound below %d in %s; guard the width or validate the layout first",
+				name, 64, fn.Name.Name)))
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.SHL || x.Op == token.SHR {
+				check(x, x.Y)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.SHL_ASSIGN || x.Tok == token.SHR_ASSIGN {
+				check(x, x.Rhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectParamObjs gathers the parameter objects (by width-suspect name) of
+// the function and every closure nested in it.
+func (p *Package) collectParamObjs(fn *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if widthParamNames[name.Name] {
+					if o := p.objOf(name); o != nil {
+						objs[o] = true
+					}
+				}
+			}
+		}
+	}
+	addFields(fn.Type.Params)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			addFields(lit.Type.Params)
+		}
+		return true
+	})
+	return objs
+}
+
+// widthSuspect walks the shift-count expression through conversions,
+// parens and arithmetic, and returns the name of the first width-vocabulary
+// leaf it finds ("" if none): a width-named parameter, a .P/.Q/.M/.N field
+// selection, or an M()/NBits()/Dims() accessor call.
+func (p *Package) widthSuspect(e ast.Expr, params map[types.Object]bool) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := p.objOf(x); o != nil && params[o] {
+			return x.Name
+		}
+	case *ast.ParenExpr:
+		return p.widthSuspect(x.X, params)
+	case *ast.UnaryExpr:
+		return p.widthSuspect(x.X, params)
+	case *ast.BinaryExpr:
+		if s := p.widthSuspect(x.X, params); s != "" {
+			return s
+		}
+		return p.widthSuspect(x.Y, params)
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal && widthFieldNames[x.Sel.Name] {
+			return exprText(x)
+		}
+		if _, ok := p.Info.Selections[x]; !ok {
+			// Possibly a package-qualified name; not a width field.
+			return ""
+		}
+	case *ast.CallExpr:
+		if p.isConversion(x) && len(x.Args) == 1 {
+			return p.widthSuspect(x.Args[0], params)
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && widthMethodNames[sel.Sel.Name] {
+			if _, isMethod := p.Info.Selections[sel]; isMethod {
+				return exprText(sel) + "()"
+			}
+		}
+	}
+	return ""
+}
+
+// exprText renders a small selector chain like "l.Q" for messages.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	default:
+		return "?"
+	}
+}
+
+// funcIsWidthGuarded reports whether the function bounds a width anywhere:
+// a comparison of a width-named value against an integer literal followed
+// by an early exit, or a call to a checker/validator.
+func (p *Package) funcIsWidthGuarded(fn *ast.FuncDecl) bool {
+	names := map[string]bool{}
+	for k := range widthParamNames {
+		names[k] = true
+	}
+	for k := range widthFieldNames {
+		names[k] = true
+	}
+	guarded := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if mentionsName(x.Cond, names) && hasIntLiteral(x.Cond) && terminatesEarly(x.Body.List) {
+				guarded = true
+				return false
+			}
+		case *ast.CallExpr:
+			name := calleeName(x)
+			for _, marker := range guardCallMarkers {
+				if strings.Contains(name, marker) {
+					guarded = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}

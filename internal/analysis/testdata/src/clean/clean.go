@@ -1,0 +1,10 @@
+// Package clean violates none of cubevet's passes; the CLI must exit 0 on
+// it with no output.
+package clean
+
+import "fmt"
+
+// Describe renders n deterministically and propagates nothing.
+func Describe(k int) string {
+	return fmt.Sprintf("value %d", k)
+}

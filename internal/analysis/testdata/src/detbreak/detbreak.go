@@ -1,0 +1,63 @@
+// Package detbreak exercises the detbreak pass: simulation/cost paths must
+// not consult wall clocks, the shared math/rand source, or emit output in
+// map iteration order.
+package detbreak
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wallclock reads the wall clock.
+func Wallclock() float64 {
+	t := time.Now() // wall clock
+	return float64(t.Unix())
+}
+
+// GlobalRand draws from the shared global source.
+func GlobalRand() int {
+	return rand.Intn(8) // unseeded
+}
+
+// SeededRand constructs an explicit seeded source: reproducible, allowed.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// MapPrint emits output in map iteration order.
+func MapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // nondeterministic order
+	}
+}
+
+// MapFold folds a map commutatively: order-free, allowed.
+func MapFold(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// MapSorted collects keys, sorts, then prints: allowed.
+func MapSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Suppressed is the annotated intentional case (debug-only dump).
+func Suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //cubevet:ignore detbreak -- fixture: debug-only dump
+	}
+}

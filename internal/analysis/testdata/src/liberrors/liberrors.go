@@ -1,0 +1,53 @@
+// Package liberrors exercises the liberrors pass: library code must not
+// silently drop error returns and must not panic with error values.
+package liberrors
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoValues() (int, error) { return 0, nil }
+
+// Dropped discards errors in the two flagged shapes and uses every
+// allowance.
+func Dropped() {
+	mayFail()   // dropped error
+	twoValues() // dropped (int, error)
+
+	_ = mayFail()        // explicit discard is deliberate
+	if err := mayFail(); err != nil {
+		_ = err
+	}
+	fmt.Println("stdout is fine")
+	var sb strings.Builder
+	sb.WriteString("builders never fail")
+	fmt.Fprintf(&sb, "%d", 1)
+	fmt.Println(sb.String())
+}
+
+// PanicErr panics with an error value.
+func PanicErr() {
+	if err := mayFail(); err != nil {
+		panic(err) // error value panic
+	}
+}
+
+// PanicInvariant panics with a formatted message: the documented idiom for
+// programming errors, allowed.
+func PanicInvariant(width int) {
+	if width > 64 {
+		panic(fmt.Sprintf("liberrors: width %d out of range", width))
+	}
+}
+
+// SuppressedPanic is the annotated unreachable-by-construction case.
+func SuppressedPanic() {
+	if err := mayFail(); err != nil {
+		//cubevet:ignore liberrors -- fixture: unreachable by construction
+		panic(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package shiftwidth exercises the shiftwidth pass: shift counts derived
+// from the address-width vocabulary (n/p/q/m parameters, .P/.Q/.M/.N
+// fields, M()/NBits() accessors) must sit in a function that bounds a
+// width below word size.
+package shiftwidth
+
+// Mask shifts by an unguarded width parameter.
+func Mask(m int) uint64 {
+	return 1<<uint(m) - 1 // unguarded
+}
+
+// MaskGuarded bounds the width with an if/panic guard first.
+func MaskGuarded(m int) uint64 {
+	if m < 1 || m > 64 {
+		panic("width out of range")
+	}
+	return 1<<uint(m) - 1
+}
+
+// MaskChecked delegates the bound to a checker call.
+func MaskChecked(m int) uint64 {
+	checkWidth(m)
+	return 1<<uint(m) - 1
+}
+
+func checkWidth(m int) {
+	if m < 1 || m > 64 {
+		panic("width out of range")
+	}
+}
+
+// Layout mimics field.Layout's width-carrying fields.
+type Layout struct{ P, Q int }
+
+// Addr shifts by an unguarded width field.
+func (l Layout) Addr(u, v uint64) uint64 {
+	return u<<uint(l.Q) | v // unguarded
+}
+
+// AddrGuarded bounds the field before shifting.
+func (l Layout) AddrGuarded(u, v uint64) uint64 {
+	if l.Q < 0 || l.Q > 62 {
+		panic("bad shape")
+	}
+	return u<<uint(l.Q) | v
+}
+
+// Nodes shifts by a width accessor result.
+func (l Layout) Nodes() int {
+	return 1 << uint(l.M()) // unguarded accessor
+}
+
+// M is a width accessor (recognized by name).
+func (l Layout) M() int { return l.P + l.Q }
+
+// Constant shifts are checked by the compiler, not cubevet.
+func Constant() uint64 { return 1 << 8 }
+
+// LoopLocal shift counts are not width vocabulary.
+func LoopLocal(k int) int {
+	s := 0
+	for i := 0; i < k; i++ {
+		s += 1 << uint(i)
+	}
+	return s
+}
+
+// ShiftAssign covers the <<= form.
+func ShiftAssign(q int) uint64 {
+	w := uint64(1)
+	w <<= uint(q) // unguarded
+	return w
+}
+
+// Suppressed demonstrates an annotated intentional case.
+func Suppressed(m int) uint64 {
+	return 1 << uint(m) //cubevet:ignore shiftwidth -- fixture: caller validates m
+}

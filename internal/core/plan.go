@@ -36,6 +36,12 @@ type plan struct {
 // layout must have the transposed shape); otherwise the shapes must match
 // and elements keep their indices (a pure repartitioning).
 func newPlan(before, after field.Layout, transpose bool) *plan {
+	if err := before.Validate(); err != nil {
+		panic("core: invalid before layout: " + err.Error())
+	}
+	if err := after.Validate(); err != nil {
+		panic("core: invalid after layout: " + err.Error())
+	}
 	if transpose {
 		if after.P != before.Q || after.Q != before.P {
 			panic("core: transpose plan needs transposed shapes")

@@ -14,6 +14,7 @@
 package cost
 
 import (
+	"fmt"
 	"math"
 
 	"boolcube/internal/machine"
@@ -26,24 +27,33 @@ func ceilDiv(a, b float64) float64 {
 	return math.Ceil(a / b)
 }
 
+// nodesOf returns the node count N = 2^n, bounding the cube dimension so
+// the shift stays below word size for any caller-supplied n.
+func nodesOf(n int) float64 {
+	if n < 0 || n > 62 {
+		panic(fmt.Sprintf("cost: cube dimension %d out of range [0,62]", n))
+	}
+	return float64(int64(1) << uint(n))
+}
+
 // OneToAllSBT returns T_min for one-port SBT routing of M bytes from one
 // node to all N = 2^n (Section 3.1): (1 - 1/N)·M·t_c + n·τ.
 func OneToAllSBT(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return (1-1/N)*M*p.Tc + float64(n)*p.Tau
 }
 
 // OneToAllNPort returns T_min for n-port routing over n rotated SBTs or a
 // SBnT: (1/n)(1 - 1/N)·M·t_c + n·τ.
 func OneToAllNPort(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return (1-1/N)*M*p.Tc/float64(n) + float64(n)*p.Tau
 }
 
 // OneToAllLowerBound returns the one-port lower bound
 // max((1-1/N)M·t_c, nτ).
 func OneToAllLowerBound(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return math.Max((1-1/N)*M*p.Tc, float64(n)*p.Tau)
 }
 
@@ -51,7 +61,7 @@ func OneToAllLowerBound(M float64, n int, p machine.Params) float64 {
 // bytes over an n-cube: n·(M/(2N))·t_c + n·ceil(M/(2N·B_m))·τ
 // (Section 3.2), with T_min = n(M/(2N)·t_c + τ) once B_m >= M/(2N).
 func AllToAllExchange(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	startups := 1.0
 	if p.Bm > 0 {
 		startups = ceilDiv(M/(2*N), float64(p.Bm))
@@ -61,13 +71,13 @@ func AllToAllExchange(M float64, n int, p machine.Params) float64 {
 
 // AllToAllSBnT returns the n-port SBnT time M/(2N)·t_c + nτ (Section 3.2).
 func AllToAllSBnT(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return M/(2*N)*p.Tc + float64(n)*p.Tau
 }
 
 // AllToAllLowerBound returns max(M/(2N)·t_c, nτ).
 func AllToAllLowerBound(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return math.Max(M/(2*N)*p.Tc, float64(n)*p.Tau)
 }
 
@@ -114,14 +124,14 @@ func SomeToAllNPort(M float64, k, l int, p machine.Params) float64 {
 // (Section 6.1.1): (ceil(M/(B·N)) + n - 1)(B·t_c + τ), where M is the total
 // matrix volume in bytes.
 func SPT(M float64, n int, B float64, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return (ceilDiv(M/N, B) + float64(n) - 1) * (B*p.Tc + p.Tau)
 }
 
 // SPTOpt returns the optimal packet size B_opt = sqrt(M·τ/(N(n-1)t_c)) and
 // the minimum time (sqrt(M/N·t_c) + sqrt((n-1)τ))².
 func SPTOpt(M float64, n int, p machine.Params) (Bopt, Tmin float64) {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	Bopt = math.Sqrt(M * p.Tau / (N * float64(n-1) * p.Tc))
 	s := math.Sqrt(M/N*p.Tc) + math.Sqrt(float64(n-1)*p.Tau)
 	return Bopt, s * s
@@ -130,13 +140,13 @@ func SPTOpt(M float64, n int, p machine.Params) (Bopt, Tmin float64) {
 // DPT returns the Dual Paths Transpose time for packet size B
 // (Section 6.1.2): (ceil(M/(2BN)) + n - 1)(B·t_c + τ).
 func DPT(M float64, n int, B float64, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return (ceilDiv(M/(2*N), B) + float64(n) - 1) * (B*p.Tc + p.Tau)
 }
 
 // DPTOpt returns B_opt and T_min for the DPT.
 func DPTOpt(M float64, n int, p machine.Params) (Bopt, Tmin float64) {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	Bopt = math.Sqrt(M * p.Tau / (2 * N * float64(n-1) * p.Tc))
 	s := math.Sqrt(M/(2*N)*p.Tc) + math.Sqrt(float64(n-1)*p.Tau)
 	return Bopt, s * s
@@ -172,7 +182,7 @@ func (r MPTRegime) String() string {
 // MPT returns the Theorem 2 minimum time for the Multiple Paths Transpose
 // of an M-byte matrix on an n-cube, and the regime used.
 func MPT(M float64, n int, p machine.Params) (float64, MPTRegime) {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	nf := float64(n)
 	hi := math.Sqrt(M * p.Tc / (N * p.Tau))
 	lo := math.Sqrt(M * p.Tc / (2 * N * p.Tau))
@@ -191,7 +201,7 @@ func MPT(M float64, n int, p machine.Params) (float64, MPTRegime) {
 
 // MPTBopt returns the Theorem 2 optimum packet size in bytes.
 func MPTBopt(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	nf := float64(n)
 	lo := math.Sqrt(M * p.Tc / (2 * N * p.Tau))
 	if nf > lo {
@@ -205,14 +215,14 @@ func MPTBopt(M float64, n int, p machine.Params) float64 {
 
 // TransposeLowerBound returns Theorem 3's bound max(nτ, M/(2N)·t_c).
 func TransposeLowerBound(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return math.Max(float64(n)*p.Tau, M/(2*N)*p.Tc)
 }
 
 // IPSCTwoDim returns the Section 8.2.1 estimate for the step-by-step SPT on
 // the iPSC: T = (M/N·t_c + ceil(M/(B_m·N))·τ)·n + 2·M/N·t_copy.
 func IPSCTwoDim(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	return (M/N*p.Tc+ceilDiv(M/N, float64(p.Bm))*p.Tau)*float64(n) + 2*M/N*p.TCopy
 }
 
@@ -223,7 +233,7 @@ func IPSCTwoDim(M float64, n int, p machine.Params) float64 {
 // form N + ⌈M/(2B_m N)⌉·min(n, log2⌈M/(B_m N)⌉) − M/(B_m N) is the n >
 // log2(M/(B_m N)) approximation of this sum.)
 func IPSCOneDimUnbuffered(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	bm := float64(p.Bm)
 	startups := 0.0
 	for k := 0; k < n; k++ {
@@ -238,7 +248,7 @@ func IPSCOneDimUnbuffered(M float64, n int, p machine.Params) float64 {
 // out directly, smaller runs are copied into one buffer (charging t_copy)
 // and sent as a single message.
 func IPSCOneDimBuffered(M float64, n int, p machine.Params) float64 {
-	N := float64(int64(1) << uint(n))
+	N := nodesOf(n)
 	bm, bc := float64(p.Bm), float64(p.BCopy)
 	startups, copyTime := 0.0, 0.0
 	for k := 0; k < n; k++ {

@@ -121,6 +121,7 @@ func SameS(x1, x2 uint64, n int) bool {
 
 // SClass returns all nodes equivalent to x under ~s, including x itself.
 func SClass(x uint64, n int) []uint64 {
+	checkEven(n)
 	var out []uint64
 	for y := uint64(0); y < 1<<uint(n); y++ {
 		if SameS(x, y, n) {

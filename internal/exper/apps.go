@@ -75,6 +75,9 @@ func apps() (*Table, error) {
 // a 1-D transpose algorithm, returning the total simulated comm time.
 func admStepOneDim(p, q, n int, alg func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error),
 	mach machine.Params) (float64, error) {
+	if p < 1 || q < 1 || p+q > 26 {
+		return 0, fmt.Errorf("exper: bad ADM shape p=%d q=%d", p, q)
+	}
 	const lam = 0.4
 	rows := field.OneDimConsecutiveRows(p, q, n, field.Binary)
 	rowsT := field.OneDimConsecutiveRows(q, p, n, field.Binary)
@@ -90,8 +93,7 @@ func admStepOneDim(p, q, n int, alg func(*matrix.Dist, field.Layout, core.Option
 		}
 		total += res.Stats.Time
 		d = res.Dist
-		solveADMHalf(d, 1<<uint(dst.P+dst.Q)/(1<<uint(dst.P)), lam)
-		return nil
+		return solveADMHalf(d, 1<<uint(dst.P+dst.Q)/(1<<uint(dst.P)), lam)
 	}
 	if err := step(rowsT, 1<<uint(q)); err != nil {
 		return 0, err
@@ -140,14 +142,15 @@ func applyADMHalf(d *matrix.Dist, w int, lam float64) {
 }
 
 // solveADMHalf runs the implicit tridiagonal solves along local rows.
-func solveADMHalf(d *matrix.Dist, w int, lam float64) {
+func solveADMHalf(d *matrix.Dist, w int, lam float64) error {
 	scratch := make([]float64, w)
 	for proc := range d.Local {
 		local := d.Local[proc]
 		for off := 0; off+w <= len(local); off += w {
 			if err := solve.HeatImplicit(lam, local[off:off+w], scratch); err != nil {
-				panic(err)
+				return fmt.Errorf("exper: implicit ADM solve at proc %d offset %d: %w", proc, off, err)
 			}
 		}
 	}
+	return nil
 }

@@ -59,7 +59,23 @@ type Layout struct {
 func (l Layout) M() int { return l.P + l.Q }
 
 // N returns the number of real processors 2^n used by the layout.
-func (l Layout) N() int { return 1 << uint(l.NBits()) }
+func (l Layout) N() int {
+	n := l.NBits()
+	if n < 0 || n > 62 {
+		panic(fmt.Sprintf("field: %d real-processor bits out of range [0,62]", n))
+	}
+	return 1 << uint(n)
+}
+
+// checkShape panics when the layout's widths cannot index a 64-bit element
+// address. Constructors and Validate bound this, but Layout is a plain
+// struct and can be built by hand, so the address arithmetic re-checks
+// before shifting.
+func (l Layout) checkShape() {
+	if l.P < 0 || l.Q < 0 || l.P+l.Q > 62 {
+		panic(fmt.Sprintf("field: bad matrix shape p=%d q=%d", l.P, l.Q))
+	}
+}
 
 // NBits returns the number of real-processor dimensions n.
 func (l Layout) NBits() int {
@@ -122,6 +138,7 @@ func (l Layout) VirtualBits() []int {
 
 // addr computes the concatenated element address w = (u || v).
 func (l Layout) addr(u, v uint64) uint64 {
+	l.checkShape()
 	return u<<uint(l.Q) | v
 }
 
@@ -155,11 +172,18 @@ func (l Layout) LocalOf(u, v uint64) uint64 {
 }
 
 // LocalSize returns the number of elements stored per processor, 2^(m-n).
-func (l Layout) LocalSize() int { return 1 << uint(l.M()-l.NBits()) }
+func (l Layout) LocalSize() int {
+	k := l.M() - l.NBits()
+	if k < 0 || k > 62 {
+		panic(fmt.Sprintf("field: %d virtual-processor bits out of range [0,62]", k))
+	}
+	return 1 << uint(k)
+}
 
 // ElementOf inverts (proc, local) back to the element (u, v). It is the
 // exact inverse of ProcOf/LocalOf and is used by placement verification.
 func (l Layout) ElementOf(proc, local uint64) (u, v uint64) {
+	l.checkShape()
 	var w uint64
 	// Real fields: most significant field holds the top processor bits.
 	shift := l.NBits()

@@ -114,7 +114,7 @@ func DST1(x []float64) []float64 {
 		}
 		if err := FFT(y); err != nil {
 			// Unreachable: m is a power of two here.
-			panic(err)
+			panic(err) //cubevet:ignore liberrors -- unreachable, FFT only rejects non-power-of-two lengths
 		}
 		out := make([]float64, n)
 		scale := math.Sqrt(2 / float64(n+1))

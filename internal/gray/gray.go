@@ -7,7 +7,11 @@
 // width up to 64 bits.
 package gray
 
-import "boolcube/internal/bits"
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+)
 
 // Encode returns the binary-reflected Gray code G(w).
 func Encode(w uint64) uint64 {
@@ -42,7 +46,12 @@ func Adjacent(a, b uint64, m int) bool {
 }
 
 // Sequence returns the full Gray code sequence G(0..2^m-1) for an m-bit code.
+// The width is bounded at 30 bits: beyond that the materialized sequence
+// would not fit in memory, and an unguarded shift would silently wrap.
 func Sequence(m int) []uint64 {
+	if m < 0 || m > 30 {
+		panic(fmt.Sprintf("gray: sequence width %d out of range [0,30]", m))
+	}
 	n := uint64(1) << uint(m)
 	seq := make([]uint64, n)
 	for i := uint64(0); i < n; i++ {

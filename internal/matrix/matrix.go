@@ -37,19 +37,21 @@ func NewIota(p, q int) *Matrix {
 }
 
 // Rows returns the number of rows 2^P.
-func (m *Matrix) Rows() int { return 1 << uint(m.P) }
+// The shape is bounded by New (p+q <= 26), so these shifts cannot wrap;
+// the per-element accessors stay guard-free because they are the hot path.
+func (m *Matrix) Rows() int { return 1 << uint(m.P) } //cubevet:ignore shiftwidth -- P bounded by New
 
 // Cols returns the number of columns 2^Q.
-func (m *Matrix) Cols() int { return 1 << uint(m.Q) }
+func (m *Matrix) Cols() int { return 1 << uint(m.Q) } //cubevet:ignore shiftwidth -- Q bounded by New
 
 // At returns a(u, v).
 func (m *Matrix) At(u, v uint64) float64 {
-	return m.Data[u<<uint(m.Q)|v]
+	return m.Data[u<<uint(m.Q)|v] //cubevet:ignore shiftwidth -- Q bounded by New, index checked by runtime
 }
 
 // Set assigns a(u, v).
 func (m *Matrix) Set(u, v uint64, x float64) {
-	m.Data[u<<uint(m.Q)|v] = x
+	m.Data[u<<uint(m.Q)|v] = x //cubevet:ignore shiftwidth -- Q bounded by New, index checked by runtime
 }
 
 // Transposed returns a new matrix equal to m^T.
@@ -89,7 +91,7 @@ func Scatter(m *Matrix, l field.Layout) *Dist {
 		panic(fmt.Sprintf("matrix: layout shape (%d,%d) != matrix shape (%d,%d)", l.P, l.Q, m.P, m.Q))
 	}
 	if err := l.Validate(); err != nil {
-		panic(err)
+		panic("matrix: invalid layout: " + err.Error())
 	}
 	d := &Dist{Layout: l, Local: make([][]float64, l.N())}
 	for i := range d.Local {
@@ -126,7 +128,9 @@ func (d *Dist) LocalShape() (rows, cols int, ok bool) {
 	l := d.Layout
 	vb := l.VirtualBits()
 	// All of bits [0, Q) must be virtual and be the lowest virtual bits.
-	if len(vb) < l.Q {
+	// The explicit width bound also keeps the shifts below word size for
+	// hand-built layouts.
+	if l.Q < 0 || len(vb) > 62 || len(vb) < l.Q {
 		return 0, 0, false
 	}
 	for i := 0; i < l.Q; i++ {

@@ -120,6 +120,9 @@ type linkID struct {
 // pair of the permutation perm with `elems` elements each, over e-cube
 // routes — the Connection Machine "routing logic" model.
 func EcubeCutThroughAllPairs(n int, p machine.Params, perm func(uint64) uint64, elems int) (CutThroughStats, error) {
+	if n < 0 || n > 30 {
+		return CutThroughStats{}, fmt.Errorf("router: cube dimension %d out of range [0,30]", n)
+	}
 	N := uint64(1) << uint(n)
 	flows := make([]Flow, 0, N)
 	for s := uint64(0); s < N; s++ {

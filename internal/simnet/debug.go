@@ -1,0 +1,21 @@
+package simnet
+
+import "os"
+
+// Debug assertions. When the SIMNET_DEBUG environment variable is non-empty
+// at Engine construction time, the engine tracks the previous send interval
+// of every port and panics if a new transmission would begin before the
+// port's previous transmission has completed — i.e. two in-flight sends on
+// the same port, which the one-port serialization rule (and the per-dimension
+// rule of an n-port node) must make impossible. The check costs two float
+// comparisons per send and is off by default; it exists to catch future
+// regressions in the port bookkeeping, not errors in node programs (those
+// cannot influence sendFree through the public API).
+//
+// The variable is read once per engine, in New, so toggling it mid-run has
+// no effect on already-constructed engines.
+
+// debugMode reports whether SIMNET_DEBUG assertions are requested.
+func debugMode() bool {
+	return os.Getenv("SIMNET_DEBUG") != ""
+}

@@ -34,7 +34,7 @@ func (nd *Node) submit(o op) Msg {
 	nd.parked <- struct{}{}
 	m := <-nd.resume
 	if nd.eng.poisoned {
-		panic(errPoisoned)
+		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 	}
 	return m
 }

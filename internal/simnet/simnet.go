@@ -117,6 +117,11 @@ type Node struct {
 	sendFree []float64 // one entry (one-port) or n entries (n-port)
 	recvFree []float64
 
+	// Previous send interval per port, tracked only under SIMNET_DEBUG
+	// (see debug.go).
+	lastSendStart []float64
+	lastSendEnd   []float64
+
 	queues  [][]arrival // inbound, per dimension
 	pending op
 	parked  chan struct{} // signaled by node when parked
@@ -141,6 +146,7 @@ type Engine struct {
 	tracer   Tracer
 	started  bool // engines are one-shot; see Run
 	poisoned bool // set before resuming nodes during drainAll
+	debug    bool // SIMNET_DEBUG assertions, snapshotted in New
 	fail     error
 }
 
@@ -192,6 +198,7 @@ func New(n int, params machine.Params) (*Engine, error) {
 		linkFree:   make(map[linkKey]float64),
 		linkBytes:  make(map[linkKey]int64),
 		linkBusy:   make(map[linkKey]float64),
+		debug:      debugMode(),
 	}
 	return e, nil
 }
@@ -271,6 +278,10 @@ func (e *Engine) Run(prog func(*Node)) error {
 			queues:   make([][]arrival, max(e.n, 1)),
 			parked:   make(chan struct{}, 1),
 			resume:   make(chan Msg, 1),
+		}
+		if e.debug {
+			nd.lastSendStart = make([]float64, e.ports())
+			nd.lastSendEnd = make([]float64, e.ports())
 		}
 		e.nodes[i] = nd
 	}
@@ -441,6 +452,14 @@ func (e *Engine) doSend(nd *Node, dim int, m Msg) {
 	start := math.Max(nd.clock, nd.sendFree[port])
 	start = math.Max(start, e.linkFree[lk])
 	end := start + dur
+	if e.debug {
+		if prev := nd.lastSendEnd[port]; start < prev {
+			panic(fmt.Sprintf(
+				"simnet: debug: node %d port %d has two in-flight sends: previous [%g, %g) still busy when new send starts at %g (ends %g)",
+				nd.id, port, nd.lastSendStart[port], prev, start, end))
+		}
+		nd.lastSendStart[port], nd.lastSendEnd[port] = start, end
+	}
 	nd.sendFree[port] = end
 	e.linkFree[lk] = end
 	e.linkBytes[lk] += int64(bytes)

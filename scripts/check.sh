@@ -1,0 +1,26 @@
+#!/bin/sh
+# Pre-PR gate: everything a change must pass before it is committed.
+# Run from the repository root (directly or as `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/cubevet ./..."
+go run ./cmd/cubevet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+# -short skips the exper figure sweeps, which exceed the per-package test
+# timeout under the race detector; they exercise no concurrency the short
+# suite doesn't. `make race` runs the full sweep with a raised timeout.
+echo "==> go test -race -short ./... (SIMNET_DEBUG=1)"
+SIMNET_DEBUG=1 go test -race -short ./...
+
+echo "check: all gates passed"
