@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cubevet check
+.PHONY: build test race vet cubevet check bench
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,8 @@ cubevet:
 
 check:
 	./scripts/check.sh
+
+# Compile/execute split: one-shot Transpose vs cached-plan replay on the
+# repeated 8-cube transpose. Writes BENCH_plan.json.
+bench:
+	./scripts/bench_plan.sh

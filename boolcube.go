@@ -24,13 +24,12 @@
 package boolcube
 
 import (
-	"fmt"
-
 	"boolcube/internal/comm"
 	"boolcube/internal/core"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
@@ -153,83 +152,65 @@ var Classify = field.Classify
 // internal/field.Parse for the grammar.
 var ParseLayout = field.Parse
 
-// Algorithm selects a transposition algorithm from the paper.
-type Algorithm int
+// Algorithm selects a transposition algorithm from the paper. The
+// algorithm set, its names, and its compilation rules live in one registry
+// table in internal/plan; String, Algorithms and ParseAlgorithm all read
+// that table.
+type Algorithm = plan.Algorithm
 
 const (
 	// Exchange is the standard exchange algorithm (Section 5), scanning
 	// cube dimensions from highest to lowest; optimal within 2x for
 	// one-port all-to-all transposition.
-	Exchange Algorithm = iota
+	Exchange = plan.Exchange
 	// ExchangeSPTOrder is the exchange algorithm with paired row/column
 	// dimension order; on square two-dimensional layouts it follows the
 	// Single Path Transpose routes.
-	ExchangeSPTOrder
+	ExchangeSPTOrder = plan.ExchangeSPTOrder
 	// SPT is the Single Path Transpose (Section 6.1.1): one pipelined
 	// edge-disjoint path from each node to its transpose partner.
-	SPT
+	SPT = plan.SPT
 	// DPT is the Dual Paths Transpose (Section 6.1.2): two directed
 	// edge-disjoint paths per node, halving the transfer time.
-	DPT
+	DPT = plan.DPT
 	// MPT is the Multiple Paths Transpose (Section 6.1.3 / Theorem 2):
 	// 2H(x) edge-disjoint paths per node; communication-optimal within a
 	// factor of two with n-port communication.
-	MPT
+	MPT = plan.MPT
 	// SBnT routes every (source, destination) payload along its spanning
 	// balanced n-tree path (Section 5, n-port optimal all-to-all).
-	SBnT
+	SBnT = plan.SBnT
 	// RoutingLogic sends every payload straight through dimension-order
 	// (e-cube) routing, as the iPSC/CM routing hardware does (Section 8).
-	RoutingLogic
+	RoutingLogic = plan.RoutingLogic
 	// MixedNaive transposes mixed binary/Gray encodings via separate code
 	// conversions plus transpose: 2n-2 routing steps (Section 6.3).
-	MixedNaive
+	MixedNaive = plan.MixedNaive
 	// MixedCombined folds the conversions into the transpose: n routing
 	// steps (Section 6.3).
-	MixedCombined
+	MixedCombined = plan.MixedCombined
 	// MixedPseudocode runs the paper's literal Section 6.3 per-node
 	// program (the 14-case table) — equivalent to MixedCombined, kept as
 	// an executable validation of the published pseudocode.
-	MixedPseudocode
+	MixedPseudocode = plan.MixedPseudocode
 	// ParallelPaths splits each pair's payload over the n node-disjoint
 	// paths of Saad & Schultz — per-pair disjoint but globally colliding;
 	// the ablation baseline for the MPT.
-	ParallelPaths
+	ParallelPaths = plan.ParallelPaths
+	// AlgorithmAuto lets the library pick: the layout pair is classified
+	// (Classify) and the candidate with the lowest paper-predicted time on
+	// the configured machine wins.
+	AlgorithmAuto = plan.Auto
 )
 
-func (a Algorithm) String() string {
-	switch a {
-	case Exchange:
-		return "exchange"
-	case ExchangeSPTOrder:
-		return "exchange-spt-order"
-	case SPT:
-		return "spt"
-	case DPT:
-		return "dpt"
-	case MPT:
-		return "mpt"
-	case SBnT:
-		return "sbnt"
-	case RoutingLogic:
-		return "routing-logic"
-	case MixedNaive:
-		return "mixed-naive"
-	case MixedCombined:
-		return "mixed-combined"
-	case MixedPseudocode:
-		return "mixed-pseudocode"
-	case ParallelPaths:
-		return "parallel-paths"
-	}
-	return fmt.Sprintf("algorithm(%d)", int(a))
-}
+// Algorithms lists every concrete transposition algorithm (excluding
+// AlgorithmAuto), for sweeps.
+func Algorithms() []Algorithm { return plan.Algorithms() }
 
-// Algorithms lists every transposition algorithm, for sweeps.
-func Algorithms() []Algorithm {
-	return []Algorithm{Exchange, ExchangeSPTOrder, SPT, DPT, MPT, SBnT,
-		RoutingLogic, MixedNaive, MixedCombined, MixedPseudocode, ParallelPaths}
-}
+// ParseAlgorithm maps an algorithm name (as produced by Algorithm.String,
+// e.g. "mpt" or "exchange-spt-order") back to the Algorithm; "auto" parses
+// to AlgorithmAuto.
+func ParseAlgorithm(s string) (Algorithm, error) { return plan.ParseAlgorithm(s) }
 
 // Options configures a Transpose call.
 type Options struct {
@@ -268,35 +249,59 @@ func (o Options) core() core.Options {
 
 // Transpose moves the distributed matrix d into the after layout (which
 // describes the transposed matrix) with the selected algorithm, returning
-// the new distribution and the simulated communication cost.
+// the new distribution and the simulated communication cost. Each call
+// compiles the transposition afresh and executes it once; callers replaying
+// the same shape repeatedly should Compile once and Execute per run.
 func Transpose(d *Dist, after Layout, opt Options) (*Result, error) {
-	co := opt.core()
-	switch opt.Algorithm {
-	case Exchange:
-		return core.TransposeExchange(d, after, co)
-	case ExchangeSPTOrder:
-		return core.TransposeExchangeSPTOrder(d, after, co)
-	case SPT:
-		return core.TransposeSPT(d, after, co)
-	case DPT:
-		return core.TransposeDPT(d, after, co)
-	case MPT:
-		return core.TransposeMPT(d, after, co)
-	case SBnT:
-		return core.TransposeSBnT(d, after, co)
-	case RoutingLogic:
-		return core.TransposeRoutingLogic(d, after, co)
-	case MixedNaive:
-		return core.TransposeMixedNaive(d, after, co)
-	case MixedCombined:
-		return core.TransposeMixedCombined(d, after, co)
-	case MixedPseudocode:
-		return core.TransposeMixedPseudocode(d, after, co)
-	case ParallelPaths:
-		return core.TransposeParallelPaths(d, after, co)
-	}
-	return nil, fmt.Errorf("boolcube: unknown algorithm %v", opt.Algorithm)
+	return core.Transpose(opt.Algorithm, d, after, opt.core())
 }
+
+// CompiledTranspose is a compiled, immutable transposition: the element
+// move-sets, routes/dimension orders and packetization for one (before,
+// after, algorithm, machine) shape, ready to replay against fresh data.
+type CompiledTranspose struct {
+	plan *plan.Plan
+}
+
+// Compile builds (or fetches from the process-wide plan cache) the plan for
+// transposing a matrix distributed under `before` into the `after` layout
+// with opt's algorithm and machine. The O(P·Q) planning work happens here,
+// once per shape; Execute only gathers, routes and scatters.
+func Compile(before, after Layout, opt Options) (*CompiledTranspose, error) {
+	co := opt.core()
+	p, err := plan.Default.Compile(opt.Algorithm, before, after, co.PlanConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledTranspose{plan: p}, nil
+}
+
+// Execute replays the compiled plan against d (which must be distributed
+// under the plan's before layout). The plan is read-only during execution,
+// so a CompiledTranspose may be shared and executed concurrently; the
+// result and Stats are bit-identical to a one-shot Transpose of the same
+// shape.
+func (c *CompiledTranspose) Execute(d *Dist) (*Result, error) {
+	return core.Execute(c.plan, d, nil)
+}
+
+// ExecuteTraced is Execute with a trace recorder attached; the trace is
+// labeled with the plan's description.
+func (c *CompiledTranspose) ExecuteTraced(d *Dist, t *TraceRecorder) (*Result, error) {
+	return core.Execute(c.plan, d, t)
+}
+
+// Algorithm returns the concrete algorithm the plan uses — the resolved
+// choice when compiled with AlgorithmAuto.
+func (c *CompiledTranspose) Algorithm() Algorithm { return c.plan.Algorithm() }
+
+// PredictedCost returns the paper's closed-form time estimate (µs) for one
+// execution of this plan, from the same cost model internal/cost exposes.
+func (c *CompiledTranspose) PredictedCost() float64 { return c.plan.PredictedCost() }
+
+// Describe renders a one-line summary of the plan (algorithm, layouts,
+// machine, schedule size).
+func (c *CompiledTranspose) Describe() string { return c.plan.Describe() }
 
 // ConvertAlgorithm selects one of Section 6.2's three algorithms for
 // transposing from two-dimensional consecutive to two-dimensional cyclic

@@ -62,12 +62,11 @@ func machineFor(name string) (boolcube.Machine, error) {
 }
 
 func algorithmFor(name string) (boolcube.Algorithm, error) {
-	for _, a := range boolcube.Algorithms() {
-		if a.String() == name {
-			return a, nil
-		}
+	a, err := boolcube.ParseAlgorithm(name)
+	if err == nil {
+		return a, nil
 	}
-	var names []string
+	names := []string{"auto"}
 	for _, a := range boolcube.Algorithms() {
 		names = append(names, a.String())
 	}
@@ -89,7 +88,7 @@ func realMain(args []string, out io.Writer) error {
 	layout := flag.String("layout", "2d-consecutive", "partitioning spec: named (1d-consecutive-rows, 1d-cyclic-cols, 2d-consecutive, 2d-cyclic, 2d-mixed, 2d-mixed-enc, banded:<nc>,<s>) or custom([lo,hi):enc+...)")
 	afterSpec := flag.String("after", "", "layout of the transposed matrix (default: same spec)")
 	encName := flag.String("enc", "binary", "encoding (binary, gray)")
-	algName := flag.String("alg", "exchange", "algorithm (see boolcube.Algorithms)")
+	algName := flag.String("alg", "exchange", "algorithm (auto or see boolcube.Algorithms)")
 	machName := flag.String("machine", "ipsc", "machine model")
 	copies := flag.Bool("copies", false, "charge local pack/unpack copies")
 	traceOut := flag.Bool("trace", false, "print an operation timeline (Gantt) of the run")
@@ -134,10 +133,18 @@ func realMain(args []string, out io.Writer) error {
 	cls := boolcube.Classify(before, after)
 
 	opt := boolcube.Options{Algorithm: alg, Machine: mach, LocalCopies: *copies}
+	ct, err := boolcube.Compile(before, after, opt)
+	if err != nil {
+		return err
+	}
+	alg = ct.Algorithm() // the concrete algorithm when -alg auto
+	var res *boolcube.Result
 	if *traceOut {
 		opt.Trace = boolcube.NewTrace()
+		res, err = ct.ExecuteTraced(d, opt.Trace)
+	} else {
+		res, err = ct.Execute(d)
 	}
-	res, err := boolcube.Transpose(d, after, opt)
 	if err != nil {
 		return err
 	}
@@ -153,6 +160,7 @@ func realMain(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "communication:     %s (k=%d splitting, l=%d exchange steps)\n", cls.Pattern, cls.K, cls.L)
 	fmt.Fprintf(out, "algorithm:         %s on %s\n", alg, mach.Name)
 	fmt.Fprintf(out, "result:            verified element-exact\n")
+	fmt.Fprintf(out, "predicted time:    %.3f ms (paper model)\n", ct.PredictedCost()/1000)
 	fmt.Fprintf(out, "simulated time:    %.3f ms\n", st.Time/1000)
 	fmt.Fprintf(out, "start-ups:         %d\n", st.Startups)
 	fmt.Fprintf(out, "messages (hops):   %d\n", st.Sends)

@@ -98,13 +98,6 @@ func TestRectangularMatrices(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // A trace recorder attached through the public API captures the run.
 func TestPublicTrace(t *testing.T) {
 	m := NewIotaMatrix(3, 3)

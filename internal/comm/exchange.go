@@ -261,6 +261,19 @@ func DescendingDims(n int) []int {
 	return dims
 }
 
+// PairedDims returns the SPT dimension order for an even n: row dimension
+// then paired column dimension, highest pairs first —
+// [n-1, n/2-1, n-2, n/2-2, ..., n/2, 0]. For pairwise two-dimensional
+// transposes the exchange algorithm over this order follows the Single Path
+// Transpose route of every node (Section 6.1.1).
+func PairedDims(n int) []int {
+	dims := make([]int, 0, n)
+	for i := n/2 - 1; i >= 0; i-- {
+		dims = append(dims, n/2+i, i)
+	}
+	return dims
+}
+
 // subcube lists the nodes reachable from x by flipping any subset of dims,
 // in increasing address order.
 func subcube(x uint64, dims []int) []uint64 {

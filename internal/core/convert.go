@@ -6,6 +6,7 @@ import (
 	"boolcube/internal/comm"
 	"boolcube/internal/field"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
@@ -19,36 +20,36 @@ import (
 // node program: gather per-destination payloads from the current local
 // array per the plan, exchange over dims, scatter into the next local
 // array.
-func phaseExchange(nd *simnet.Node, pl *plan, dims []int, strat comm.Strategy, local []float64) []float64 {
+func phaseExchange(nd *simnet.Node, mv *plan.Moves, dims []int, strat comm.Strategy, local []float64) []float64 {
 	id := nd.ID()
 	var blocks []comm.Block
-	if int(id) < pl.before.N() && local != nil {
-		for _, dp := range pl.destinations(id) {
-			blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: pl.gather(id, local, dp)})
+	if int(id) < mv.Before().N() && local != nil {
+		for _, dp := range mv.Destinations(id) {
+			blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: mv.Gather(id, local, dp)})
 		}
 	}
 	got := comm.ExchangeBlocks(nd, dims, strat, blocks)
-	if int(id) >= pl.after.N() {
+	if int(id) >= mv.After().N() {
 		return nil
 	}
-	out := make([]float64, pl.after.LocalSize())
-	if int(id) < pl.before.N() && local != nil {
-		pl.scatter(id, out, id, pl.gather(id, local, id))
+	out := make([]float64, mv.After().LocalSize())
+	if int(id) < mv.Before().N() && local != nil {
+		mv.Scatter(id, out, id, mv.Gather(id, local, id))
 	}
 	for _, b := range got {
-		pl.scatter(id, out, b.Src, b.Data)
+		mv.Scatter(id, out, b.Src, b.Data)
 	}
 	return out
 }
 
 // relabelLocal applies a zero-communication plan (both layouts place every
 // element on the same processor) as a local rearrangement.
-func relabelLocal(pl *plan, id uint64, local []float64) []float64 {
-	out := make([]float64, pl.after.LocalSize())
-	if len(pl.destinations(id)) != 0 {
+func relabelLocal(mv *plan.Moves, id uint64, local []float64) []float64 {
+	out := make([]float64, mv.After().LocalSize())
+	if len(mv.Destinations(id)) != 0 {
 		panic(fmt.Sprintf("core: relabel plan moves data off processor %d", id))
 	}
-	pl.scatter(id, out, id, pl.gather(id, local, id))
+	mv.Scatter(id, out, id, mv.Gather(id, local, id))
 	return out
 }
 
@@ -122,13 +123,10 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 	case Convert1:
 		l1 := mk("conv1-cycrows", u3, v1)
 		l2 := mk("conv1-cyclic", u3, v3)
-		plA := newPlan(before, l1, false)
-		plB := newPlan(l1, l2, false)
-		plC := newPlan(l2, after, true)
-		sptDims := make([]int, 0, n)
-		for i := n/2 - 1; i >= 0; i-- {
-			sptDims = append(sptDims, n/2+i, i)
-		}
+		plA := plan.MustMoves(before, l1, false)
+		plB := plan.MustMoves(l1, l2, false)
+		plC := plan.MustMoves(l2, after, true)
+		sptDims := comm.PairedDims(n)
 		err = e.Run(func(nd *simnet.Node) {
 			id := nd.ID()
 			local := phaseExchange(nd, plA, rowDims, opt.Strategy, d.Local[id])
@@ -141,9 +139,9 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 	case Convert2, Convert3:
 		la := mk("conv23-rows", v3, v1)
 		lb := mk("conv23-both", v3, u3)
-		plA := newPlan(before, la, false)
-		plB := newPlan(la, lb, false)
-		plC := newPlan(lb, after, true) // zero-communication relabel
+		plA := plan.MustMoves(before, la, false)
+		plB := plan.MustMoves(la, lb, false)
+		plC := plan.MustMoves(lb, after, true) // zero-communication relabel
 		err = e.Run(func(nd *simnet.Node) {
 			id := nd.ID()
 			if alg == Convert2 {

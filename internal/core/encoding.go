@@ -5,6 +5,7 @@ import (
 
 	"boolcube/internal/field"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/router"
 )
 
@@ -29,9 +30,12 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 	if after.NBits() != before.NBits() {
 		return nil, fmt.Errorf("core: encoding conversion requires the same processor count")
 	}
-	pl := newPlan(before, after, false)
+	pl, err := plan.NewMoves(before, after, false)
+	if err != nil {
+		return nil, err
+	}
 	for sp := 0; sp < before.N(); sp++ {
-		if len(pl.destinations(uint64(sp))) > 1 {
+		if len(pl.Destinations(uint64(sp))) > 1 {
 			return nil, fmt.Errorf("core: layout pair is not a node permutation (node %d scatters)", sp)
 		}
 	}
@@ -44,7 +48,7 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 	var flows []router.Flow
 	for sp := 0; sp < before.N(); sp++ {
 		src := uint64(sp)
-		for _, dp := range pl.destinations(src) {
+		for _, dp := range pl.Destinations(src) {
 			var dims []int
 			rel := src ^ dp
 			for i := n - 1; i >= 0; i-- {
@@ -65,7 +69,7 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 			}
 			flows = append(flows, router.Flow{
 				Src: src, Dst: dp, Dims: dims,
-				Data:    pl.gather(src, d.Local[sp], dp),
+				Data:    pl.Gather(src, d.Local[sp], dp),
 				Packets: pk,
 			})
 		}
@@ -78,10 +82,10 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 	for dp := 0; dp < after.N(); dp++ {
 		out := loc[dp]
 		for _, del := range deliveries[uint64(dp)] {
-			pl.scatter(uint64(dp), out, del.Src, del.Data)
+			pl.Scatter(uint64(dp), out, del.Src, del.Data)
 		}
-		self := pl.gather(uint64(dp), d.Local[dp], uint64(dp))
-		pl.scatter(uint64(dp), out, uint64(dp), self)
+		self := pl.Gather(uint64(dp), d.Local[dp], uint64(dp))
+		pl.Scatter(uint64(dp), out, uint64(dp), self)
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }

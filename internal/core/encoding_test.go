@@ -6,6 +6,7 @@ import (
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 )
 
 func TestConvertEncoding(t *testing.T) {
@@ -64,9 +65,12 @@ func TestConvertEncodingHopBound(t *testing.T) {
 	n := 5
 	before := field.OneDimConsecutiveRows(6, 6, n, field.Binary)
 	after := field.OneDimConsecutiveRows(6, 6, n, field.Gray)
-	pl := newPlan(before, after, false)
+	pl, err := plan.NewMoves(before, after, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for sp := 0; sp < before.N(); sp++ {
-		for _, dp := range pl.destinations(uint64(sp)) {
+		for _, dp := range pl.Destinations(uint64(sp)) {
 			dist := 0
 			rel := uint64(sp) ^ dp
 			for rel != 0 {

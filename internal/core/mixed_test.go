@@ -66,31 +66,6 @@ func TestMixedCombinedBeatsNaive(t *testing.T) {
 	}
 }
 
-// Route lengths: combined routes are at most n hops; naive routes at most
-// 2n-2 hops (conversions share the MSB so each conversion is <= n/2-1).
-func TestMixedRouteLengths(t *testing.T) {
-	n := 8
-	h := n / 2
-	before := field.TwoDimEncoded(h, h, h, h, field.Binary, field.Gray)
-	after := field.TwoDimEncoded(h, h, h, h, field.Binary, field.Gray)
-	pl := newPlan(before, after, true)
-	for sp := 0; sp < before.N(); sp++ {
-		dsts := pl.destinations(uint64(sp))
-		if len(dsts) == 0 {
-			continue
-		}
-		dst := dsts[0]
-		comb := combinedMixedRoute(uint64(sp), dst, n)[0]
-		if len(comb) > n {
-			t.Fatalf("combined route from %b has %d hops > n", sp, len(comb))
-		}
-		naive := naiveMixedRoute(uint64(sp), dst, n)[0]
-		if len(naive) > 2*n-2 {
-			t.Fatalf("naive route from %b has %d hops > 2n-2", sp, len(naive))
-		}
-	}
-}
-
 func TestMixedRejectsNonPermutation(t *testing.T) {
 	// A 1-D layout pair is all-to-all, not a node permutation.
 	before := field.OneDimConsecutiveRows(4, 4, 2, field.Binary)

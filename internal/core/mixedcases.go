@@ -1,20 +1,21 @@
 package core
 
 import (
-	"fmt"
-
 	"boolcube/internal/bits"
-	"boolcube/internal/field"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
-// This file implements the Section 6.3 combined conversion-transpose as the
+// This file executes the Section 6.3 combined conversion-transpose as the
 // paper's literal per-node pseudocode: n/2 iterations, each with two routing
 // steps chosen by the case table over (even-block-row,
 // even-parity-block-column, bit j+n/2, bit j) of the node's own address.
-// The route-based TransposeMixedCombined is the analytical form; this one
-// exists to validate the published program, action for action.
+// The route-based MixedCombined plan is the analytical form; this one
+// exists to validate the published program, action for action. The
+// compile-time half — the control-mode table over encoding combinations —
+// lives in internal/plan (pseudocodeControls); the plan arrives here with
+// its move-set and row/column gating already resolved.
 
 // mixedCaseAction classifies one iteration's behaviour for one node.
 type mixedCaseAction int
@@ -46,90 +47,28 @@ func mixedCase(evenRow, evenParityCol bool, bitRow, bitCol uint64) mixedCaseActi
 	}
 }
 
-// ctrlMode selects how a direction's operations are gated across
-// iterations: by the node's bit in the previous iteration's dimension
-// ("even block"), or by the running parity of the processed bits ("even
-// parity"), per the three variants at the end of Section 6.3.
-type ctrlMode int
-
-const (
-	ctrlBlock ctrlMode = iota
-	ctrlParity
-)
-
-// pseudocodeControls returns the row and column control modes for the
-// encoding combination (before -> after), or an error for unsupported
-// pairs. The modes follow from the invariant that after the iterations
-// above j, each direction's processed dimensions hold the TARGET encoding
-// bits of the block currently at the node:
-//
-//   - crossRow(j) = rowBit_j XOR colBit_j XOR T_row, where T_row
-//     reconstructs the next-higher bit of the source encoding in the row
-//     direction: the node's previous row bit when the target row bits are
-//     plain (block mode), or the parity of the processed row bits when the
-//     target row bits are a Gray code (parity mode). Symmetrically for
-//     crossCol(j) with the column direction.
-//
-// Base case (binary rows / Gray columns, unchanged): target row bits are
-// the plain v (block), target column bits are G(u) (parity) — the paper's
-// even-block-rows and even-parity-block-columns. Pure binary to transposed
-// pure Gray: targets are G(v) and G(u), both parity. Pure Gray to
-// transposed pure binary: targets are v and u, both block.
-func pseudocodeControls(before, after field.Layout) (row, col ctrlMode, err error) {
-	if len(before.Fields) != 2 || len(after.Fields) != 2 {
-		return 0, 0, fmt.Errorf("core: pseudocode transpose needs two-field layouts")
-	}
-	br, bc := before.Fields[0].Enc, before.Fields[1].Enc
-	ar, ac := after.Fields[0].Enc, after.Fields[1].Enc
-	switch {
-	case br == field.Binary && bc == field.Gray && ar == field.Binary && ac == field.Gray:
-		return ctrlBlock, ctrlParity, nil
-	case br == field.Binary && bc == field.Binary && ar == field.Gray && ac == field.Gray:
-		return ctrlParity, ctrlParity, nil
-	case br == field.Gray && bc == field.Gray && ar == field.Binary && ac == field.Binary:
-		return ctrlBlock, ctrlBlock, nil
-	}
-	return 0, 0, fmt.Errorf("core: pseudocode transpose does not support %v/%v -> %v/%v", br, bc, ar, ac)
-}
-
-// TransposeMixedPseudocode transposes a matrix between the Section 6.3
-// encoding combinations by running the published per-node program: rows
-// binary / columns Gray (unchanged), pure binary to transposed pure Gray,
-// or pure Gray to transposed pure binary.
-func TransposeMixedPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	before := d.Layout
-	n := before.NBits()
-	if n%2 != 0 {
-		return nil, fmt.Errorf("core: pseudocode transpose needs even n")
-	}
-	h := n / 2
-	rowCtrl, colCtrl, err := pseudocodeControls(before, after)
+// execMixedProgram replays a KindMixedProgram plan: the published per-node
+// program, gated by the plan's row/column control modes.
+func execMixedProgram(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+	e, err := planEngine(p, tracer)
 	if err != nil {
 		return nil, err
 	}
-	pl := newPlan(before, after, true)
-	for sp := 0; sp < before.N(); sp++ {
-		if len(pl.destinations(uint64(sp))) > 1 {
-			return nil, fmt.Errorf("core: layout pair is not a node permutation")
-		}
-	}
-
-	e, err := simnet.New(n, opt.Machine)
-	if err != nil {
-		return nil, err
-	}
-	applyTracer(e, opt)
+	mv := p.Moves()
+	after := p.After()
+	rowCtrl, colCtrl := p.Controls()
+	h := p.NDims() / 2
 	loc := newLocal(after, e.Nodes())
 	err = e.Run(func(nd *simnet.Node) {
 		id := nd.ID()
 		// buf travels with its source identity so the receiver can place it.
 		buf := simnet.Msg{Src: id, Data: nil}
-		if dsts := pl.destinations(id); len(dsts) == 1 {
-			buf.Data = pl.gather(id, d.Local[id], dsts[0])
+		if dsts := mv.Destinations(id); len(dsts) == 1 {
+			buf.Data = mv.Gather(id, d.Local[id], dsts[0])
 		} else {
 			// Diagonal-fixed node: data stays, but the node still plays its
 			// role in the case table (its block may circulate and return).
-			buf.Data = pl.gather(id, d.Local[id], id)
+			buf.Data = mv.Gather(id, d.Local[id], id)
 		}
 
 		evenRow := true
@@ -150,23 +89,23 @@ func TransposeMixedPseudocode(d *matrix.Dist, after field.Layout, opt Options) (
 				buf = nd.Recv(rowDim)
 			}
 			switch rowCtrl {
-			case ctrlBlock:
+			case plan.CtrlBlock:
 				evenRow = bitRow == 0
-			case ctrlParity:
+			case plan.CtrlParity:
 				if bitRow == 1 {
 					evenRow = !evenRow
 				}
 			}
 			switch colCtrl {
-			case ctrlBlock:
+			case plan.CtrlBlock:
 				evenCol = bitCol == 0
-			case ctrlParity:
+			case plan.CtrlParity:
 				if bitCol == 1 {
 					evenCol = !evenCol
 				}
 			}
 		}
-		pl.scatter(id, loc[id], buf.Src, buf.Data)
+		mv.Scatter(id, loc[id], buf.Src, buf.Data)
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"boolcube/internal/bits"
 	"boolcube/internal/field"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
@@ -50,7 +51,10 @@ func TransposeExchangePseudocode(d *matrix.Dist, after field.Layout, opt Options
 	if err != nil {
 		return nil, err
 	}
-	pl := newPlan(before, after, true)
+	pl, err := plan.NewMoves(before, after, true)
+	if err != nil {
+		return nil, err
+	}
 	N := 1 << uint(n)
 
 	e, err := simnet.New(n, opt.Machine)
@@ -69,7 +73,7 @@ func TransposeExchangePseudocode(d *matrix.Dist, after field.Layout, opt Options
 		}
 		blocks := make([]block, N)
 		for j := 0; j < N; j++ {
-			blocks[j] = block{src: id, dst: uint64(j), data: pl.gather(id, d.Local[id], uint64(j))}
+			blocks[j] = block{src: id, dst: uint64(j), data: pl.Gather(id, d.Local[id], uint64(j))}
 		}
 
 		for j := n - 1; j >= 0; j-- {
@@ -103,7 +107,7 @@ func TransposeExchangePseudocode(d *matrix.Dist, after field.Layout, opt Options
 			if b.dst != id {
 				panic(fmt.Sprintf("core: exchange pseudocode delivered block for %d to %d", b.dst, id))
 			}
-			pl.scatter(id, out, b.src, b.data)
+			pl.Scatter(id, out, b.src, b.data)
 		}
 	})
 	if err != nil {
@@ -124,7 +128,10 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 	if err != nil {
 		return nil, err
 	}
-	pl := newPlan(before, after, true)
+	pl, err := plan.NewMoves(before, after, true)
+	if err != nil {
+		return nil, err
+	}
 	N := uint64(1) << uint(n)
 
 	e, err := simnet.New(n, opt.Machine)
@@ -147,13 +154,13 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 			outBuf[b] = append(outBuf[b], simnet.Msg{
 				Src: id, Dst: j,
 				Rel:  rel ^ 1<<uint(b),
-				Data: pl.gather(id, d.Local[id], j),
+				Data: pl.Gather(id, d.Local[id], j),
 			})
 		}
 
 		out := loc[id]
 		// Own block stays local.
-		pl.scatter(id, out, id, pl.gather(id, d.Local[id], id))
+		pl.Scatter(id, out, id, pl.Gather(id, d.Local[id], id))
 		place := func(m simnet.Msg) {
 			if m.Rel != 0 {
 				panic("core: sbnt pseudocode placed an in-flight message")
@@ -161,7 +168,7 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 			if m.Dst != id {
 				panic(fmt.Sprintf("core: sbnt pseudocode delivered message for %d to %d", m.Dst, id))
 			}
-			pl.scatter(id, out, m.Src, m.Data)
+			pl.Scatter(id, out, m.Src, m.Data)
 		}
 
 		// Loop n times: send the pending bundle on all n output ports,

@@ -121,10 +121,3 @@ func TestSweepRandomLayouts(t *testing.T) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

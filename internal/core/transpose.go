@@ -1,13 +1,31 @@
+// Package core executes the paper's matrix transposition algorithms on the
+// simulated cube: the one-dimensional exchange transpose with the buffering
+// strategies of Section 8.1, the SBnT transpose for n-port communication
+// (Section 5), the two-dimensional Single/Dual/Multiple Path Transposes
+// (Section 6.1), transposition with change of assignment scheme
+// (Section 6.2, algorithms 1-3), the combined transpose + Gray/binary
+// conversion (Section 6.3), transposition through the machine routing
+// logic, and the bit-reversal and dimension permutations of Section 7.
+//
+// Since the compile/execute split, the planning half of every algorithm —
+// element move-sets, routes, dimension orders, packetization — lives in
+// internal/plan as an immutable IR; this package replays a compiled plan
+// against distributed data (Execute) and keeps the one-shot entry points
+// (Transpose, TransposeXxx) as compile-then-execute conveniences.
+//
+// Every algorithm moves real matrix elements between real per-processor
+// arrays; results are returned as a matrix.Dist that callers verify
+// element-exactly against the expected transpose.
 package core
 
 import (
 	"fmt"
 
 	"boolcube/internal/comm"
-	"boolcube/internal/cube"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/router"
 	"boolcube/internal/simnet"
 )
@@ -31,6 +49,58 @@ type Options struct {
 	Tracer simnet.Tracer
 }
 
+// PlanConfig extracts the part of the options that shapes a compiled plan
+// (everything but the tracer, which is per-run).
+func (o Options) PlanConfig() plan.Config {
+	return plan.Config{
+		Machine:     o.Machine,
+		Strategy:    o.Strategy,
+		Packets:     o.Packets,
+		LocalCopies: o.LocalCopies,
+	}
+}
+
+// Transpose compiles the transposition (uncached) and executes it once —
+// the seed one-shot path. Callers replaying the same shape repeatedly
+// should compile once (plan.Compile or a plan.Cache) and call Execute per
+// run.
+func Transpose(alg plan.Algorithm, d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	p, err := plan.Compile(alg, d.Layout, after, opt.PlanConfig())
+	if err != nil {
+		return nil, err
+	}
+	return Execute(p, d, opt.Tracer)
+}
+
+// TransposeCached is Transpose through the process-wide plan cache: sweeps
+// that re-run the same (layout, algorithm, machine) shape pay the O(P·Q)
+// planning cost once.
+func TransposeCached(alg plan.Algorithm, d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	p, err := plan.Default.Compile(alg, d.Layout, after, opt.PlanConfig())
+	if err != nil {
+		return nil, err
+	}
+	return Execute(p, d, opt.Tracer)
+}
+
+// Execute replays a compiled plan against the distributed matrix d. The
+// plan is read-only here and inside every node program — the simnet
+// concurrency contract — so one plan may serve concurrent executions.
+func Execute(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+	if got, want := d.Layout.String(), p.Before().String(); got != want {
+		return nil, fmt.Errorf("core: distribution layout %s does not match plan layout %s", got, want)
+	}
+	switch p.Kind() {
+	case plan.KindExchange:
+		return execExchange(p, d, tracer)
+	case plan.KindFlow:
+		return execFlow(p, d, tracer)
+	case plan.KindMixedProgram:
+		return execMixedProgram(p, d, tracer)
+	}
+	return nil, fmt.Errorf("core: unknown plan kind %v", p.Kind())
+}
+
 // engineFor builds an engine big enough for both layouts.
 func engineFor(before, after field.Layout, mach machine.Params) (*simnet.Engine, int, error) {
 	n := before.NBits()
@@ -49,6 +119,22 @@ func applyTracer(e *simnet.Engine, opt Options) {
 	if opt.Tracer != nil {
 		e.SetTracer(opt.Tracer)
 	}
+}
+
+// planEngine builds the engine a plan executes on and installs the tracer,
+// labeling it with the plan's description when the tracer supports labels.
+func planEngine(p *plan.Plan, tracer simnet.Tracer) (*simnet.Engine, error) {
+	e, err := simnet.New(p.NDims(), p.Config().Machine)
+	if err != nil {
+		return nil, err
+	}
+	if tracer != nil {
+		if l, ok := tracer.(interface{ SetLabel(string) }); ok {
+			l.SetLabel(p.Describe())
+		}
+		e.SetTracer(tracer)
+	}
+	return e, nil
 }
 
 // newLocal allocates the after-side local arrays.
@@ -78,65 +164,42 @@ func finishDist(after field.Layout, loc [][]float64) *matrix.Dist {
 	return &matrix.Dist{Layout: after, Local: loc[:after.N()]}
 }
 
-// TransposeExchange transposes d into the after layout with the standard
-// exchange algorithm (Section 5), scanning the cube dimensions from highest
-// to lowest — for square two-dimensional layouts this is exactly the Single
-// Path Transpose as a special case of the standard exchange algorithm
-// (Section 6.1.1), and for one-dimensional layouts it is the all-to-all
-// personalized transpose of Section 5 with the chosen buffering Strategy.
-func TransposeExchange(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	return transposeExchangeDims(d, after, opt, nil)
-}
-
-// TransposeExchangeSPTOrder uses the SPT dimension order (row dimension
-// then paired column dimension, highest pairs first), which for pairwise
-// two-dimensional transposes produces the SPT path for every node.
-func TransposeExchangeSPTOrder(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	n := d.Layout.NBits()
-	if n%2 != 0 {
-		return nil, fmt.Errorf("core: SPT order needs an even number of cube dimensions, got %d", n)
-	}
-	dims := make([]int, 0, n)
-	for i := n/2 - 1; i >= 0; i-- {
-		dims = append(dims, n/2+i, i)
-	}
-	return transposeExchangeDims(d, after, opt, dims)
-}
-
-func transposeExchangeDims(d *matrix.Dist, after field.Layout, opt Options, dims []int) (*Result, error) {
-	pl := newPlan(d.Layout, after, true)
-	e, n, err := engineFor(d.Layout, after, opt.Machine)
+// execExchange replays a KindExchange plan: every node gathers its
+// per-destination blocks, runs the dimension-scan exchange over the plan's
+// dimension order with the configured strategy, and scatters what arrived.
+func execExchange(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+	e, err := planEngine(p, tracer)
 	if err != nil {
 		return nil, err
 	}
-	applyTracer(e, opt)
-	if dims == nil {
-		dims = comm.DescendingDims(n)
-	}
+	mv := p.Moves()
+	cfg := p.Config()
+	dims := p.Dims()
+	after := p.After()
 	loc := newLocal(after, e.Nodes())
 	err = e.Run(func(nd *simnet.Node) {
 		id := nd.ID()
 		local := srcLocal(d, id)
-		if opt.LocalCopies && len(local) > 0 {
-			nd.Copy(len(local) * opt.Machine.ElemBytes)
+		if cfg.LocalCopies && len(local) > 0 {
+			nd.Copy(len(local) * cfg.Machine.ElemBytes)
 		}
 		var blocks []comm.Block
 		if local != nil {
-			for _, dp := range pl.destinations(id) {
-				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: pl.gather(id, local, dp)})
+			for _, dp := range mv.Destinations(id) {
+				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: mv.Gather(id, local, dp)})
 			}
 		}
-		got := comm.ExchangeBlocks(nd, dims, opt.Strategy, blocks)
+		got := comm.ExchangeBlocks(nd, dims, cfg.Strategy, blocks)
 		out := loc[id]
 		if out != nil {
 			if local != nil {
-				pl.scatter(id, out, id, pl.gather(id, local, id))
+				mv.Scatter(id, out, id, mv.Gather(id, local, id))
 			}
 			for _, b := range got {
-				pl.scatter(id, out, b.Src, b.Data)
+				mv.Scatter(id, out, b.Src, b.Data)
 			}
-			if opt.LocalCopies {
-				nd.Copy(len(out) * opt.Machine.ElemBytes)
+			if cfg.LocalCopies {
+				nd.Copy(len(out) * cfg.Machine.ElemBytes)
 			}
 		}
 	})
@@ -146,45 +209,23 @@ func transposeExchangeDims(d *matrix.Dist, after field.Layout, opt Options, dims
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }
 
-// flowTranspose executes a transpose whose data movement is expressed as
-// source-routed flows, and assembles the resulting distribution.
-func flowTranspose(d *matrix.Dist, after field.Layout, opt Options, route func(src, dst uint64, n int) [][]int) (*Result, error) {
-	pl := newPlan(d.Layout, after, true)
-	e, n, err := engineFor(d.Layout, after, opt.Machine)
+// execFlow replays a KindFlow plan: materialize each precompiled flow's
+// payload from the fresh data, inject all flows through the router, and
+// reassemble the deliveries into the after-side distribution.
+func execFlow(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+	e, err := planEngine(p, tracer)
 	if err != nil {
 		return nil, err
 	}
-	applyTracer(e, opt)
-	var flows []router.Flow
-	for sp := 0; sp < d.Layout.N(); sp++ {
-		src := uint64(sp)
-		local := d.Local[sp]
-		for _, dp := range pl.destinations(src) {
-			data := pl.gather(src, local, dp)
-			paths := route(src, dp, n)
-			if len(paths) == 0 {
-				return nil, fmt.Errorf("core: no route from %d to %d", src, dp)
-			}
-			// Split the payload evenly over the paths, then into packets.
-			for pi, dims := range paths {
-				chunk := share(data, len(paths), pi)
-				pk := opt.Packets
-				if pk < 1 {
-					// Default: the machine's natural packetization, which
-					// lets store-and-forward hops pipeline at B_m grain.
-					pk = 1
-					if bm := opt.Machine.Bm; bm > 0 {
-						cb := len(chunk) * opt.Machine.ElemBytes
-						pk = (cb + bm - 1) / bm
-						if pk < 1 {
-							pk = 1
-						}
-					}
-				}
-				flows = append(flows, router.Flow{
-					Src: src, Dst: dp, Dims: dims, Data: chunk, Packets: pk,
-				})
-			}
+	mv := p.Moves()
+	cfg := p.Config()
+	after := p.After()
+	pf := p.Flows()
+	flows := make([]router.Flow, len(pf))
+	for i, f := range pf {
+		flows[i] = router.Flow{
+			Src: f.Src, Dst: f.Dst, Dims: f.Dims, Packets: f.Packets,
+			Data: mv.GatherRange(f.Src, d.Local[f.Src], f.Dst, f.Off, f.Len),
 		}
 	}
 	deliveries, err := router.Run(e, flows)
@@ -202,75 +243,53 @@ func flowTranspose(d *matrix.Dist, after field.Layout, opt Options, route func(s
 			bySrc[del.Src] = append(bySrc[del.Src], del.Data...)
 		}
 		for src, data := range bySrc {
-			pl.scatter(uint64(dp), out, src, data)
+			mv.Scatter(uint64(dp), out, src, data)
 		}
 		if uint64(dp) < uint64(d.Layout.N()) {
-			self := pl.gather(uint64(dp), d.Local[dp], uint64(dp))
-			pl.scatter(uint64(dp), out, uint64(dp), self)
+			self := mv.Gather(uint64(dp), d.Local[dp], uint64(dp))
+			mv.Scatter(uint64(dp), out, uint64(dp), self)
 		}
 	}
 	st := e.Stats()
-	if opt.LocalCopies {
+	if cfg.LocalCopies {
 		// Pack before sending and unpack after receiving: 2 * PQ/N copies
 		// per processor (Section 8.2.1); charged analytically since flows
 		// were materialized outside node programs.
-		per := float64(d.Layout.LocalSize() * opt.Machine.ElemBytes)
-		st.CopyTime += 2 * opt.Machine.CopyTime(int(per)) * float64(d.Layout.N())
-		st.Time += 2 * opt.Machine.CopyTime(int(per))
+		per := float64(d.Layout.LocalSize() * cfg.Machine.ElemBytes)
+		st.CopyTime += 2 * cfg.Machine.CopyTime(int(per)) * float64(d.Layout.N())
+		st.Time += 2 * cfg.Machine.CopyTime(int(per))
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: st}, nil
 }
 
-// share splits data into k nearly-equal chunks and returns chunk i.
-func share(data []float64, k, i int) []float64 {
-	base := len(data) / k
-	rem := len(data) % k
-	off := 0
-	for j := 0; j < i; j++ {
-		sz := base
-		if j < rem {
-			sz++
-		}
-		off += sz
-	}
-	sz := base
-	if i < rem {
-		sz++
-	}
-	return data[off : off+sz]
+// TransposeExchange transposes d into the after layout with the standard
+// exchange algorithm (Section 5), scanning the cube dimensions from highest
+// to lowest — for square two-dimensional layouts this is exactly the Single
+// Path Transpose as a special case of the standard exchange algorithm
+// (Section 6.1.1), and for one-dimensional layouts it is the all-to-all
+// personalized transpose of Section 5 with the chosen buffering Strategy.
+func TransposeExchange(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return Transpose(plan.Exchange, d, after, opt)
 }
 
-// pairwiseOnly verifies that the transposition is between distinct
-// source/destination pairs (Section 6.1) so path-system transposes apply.
-func pairwiseOnly(before, after field.Layout, name string) error {
-	c := field.Classify(before, after)
-	if c.Pattern != field.Pairwise {
-		return fmt.Errorf("core: %s requires pairwise communication, got %v", name, c.Pattern)
-	}
-	return nil
+// TransposeExchangeSPTOrder uses the SPT dimension order (row dimension
+// then paired column dimension, highest pairs first), which for pairwise
+// two-dimensional transposes produces the SPT path for every node.
+func TransposeExchangeSPTOrder(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return Transpose(plan.ExchangeSPTOrder, d, after, opt)
 }
 
 // TransposeSPT transposes a square two-dimensionally partitioned matrix
 // with the Single Path Transpose (Section 6.1.1): one edge-disjoint path
 // from every node x to tr(x), packetized for pipelining.
 func TransposeSPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	if err := pairwiseOnly(d.Layout, after, "SPT"); err != nil {
-		return nil, err
-	}
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return [][]int{cube.SPTPath(src, n)}
-	})
+	return Transpose(plan.SPT, d, after, opt)
 }
 
 // TransposeDPT uses the Dual Paths Transpose (Section 6.1.2): two directed
 // edge-disjoint paths per node, halving the transfer time.
 func TransposeDPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	if err := pairwiseOnly(d.Layout, after, "DPT"); err != nil {
-		return nil, err
-	}
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return cube.DPTPaths(src, n)
-	})
+	return Transpose(plan.DPT, d, after, opt)
 }
 
 // TransposeMPT uses the Multiple Paths Transpose (Section 6.1.3): 2H(x)
@@ -278,12 +297,7 @@ func TransposeDPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, err
 // within a factor of two of the lower bound for n-port communication
 // (Theorem 2).
 func TransposeMPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	if err := pairwiseOnly(d.Layout, after, "MPT"); err != nil {
-		return nil, err
-	}
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return cube.MPTPaths(src, n)
-	})
+	return Transpose(plan.MPT, d, after, opt)
 }
 
 // TransposeParallelPaths splits every node's payload over the n
@@ -293,29 +307,40 @@ func TransposeMPT(d *matrix.Dist, after field.Layout, opt Options) (*Result, err
 // paths collide — so this serves as the ablation showing why the paper
 // builds the globally edge-disjoint MPT schedule instead.
 func TransposeParallelPaths(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	if err := pairwiseOnly(d.Layout, after, "parallel-paths"); err != nil {
-		return nil, err
-	}
-	c := cube.New(d.Layout.NBits())
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return cube.DisjointPaths(c, src, dst)
-	})
+	return Transpose(plan.ParallelPaths, d, after, opt)
 }
 
 // TransposeSBnT transposes with one spanning-balanced-n-tree route per
 // (source, destination) pair (the SBnT algorithm of Section 5), optimal
 // within a factor of two for n-port all-to-all personalized communication.
 func TransposeSBnT(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return [][]int{cube.SBnTPath(src^dst, n)}
-	})
+	return Transpose(plan.SBnT, d, after, opt)
 }
 
 // TransposeRoutingLogic sends every (source, destination) payload directly
 // through the machine's dimension-order routing logic, as in the iPSC
 // "routing logic" and Connection Machine measurements (Sections 8.2.1-2).
 func TransposeRoutingLogic(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
-	return flowTranspose(d, after, opt, func(src, dst uint64, n int) [][]int {
-		return [][]int{router.Ecube(src, dst, n)}
-	})
+	return Transpose(plan.RoutingLogic, d, after, opt)
+}
+
+// TransposeMixedNaive transposes a mixed-encoding matrix by separate code
+// conversions followed by the transpose: up to 2n-2 routing steps
+// (Section 6.3).
+func TransposeMixedNaive(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return Transpose(plan.MixedNaive, d, after, opt)
+}
+
+// TransposeMixedCombined transposes a mixed-encoding matrix with the
+// combined conversion-transpose algorithm: n routing steps (Section 6.3).
+func TransposeMixedCombined(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return Transpose(plan.MixedCombined, d, after, opt)
+}
+
+// TransposeMixedPseudocode transposes a matrix between the Section 6.3
+// encoding combinations by running the published per-node program: rows
+// binary / columns Gray (unchanged), pure binary to transposed pure Gray,
+// or pure Gray to transposed pure binary.
+func TransposeMixedPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*Result, error) {
+	return Transpose(plan.MixedPseudocode, d, after, opt)
 }

@@ -120,12 +120,23 @@ func SomeToAllNPort(M float64, k, l int, p machine.Params) float64 {
 	return tc + tau
 }
 
+// PipelinedPaths returns the generic pipelined path-transpose estimate for
+// a pairwise transposition whose per-pair M/N-byte payload is split over k
+// edge-disjoint paths of `hops` hops each and pipelined in packets of B
+// bytes: (ceil(M/(k·B·N)) + hops - 1)(B·t_c + τ). SPT is the (k=1,
+// hops=n) case and DPT the (k=2, hops=n) case; route systems with longer
+// or shorter paths (mixed-encoding routes, e-cube routing) plug in their
+// own hop counts.
+func PipelinedPaths(M float64, n, hops, k int, B float64, p machine.Params) float64 {
+	N := nodesOf(n)
+	return (ceilDiv(M/(float64(k)*N), B) + float64(hops) - 1) * (B*p.Tc + p.Tau)
+}
+
 // SPT returns the Single Path Transpose time for packet size B bytes
 // (Section 6.1.1): (ceil(M/(B·N)) + n - 1)(B·t_c + τ), where M is the total
 // matrix volume in bytes.
 func SPT(M float64, n int, B float64, p machine.Params) float64 {
-	N := nodesOf(n)
-	return (ceilDiv(M/N, B) + float64(n) - 1) * (B*p.Tc + p.Tau)
+	return PipelinedPaths(M, n, n, 1, B, p)
 }
 
 // SPTOpt returns the optimal packet size B_opt = sqrt(M·τ/(N(n-1)t_c)) and
@@ -140,8 +151,7 @@ func SPTOpt(M float64, n int, p machine.Params) (Bopt, Tmin float64) {
 // DPT returns the Dual Paths Transpose time for packet size B
 // (Section 6.1.2): (ceil(M/(2BN)) + n - 1)(B·t_c + τ).
 func DPT(M float64, n int, B float64, p machine.Params) float64 {
-	N := nodesOf(n)
-	return (ceilDiv(M/(2*N), B) + float64(n) - 1) * (B*p.Tc + p.Tau)
+	return PipelinedPaths(M, n, n, 2, B, p)
 }
 
 // DPTOpt returns B_opt and T_min for the DPT.
@@ -293,11 +303,4 @@ func BreakEvenN(M float64, c float64, p machine.Params) float64 {
 	}
 	lg := math.Log2(r)
 	return c * r / (lg * lg)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,94 @@
+package cost_test
+
+import (
+	"fmt"
+	"testing"
+
+	"boolcube/internal/core"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
+)
+
+// driftCase runs one compiled transpose and returns simulated/predicted.
+func driftCase(t *testing.T, alg plan.Algorithm, mach machine.Params,
+	before, after field.Layout, p, q int) float64 {
+	t.Helper()
+	pl, err := plan.Compile(alg, before, after, plan.Config{Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := pl.PredictedCost()
+	if predicted <= 0 {
+		t.Fatalf("predicted cost %v, want > 0", predicted)
+	}
+	m := matrix.NewIota(p, q)
+	res, err := core.Execute(pl, matrix.Scatter(m, before), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Dist.Verify(m.Transposed()); verr != nil {
+		t.Fatal(verr)
+	}
+	ratio := res.Stats.Time / predicted
+	t.Logf("simulated %.1f µs, predicted %.1f µs, ratio %.3f",
+		res.Stats.Time, predicted, ratio)
+	return ratio
+}
+
+// The paper's AllToAllExchange estimate is written for the one-dimensional
+// row-block all-to-all it analyzes; on that layout the simulation realizes
+// the formula essentially exactly, so any drift here means the predictor
+// and the executor have diverged from the shared plan IR.
+func TestExchangePredictionExactOneDim(t *testing.T) {
+	const factor = 1.1
+	mach := machine.IPSC()
+	for _, sh := range []struct{ p, q, n int }{
+		{4, 4, 4}, {5, 5, 4}, {6, 6, 6}, {7, 7, 6},
+	} {
+		t.Run(fmt.Sprintf("p%dq%dn%d", sh.p, sh.q, sh.n), func(t *testing.T) {
+			before := field.OneDimConsecutiveRows(sh.p, sh.q, sh.n, field.Binary)
+			after := field.OneDimConsecutiveRows(sh.q, sh.p, sh.n, field.Binary)
+			ratio := driftCase(t, plan.Exchange, mach, before, after, sh.p, sh.q)
+			if ratio > factor || ratio < 1/factor {
+				t.Errorf("simulated/predicted ratio %.3f outside [%.2f, %.2f]",
+					ratio, 1/factor, factor)
+			}
+		})
+	}
+}
+
+// Across two-dimensional consecutive layouts the closed forms are
+// approximations (the 2-D exchange moves different volumes, and the SBnT
+// executor pays per-hop start-ups the bundled pseudocode amortizes), but
+// the paper's models still track the simulation within a factor of 2 —
+// the accuracy the predictor needs for AlgorithmAuto to pick sanely.
+func TestPredictionTracksSimulation(t *testing.T) {
+	const factor = 2.0
+	cases := []struct {
+		alg  plan.Algorithm
+		mach machine.Params
+	}{
+		{plan.Exchange, machine.IPSC()},
+		{plan.SBnT, machine.IPSC()},
+		{plan.SBnT, machine.IPSCNPort()},
+	}
+	shapes := []struct{ p, q, n int }{
+		{4, 4, 4}, {5, 5, 4}, {6, 6, 4}, {6, 6, 6},
+	}
+	for _, c := range cases {
+		for _, sh := range shapes {
+			name := fmt.Sprintf("%s/%s/p%dq%dn%d", c.alg, c.mach.Name, sh.p, sh.q, sh.n)
+			t.Run(name, func(t *testing.T) {
+				before := field.TwoDimConsecutive(sh.p, sh.q, sh.n/2, sh.n/2, field.Binary)
+				after := field.TwoDimConsecutive(sh.q, sh.p, sh.n/2, sh.n/2, field.Binary)
+				ratio := driftCase(t, c.alg, c.mach, before, after, sh.p, sh.q)
+				if ratio > factor || ratio < 1/factor {
+					t.Errorf("simulated/predicted ratio %.3f outside [%.2f, %.2f]",
+						ratio, 1/factor, factor)
+				}
+			})
+		}
+	}
+}

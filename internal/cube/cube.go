@@ -82,10 +82,3 @@ func PathEnd(src uint64, dims []int) uint64 {
 	}
 	return x
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -3,9 +3,8 @@ package exper
 import (
 	"boolcube/internal/comm"
 	"boolcube/internal/core"
-	"boolcube/internal/field"
 	"boolcube/internal/machine"
-	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 )
 
 func init() {
@@ -30,9 +29,7 @@ func ablationPaths() (*Table, error) {
 		},
 	}
 	mach := machine.IPSCNPort()
-	algos := []func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error){
-		core.TransposeSPT, core.TransposeDPT, core.TransposeMPT, core.TransposeParallelPaths,
-	}
+	algos := []plan.Algorithm{plan.SPT, plan.DPT, plan.MPT, plan.ParallelPaths}
 	for _, n := range []int{4, 6} {
 		for _, logBytes := range []int{14, 18} {
 			logElems := logBytes - 2
@@ -41,8 +38,8 @@ func ablationPaths() (*Table, error) {
 			}
 			times := make([]float64, len(algos))
 			loads := make([]int64, len(algos))
-			for i, f := range algos {
-				st, err := runTranspose(f, logElems, n, core.Options{Machine: mach})
+			for i, alg := range algos {
+				st, err := runTranspose(alg, logElems, n, core.Options{Machine: mach})
 				if err != nil {
 					return nil, err
 				}

@@ -8,6 +8,7 @@ import (
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/solve"
 )
 
@@ -38,15 +39,14 @@ func apps() (*Table, error) {
 		name string
 		run  func(p, q, n int) (float64, error)
 	}
-	oneDim := func(alg func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error),
-		mach machine.Params) func(p, q, n int) (float64, error) {
+	oneDim := func(alg plan.Algorithm, mach machine.Params) func(p, q, n int) (float64, error) {
 		return func(p, q, n int) (float64, error) {
 			return admStepOneDim(p, q, n, alg, mach)
 		}
 	}
 	cands := []cand{
-		{"exchange", oneDim(core.TransposeExchange, machine.IPSC())},
-		{"sbnt", oneDim(core.TransposeSBnT, machine.IPSCNPort())},
+		{"exchange", oneDim(plan.Exchange, machine.IPSC())},
+		{"sbnt", oneDim(plan.SBnT, machine.IPSCNPort())},
 		{"mpt", admStepTwoDimMPT},
 	}
 	for _, shape := range []struct{ p, q, n int }{{7, 7, 4}, {8, 8, 4}, {9, 9, 6}} {
@@ -73,8 +73,7 @@ func apps() (*Table, error) {
 
 // admStepOneDim runs one full verified ADM step with row-block layouts and
 // a 1-D transpose algorithm, returning the total simulated comm time.
-func admStepOneDim(p, q, n int, alg func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error),
-	mach machine.Params) (float64, error) {
+func admStepOneDim(p, q, n int, alg plan.Algorithm, mach machine.Params) (float64, error) {
 	if p < 1 || q < 1 || p+q > 26 {
 		return 0, fmt.Errorf("exper: bad ADM shape p=%d q=%d", p, q)
 	}
@@ -87,7 +86,7 @@ func admStepOneDim(p, q, n int, alg func(*matrix.Dist, field.Layout, core.Option
 
 	step := func(dst field.Layout, width int) error {
 		applyADMHalf(d, width, lam)
-		res, err := alg(d, dst, core.Options{Machine: mach, Strategy: comm.Buffered})
+		res, err := core.TransposeCached(alg, d, dst, core.Options{Machine: mach, Strategy: comm.Buffered})
 		if err != nil {
 			return err
 		}
@@ -119,7 +118,7 @@ func admStepTwoDimMPT(p, q, n int) (float64, error) {
 		if i == 1 {
 			dst = before
 		}
-		res, err := core.TransposeMPT(d, dst, core.Options{Machine: machine.IPSCNPort()})
+		res, err := core.TransposeCached(plan.MPT, d, dst, core.Options{Machine: machine.IPSCNPort()})
 		if err != nil {
 			return 0, err
 		}

@@ -8,6 +8,7 @@ import (
 	"boolcube/internal/core"
 	"boolcube/internal/cost"
 	"boolcube/internal/machine"
+	"boolcube/internal/plan"
 )
 
 func init() {
@@ -21,7 +22,7 @@ func init() {
 // cmTranspose runs the routing-logic transpose of a square matrix with
 // multiple elements per processor on the Connection Machine model.
 func cmTranspose(logElems, n int) (float64, error) {
-	st, err := runTranspose(core.TransposeRoutingLogic, logElems, n,
+	st, err := runTranspose(plan.RoutingLogic, logElems, n,
 		core.Options{Machine: machine.ConnectionMachine()})
 	if err != nil {
 		return 0, err
@@ -122,7 +123,7 @@ func fig19() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := runTranspose(core.TransposeSPT, logElems, n,
+			st, err := runTranspose(plan.SPT, logElems, n,
 				core.Options{Machine: mach, LocalCopies: true})
 			if err != nil {
 				return nil, err
@@ -156,12 +157,12 @@ func sec9() (*Table, error) {
 			M := float64(int64(1) << uint(logBytes))
 			m1 := cost.OneDimNPortMin(M, n, mach)
 			m2, _ := cost.MPT(M, n, mach)
-			s1, err := runTranspose(core.TransposeSBnT, logElems, n,
+			s1, err := runTranspose(plan.SBnT, logElems, n,
 				core.Options{Machine: mach, Packets: 1})
 			if err != nil {
 				return nil, err
 			}
-			s2, err := runTranspose(core.TransposeMPT, logElems, n,
+			s2, err := runTranspose(plan.MPT, logElems, n,
 				core.Options{Machine: mach, Packets: 2})
 			if err != nil {
 				return nil, err

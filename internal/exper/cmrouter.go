@@ -4,6 +4,7 @@ import (
 	"boolcube/internal/bits"
 	"boolcube/internal/core"
 	"boolcube/internal/machine"
+	"boolcube/internal/plan"
 	"boolcube/internal/router"
 )
 
@@ -34,7 +35,7 @@ func cmRouter() (*Table, error) {
 		for _, elems := range []int{1, 16, 64} {
 			// Store-and-forward: simulated routing-logic transpose.
 			logElems := n + log2int(elems)
-			st, err := runTranspose(core.TransposeRoutingLogic, logElems, n,
+			st, err := runTranspose(plan.RoutingLogic, logElems, n,
 				core.Options{Machine: p})
 			if err != nil {
 				return nil, err

@@ -8,6 +8,7 @@ import (
 	"boolcube/internal/core"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
@@ -42,11 +43,11 @@ func sec7Perm() (*Table, error) {
 
 			// Dedicated transposes.
 			d1 := matrix.Scatter(m, before)
-			ex, err := core.TransposeExchange(d1, after, core.Options{Machine: machine.IPSC()})
+			ex, err := core.TransposeCached(plan.Exchange, d1, after, core.Options{Machine: machine.IPSC()})
 			if err != nil {
 				return nil, err
 			}
-			st2, err := runTranspose(core.TransposeMPT, logElems, n,
+			st2, err := runTranspose(plan.MPT, logElems, n,
 				core.Options{Machine: machine.IPSCNPort()})
 			if err != nil {
 				return nil, err

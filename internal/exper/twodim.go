@@ -9,6 +9,7 @@ import (
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
 	"boolcube/internal/simnet"
 )
 
@@ -34,16 +35,17 @@ func twoDimLayouts(logElems, n int) (before, after field.Layout, p, q int, ok bo
 	return before, after, p, q, true
 }
 
-// runTranspose executes one algorithm and verifies the result.
-func runTranspose(f func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error),
-	logElems, n int, opt core.Options) (simnet.Stats, error) {
+// runTranspose executes one algorithm and verifies the result. Plans are
+// compiled once per (algorithm, layout, machine) configuration through the
+// shared cache, so sweeps that revisit a configuration only pay execution.
+func runTranspose(alg plan.Algorithm, logElems, n int, opt core.Options) (simnet.Stats, error) {
 	before, after, p, q, ok := twoDimLayouts(logElems, n)
 	if !ok {
 		return simnet.Stats{}, fmt.Errorf("exper: shape %d elems on %d-cube invalid", logElems, n)
 	}
 	m := matrix.NewIota(p, q)
 	d := matrix.Scatter(m, before)
-	res, err := f(d, after, opt)
+	res, err := core.TransposeCached(alg, d, after, opt)
 	if err != nil {
 		return simnet.Stats{}, err
 	}
@@ -69,7 +71,7 @@ func fig13() (*Table, error) {
 		for _, logBytes := range []int{12, 14, 16, 18, 20} {
 			logElems := logBytes - 2
 			opt := core.Options{Machine: mach, Strategy: comm.SingleMessage, LocalCopies: true}
-			st, err := runTranspose(core.TransposeSPT, logElems, n, opt)
+			st, err := runTranspose(plan.SPT, logElems, n, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -103,7 +105,7 @@ func fig14a() (*Table, error) {
 				row = append(row, "-")
 				continue
 			}
-			st, err := runTranspose(core.TransposeSPT, logElems, n,
+			st, err := runTranspose(plan.SPT, logElems, n,
 				core.Options{Machine: mach, LocalCopies: true})
 			if err != nil {
 				return nil, err
@@ -135,7 +137,7 @@ func fig14b() (*Table, error) {
 				row = append(row, "-")
 				continue
 			}
-			st, err := runTranspose(core.TransposeRoutingLogic, logElems, n,
+			st, err := runTranspose(plan.RoutingLogic, logElems, n,
 				core.Options{Machine: mach, LocalCopies: true})
 			if err != nil {
 				return nil, err
@@ -143,7 +145,7 @@ func fig14b() (*Table, error) {
 			row = append(row, st.Time/1000)
 		}
 		if _, _, _, _, ok := twoDimLayouts(logBytes-2, 8); ok {
-			st, err := runTranspose(core.TransposeSPT, logBytes-2, 8,
+			st, err := runTranspose(plan.SPT, logBytes-2, 8,
 				core.Options{Machine: mach, LocalCopies: true})
 			if err != nil {
 				return nil, err
@@ -176,9 +178,9 @@ func fig15() (*Table, error) {
 			before := field.TwoDimEncoded(p, q, n/2, n/2, field.Binary, field.Gray)
 			after := field.TwoDimEncoded(q, p, n/2, n/2, field.Binary, field.Gray)
 			m := matrix.NewIota(p, q)
-			run := func(f func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error)) (float64, error) {
+			run := func(alg plan.Algorithm) (float64, error) {
 				d := matrix.Scatter(m, before)
-				res, err := f(d, after, core.Options{Machine: mach})
+				res, err := core.TransposeCached(alg, d, after, core.Options{Machine: mach})
 				if err != nil {
 					return 0, err
 				}
@@ -187,11 +189,11 @@ func fig15() (*Table, error) {
 				}
 				return res.Stats.Time, nil
 			}
-			naive, err := run(core.TransposeMixedNaive)
+			naive, err := run(plan.MixedNaive)
 			if err != nil {
 				return nil, err
 			}
-			combined, err := run(core.TransposeMixedCombined)
+			combined, err := run(plan.MixedCombined)
 			if err != nil {
 				return nil, err
 			}
@@ -220,7 +222,7 @@ func theorem2() (*Table, error) {
 			if _, _, _, _, ok := twoDimLayouts(logElems, n); !ok {
 				continue
 			}
-			st, err := runTranspose(core.TransposeMPT, logElems, n,
+			st, err := runTranspose(plan.MPT, logElems, n,
 				core.Options{Machine: mach})
 			if err != nil {
 				return nil, err
@@ -247,17 +249,17 @@ func theorem3() (*Table, error) {
 	M := float64(int64(1) << uint(logBytes))
 	algos := []struct {
 		name string
-		f    func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error)
+		alg  plan.Algorithm
 		mach machine.Params
 	}{
-		{"exchange", core.TransposeExchange, machine.IPSC()},
-		{"SPT", core.TransposeSPT, machine.IPSC()},
-		{"DPT", core.TransposeDPT, machine.IPSCNPort()},
-		{"MPT", core.TransposeMPT, machine.IPSCNPort()},
-		{"SBnT", core.TransposeSBnT, machine.IPSCNPort()},
+		{"exchange", plan.Exchange, machine.IPSC()},
+		{"SPT", plan.SPT, machine.IPSC()},
+		{"DPT", plan.DPT, machine.IPSCNPort()},
+		{"MPT", plan.MPT, machine.IPSCNPort()},
+		{"SBnT", plan.SBnT, machine.IPSCNPort()},
 	}
 	for _, a := range algos {
-		st, err := runTranspose(a.f, logElems, n, core.Options{Machine: a.mach, Packets: 4})
+		st, err := runTranspose(a.alg, logElems, n, core.Options{Machine: a.mach, Packets: 4})
 		if err != nil {
 			return nil, err
 		}
@@ -281,10 +283,8 @@ func sptdpt() (*Table, error) {
 		logElems := logBytes - 2
 		M := float64(int64(1) << uint(logBytes))
 		var sims []float64
-		for _, f := range []func(*matrix.Dist, field.Layout, core.Options) (*core.Result, error){
-			core.TransposeSPT, core.TransposeDPT, core.TransposeMPT,
-		} {
-			st, err := runTranspose(f, logElems, n, core.Options{Machine: mach, Packets: 4})
+		for _, alg := range []plan.Algorithm{plan.SPT, plan.DPT, plan.MPT} {
+			st, err := runTranspose(alg, logElems, n, core.Options{Machine: mach, Packets: 4})
 			if err != nil {
 				return nil, err
 			}

@@ -217,13 +217,6 @@ func (l Layout) String() string {
 	return sb.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // --- Constructors (Tables 1 and 2 and Section 6) ---
 
 // trim drops zero-width fields so that n=0 (or nr/nc=0) partitionings are

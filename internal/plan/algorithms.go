@@ -1,0 +1,106 @@
+package plan
+
+import "fmt"
+
+// Algorithm selects a transposition algorithm from the paper.
+type Algorithm int
+
+const (
+	// Exchange is the standard exchange algorithm (Section 5), scanning
+	// cube dimensions from highest to lowest; optimal within 2x for
+	// one-port all-to-all transposition.
+	Exchange Algorithm = iota
+	// ExchangeSPTOrder is the exchange algorithm with paired row/column
+	// dimension order; on square two-dimensional layouts it follows the
+	// Single Path Transpose routes.
+	ExchangeSPTOrder
+	// SPT is the Single Path Transpose (Section 6.1.1): one pipelined
+	// edge-disjoint path from each node to its transpose partner.
+	SPT
+	// DPT is the Dual Paths Transpose (Section 6.1.2): two directed
+	// edge-disjoint paths per node, halving the transfer time.
+	DPT
+	// MPT is the Multiple Paths Transpose (Section 6.1.3 / Theorem 2):
+	// 2H(x) edge-disjoint paths per node; communication-optimal within a
+	// factor of two with n-port communication.
+	MPT
+	// SBnT routes every (source, destination) payload along its spanning
+	// balanced n-tree path (Section 5, n-port optimal all-to-all).
+	SBnT
+	// RoutingLogic sends every payload straight through dimension-order
+	// (e-cube) routing, as the iPSC/CM routing hardware does (Section 8).
+	RoutingLogic
+	// MixedNaive transposes mixed binary/Gray encodings via separate code
+	// conversions plus transpose: 2n-2 routing steps (Section 6.3).
+	MixedNaive
+	// MixedCombined folds the conversions into the transpose: n routing
+	// steps (Section 6.3).
+	MixedCombined
+	// MixedPseudocode runs the paper's literal Section 6.3 per-node
+	// program (the 14-case table) — equivalent to MixedCombined, kept as
+	// an executable validation of the published pseudocode.
+	MixedPseudocode
+	// ParallelPaths splits each pair's payload over the n node-disjoint
+	// paths of Saad & Schultz — per-pair disjoint but globally colliding;
+	// the ablation baseline for the MPT.
+	ParallelPaths
+	// Auto is not an algorithm of its own: Compile resolves it to the
+	// cheapest applicable concrete algorithm via field.Classify and the
+	// closed-form cost model (see Choose).
+	Auto
+)
+
+// spec is one registry row: everything the system knows about an algorithm.
+// The single table powers String, ParseAlgorithm, Algorithms, Compile's
+// dispatch, and cost prediction — replacing the switch/list/switch
+// triplicate that used to live in the public package.
+type spec struct {
+	name    string
+	compile func(*Plan) error
+	predict func(*Plan) float64
+}
+
+var specs = [...]spec{
+	Exchange:         {"exchange", compileExchange, predictExchange},
+	ExchangeSPTOrder: {"exchange-spt-order", compileExchangeSPTOrder, predictExchange},
+	SPT:              {"spt", compileSPT, predictSPT},
+	DPT:              {"dpt", compileDPT, predictDPT},
+	MPT:              {"mpt", compileMPT, predictMPT},
+	SBnT:             {"sbnt", compileSBnT, predictSBnT},
+	RoutingLogic:     {"routing-logic", compileRoutingLogic, predictSPT},
+	MixedNaive:       {"mixed-naive", compileMixedNaive, predictMixedNaive},
+	MixedCombined:    {"mixed-combined", compileMixedCombined, predictMixedCombined},
+	MixedPseudocode:  {"mixed-pseudocode", compileMixedPseudocode, predictMixedCombined},
+	ParallelPaths:    {"parallel-paths", compileParallelPaths, predictParallelPaths},
+	Auto:             {"auto", nil, nil}, // resolved by Compile before dispatch
+}
+
+func (a Algorithm) String() string {
+	if a >= 0 && int(a) < len(specs) {
+		return specs[a].name
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Algorithms lists every concrete transposition algorithm (excluding Auto),
+// for sweeps, in enum order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(specs)-1)
+	for a := range specs {
+		if alg := Algorithm(a); alg != Auto {
+			out = append(out, alg)
+		}
+	}
+	return out
+}
+
+// ParseAlgorithm maps an algorithm name (as produced by String, e.g.
+// "mpt" or "exchange-spt-order") back to the Algorithm, including "auto".
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, sp := range specs {
+		if sp.name == s {
+			return Algorithm(a), nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown algorithm %q", s)
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"sync"
+
+	"boolcube/internal/field"
+)
+
+// cacheKey identifies a compilation. Layouts are keyed by their canonical
+// String form (field.Layout itself is not comparable); machine.Params is an
+// all-scalar struct and participates directly.
+type cacheKey struct {
+	alg           Algorithm
+	before, after string
+	cfg           Config
+}
+
+// entry holds one compilation slot. The sync.Once lets concurrent callers
+// of the same key share a single compile without holding the cache lock
+// while the O(P·Q) work runs.
+type entry struct {
+	once sync.Once
+	p    *Plan
+	err  error
+}
+
+// Cache is a keyed, concurrency-safe plan cache with deterministic FIFO
+// eviction. Cached plans are sealed at compile time, so handing the same
+// *Plan to concurrent executors is safe; compile errors are cached too
+// (they are deterministic functions of the key).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*entry
+	order   []cacheKey // insertion order, for eviction
+}
+
+// NewCache returns a cache bounded to at most capacity plans (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, entries: make(map[cacheKey]*entry)}
+}
+
+// Default is the process-wide cache used by the public Compile entry point
+// and the experiment sweeps. 256 plans comfortably covers the paper's
+// largest sweep (a few dozen layout/machine/algorithm combinations) while
+// bounding memory on adversarial workloads.
+var Default = NewCache(256)
+
+// Compile returns the cached plan for the key, compiling it at most once.
+// Eviction is FIFO over insertion order; an evicted entry that a caller
+// still holds stays valid (plans are immutable), it just stops being
+// shared.
+func (c *Cache) Compile(alg Algorithm, before, after field.Layout, cfg Config) (*Plan, error) {
+	k := cacheKey{alg: alg, before: before.String(), after: after.String(), cfg: cfg}
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		e = &entry{}
+		c.entries[k] = e
+		c.order = append(c.order, k)
+		for len(c.order) > c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = Compile(alg, before, after, cfg) })
+	return e.p, e.err
+}
+
+// Len reports how many plans (or cached errors) the cache currently holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,322 @@
+package plan
+
+import (
+	"fmt"
+
+	"boolcube/internal/bits"
+	"boolcube/internal/comm"
+	"boolcube/internal/cube"
+	"boolcube/internal/field"
+	"boolcube/internal/router"
+)
+
+// Compile builds the immutable plan for transposing a matrix distributed
+// under `before` into the `after` layout (which describes the transposed
+// matrix) with the given algorithm. Auto is resolved to a concrete
+// algorithm first. The returned plan is sealed: it is never mutated and is
+// safe to replay concurrently and to share through a Cache.
+func Compile(alg Algorithm, before, after field.Layout, cfg Config) (*Plan, error) {
+	if alg == Auto {
+		var err error
+		if alg, err = Choose(before, after, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if alg < 0 || int(alg) >= len(specs) || specs[alg].compile == nil {
+		return nil, fmt.Errorf("plan: unknown algorithm %v", alg)
+	}
+	n := before.NBits()
+	if a := after.NBits(); a > n {
+		n = a
+	}
+	p := &Plan{alg: alg, before: before, after: after, cfg: cfg, n: n}
+	if err := specs[alg].compile(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func compileExchange(p *Plan) error {
+	mv, err := NewMoves(p.before, p.after, true)
+	if err != nil {
+		return err
+	}
+	p.kind, p.moves = KindExchange, mv
+	p.dims = comm.DescendingDims(p.n)
+	return nil
+}
+
+func compileExchangeSPTOrder(p *Plan) error {
+	n := p.before.NBits()
+	if n%2 != 0 {
+		return fmt.Errorf("plan: SPT order needs an even number of cube dimensions, got %d", n)
+	}
+	mv, err := NewMoves(p.before, p.after, true)
+	if err != nil {
+		return err
+	}
+	p.kind, p.moves = KindExchange, mv
+	p.dims = comm.PairedDims(n)
+	return nil
+}
+
+// pairwiseOnly verifies that the transposition is between distinct
+// source/destination pairs (Section 6.1) so path-system transposes apply.
+func pairwiseOnly(before, after field.Layout, name string) error {
+	c := field.Classify(before, after)
+	if c.Pattern != field.Pairwise {
+		return fmt.Errorf("plan: %s requires pairwise communication, got %v", name, c.Pattern)
+	}
+	return nil
+}
+
+// compileFlows expresses the transpose as source-routed flows: for every
+// (source, destination) payload, the route function's paths split the
+// payload evenly (by canonical-order ranges), and each chunk is packetized
+// — by the caller's Packets, or at the machine's natural B_m grain so
+// store-and-forward hops pipeline.
+func compileFlows(p *Plan, route func(src, dst uint64, n int) [][]int) error {
+	mv, err := NewMoves(p.before, p.after, true)
+	if err != nil {
+		return err
+	}
+	p.kind, p.moves = KindFlow, mv
+	for sp := 0; sp < p.before.N(); sp++ {
+		src := uint64(sp)
+		for _, dp := range mv.Destinations(src) {
+			total := mv.PayloadLen(src, dp)
+			paths := route(src, dp, p.n)
+			if len(paths) == 0 {
+				return fmt.Errorf("plan: no route from %d to %d", src, dp)
+			}
+			for pi, dims := range paths {
+				off, sz := shareRange(total, len(paths), pi)
+				pk := p.cfg.Packets
+				if pk < 1 {
+					pk = 1
+					if bm := p.cfg.Machine.Bm; bm > 0 {
+						cb := sz * p.cfg.Machine.ElemBytes
+						pk = (cb + bm - 1) / bm
+						if pk < 1 {
+							pk = 1
+						}
+					}
+				}
+				p.flows = append(p.flows, Flow{
+					Src: src, Dst: dp, Dims: dims, Off: off, Len: sz, Packets: pk,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// shareRange splits a payload of n elements into k nearly-equal chunks and
+// returns the (offset, size) of chunk i.
+func shareRange(n, k, i int) (off, sz int) {
+	base := n / k
+	rem := n % k
+	for j := 0; j < i; j++ {
+		s := base
+		if j < rem {
+			s++
+		}
+		off += s
+	}
+	sz = base
+	if i < rem {
+		sz++
+	}
+	return off, sz
+}
+
+func compileSPT(p *Plan) error {
+	if err := pairwiseOnly(p.before, p.after, "SPT"); err != nil {
+		return err
+	}
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return [][]int{cube.SPTPath(src, n)}
+	})
+}
+
+func compileDPT(p *Plan) error {
+	if err := pairwiseOnly(p.before, p.after, "DPT"); err != nil {
+		return err
+	}
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return cube.DPTPaths(src, n)
+	})
+}
+
+func compileMPT(p *Plan) error {
+	if err := pairwiseOnly(p.before, p.after, "MPT"); err != nil {
+		return err
+	}
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return cube.MPTPaths(src, n)
+	})
+}
+
+func compileParallelPaths(p *Plan) error {
+	if err := pairwiseOnly(p.before, p.after, "parallel-paths"); err != nil {
+		return err
+	}
+	c := cube.New(p.before.NBits())
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return cube.DisjointPaths(c, src, dst)
+	})
+}
+
+func compileSBnT(p *Plan) error {
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return [][]int{cube.SBnTPath(src^dst, n)}
+	})
+}
+
+func compileRoutingLogic(p *Plan) error {
+	return compileFlows(p, func(src, dst uint64, n int) [][]int {
+		return [][]int{router.Ecube(src, dst, n)}
+	})
+}
+
+// nodePermutationOnly checks that the transposition is a node permutation
+// (each source sends all of its data to exactly one destination), which is
+// what the Section 6.3 algorithms route.
+func nodePermutationOnly(mv *Moves) error {
+	for sp := 0; sp < mv.before.N(); sp++ {
+		if n := len(mv.Destinations(uint64(sp))); n > 1 {
+			return fmt.Errorf("plan: mixed transpose needs a node permutation; node %d sends to %d nodes", sp, n)
+		}
+	}
+	return nil
+}
+
+// naiveMixedRoute builds the 2n-2 step route: first convert the row field
+// of the node address to the target's column-half encoding (a conversion
+// within each column subcube), then convert the column field (within each
+// row subcube), then run the standard n-step transpose (paired row/column
+// dimensions, highest first).
+func naiveMixedRoute(src, dst uint64, n int) [][]int {
+	h := n / 2
+	srcRow, srcCol := bits.Split(src, h, h)
+	dstRow, dstCol := bits.Split(dst, h, h)
+	// After conversions the node holds address (a || b) with a = dstCol
+	// (the value the transpose will move into the column half) and
+	// b = dstRow.
+	var dims []int
+	rowConv := srcRow ^ dstCol
+	for i := h - 1; i >= 0; i-- {
+		if rowConv>>uint(i)&1 == 1 {
+			dims = append(dims, h+i)
+		}
+	}
+	colConv := srcCol ^ dstRow
+	for i := h - 1; i >= 0; i-- {
+		if colConv>>uint(i)&1 == 1 {
+			dims = append(dims, i)
+		}
+	}
+	// Transpose (a || b) -> (b || a): a = dstCol, b = dstRow.
+	swap := dstCol ^ dstRow
+	for i := h - 1; i >= 0; i-- {
+		if swap>>uint(i)&1 == 1 {
+			dims = append(dims, h+i, i)
+		}
+	}
+	return [][]int{dims}
+}
+
+// combinedMixedRoute folds conversion and transpose into n routing steps:
+// iteration i (descending) routes row dimension h+i and column dimension i
+// whenever source and destination addresses differ there (Section 6.3).
+func combinedMixedRoute(src, dst uint64, n int) [][]int {
+	h := n / 2
+	rel := src ^ dst
+	var dims []int
+	for i := h - 1; i >= 0; i-- {
+		if rel>>uint(h+i)&1 == 1 {
+			dims = append(dims, h+i)
+		}
+		if rel>>uint(i)&1 == 1 {
+			dims = append(dims, i)
+		}
+	}
+	return [][]int{dims}
+}
+
+func compileMixed(p *Plan, route func(src, dst uint64, n int) [][]int) error {
+	if n := p.before.NBits(); n%2 != 0 {
+		return fmt.Errorf("plan: mixed transpose needs an even number of cube dimensions")
+	}
+	mv, err := NewMoves(p.before, p.after, true)
+	if err != nil {
+		return err
+	}
+	if err := nodePermutationOnly(mv); err != nil {
+		return err
+	}
+	return compileFlows(p, route)
+}
+
+func compileMixedNaive(p *Plan) error    { return compileMixed(p, naiveMixedRoute) }
+func compileMixedCombined(p *Plan) error { return compileMixed(p, combinedMixedRoute) }
+
+// pseudocodeControls returns the row and column control modes for the
+// encoding combination (before -> after), or an error for unsupported
+// pairs. The modes follow from the invariant that after the iterations
+// above j, each direction's processed dimensions hold the TARGET encoding
+// bits of the block currently at the node:
+//
+//   - crossRow(j) = rowBit_j XOR colBit_j XOR T_row, where T_row
+//     reconstructs the next-higher bit of the source encoding in the row
+//     direction: the node's previous row bit when the target row bits are
+//     plain (block mode), or the parity of the processed row bits when the
+//     target row bits are a Gray code (parity mode). Symmetrically for
+//     crossCol(j) with the column direction.
+//
+// Base case (binary rows / Gray columns, unchanged): target row bits are
+// the plain v (block), target column bits are G(u) (parity) — the paper's
+// even-block-rows and even-parity-block-columns. Pure binary to transposed
+// pure Gray: targets are G(v) and G(u), both parity. Pure Gray to
+// transposed pure binary: targets are v and u, both block.
+func pseudocodeControls(before, after field.Layout) (row, col Ctrl, err error) {
+	if len(before.Fields) != 2 || len(after.Fields) != 2 {
+		return 0, 0, fmt.Errorf("plan: pseudocode transpose needs two-field layouts")
+	}
+	br, bc := before.Fields[0].Enc, before.Fields[1].Enc
+	ar, ac := after.Fields[0].Enc, after.Fields[1].Enc
+	switch {
+	case br == field.Binary && bc == field.Gray && ar == field.Binary && ac == field.Gray:
+		return CtrlBlock, CtrlParity, nil
+	case br == field.Binary && bc == field.Binary && ar == field.Gray && ac == field.Gray:
+		return CtrlParity, CtrlParity, nil
+	case br == field.Gray && bc == field.Gray && ar == field.Binary && ac == field.Binary:
+		return CtrlBlock, CtrlBlock, nil
+	}
+	return 0, 0, fmt.Errorf("plan: pseudocode transpose does not support %v/%v -> %v/%v", br, bc, ar, ac)
+}
+
+func compileMixedPseudocode(p *Plan) error {
+	n := p.before.NBits()
+	if n%2 != 0 {
+		return fmt.Errorf("plan: pseudocode transpose needs even n")
+	}
+	row, col, err := pseudocodeControls(p.before, p.after)
+	if err != nil {
+		return err
+	}
+	mv, err := NewMoves(p.before, p.after, true)
+	if err != nil {
+		return err
+	}
+	for sp := 0; sp < p.before.N(); sp++ {
+		if len(mv.Destinations(uint64(sp))) > 1 {
+			return fmt.Errorf("plan: layout pair is not a node permutation")
+		}
+	}
+	p.kind, p.moves = KindMixedProgram, mv
+	p.rowCtrl, p.colCtrl = row, col
+	// The published program runs on exactly the before-layout's cube.
+	p.n = n
+	return nil
+}

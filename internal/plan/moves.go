@@ -1,0 +1,159 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"boolcube/internal/field"
+)
+
+// Moves precomputes, for a data rearrangement from layout `before` to layout
+// `after`, which local slots each processor sends to and receives from every
+// other processor. Both sides enumerate each (srcProc, dstProc) transfer set
+// in ascending element-address order, so payloads travel as bare data with
+// no per-element headers — exactly like the machines the paper measures.
+//
+// Building a Moves is the O(P·Q) part of planning; replaying it (Gather and
+// Scatter) touches only the slots actually moved. A Moves is immutable after
+// construction and safe for concurrent readers.
+type Moves struct {
+	before, after field.Layout
+	// out[srcProc][dstProc] = source local slots in canonical order.
+	out []map[uint64][]int
+	// in[dstProc][srcProc] = destination local slots in canonical order.
+	in []map[uint64][]int
+	// dests[srcProc] = destinations other than srcProc, ascending.
+	dests [][]uint64
+}
+
+// NewMoves builds the move-set. If transpose is true, element (u, v) of the
+// before-matrix is placed as element (v, u) of the after-matrix (whose
+// layout must have the transposed shape); otherwise the shapes must match
+// and elements keep their indices (a pure repartitioning).
+func NewMoves(before, after field.Layout, transpose bool) (*Moves, error) {
+	if err := before.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: invalid before layout: %w", err)
+	}
+	if err := after.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: invalid after layout: %w", err)
+	}
+	if transpose {
+		if after.P != before.Q || after.Q != before.P {
+			return nil, fmt.Errorf("plan: transpose needs transposed shapes, got %dx%d -> %dx%d",
+				before.P, before.Q, after.P, after.Q)
+		}
+	} else {
+		if after.P != before.P || after.Q != before.Q {
+			return nil, fmt.Errorf("plan: repartition needs matching shapes, got %dx%d -> %dx%d",
+				before.P, before.Q, after.P, after.Q)
+		}
+	}
+	type move struct {
+		key    uint64 // element address in the before space, for ordering
+		ss, ds int
+		sp, dp uint64
+	}
+	// Validate bounds P+Q, so these shifts stay below word size.
+	P := uint64(1) << uint(before.P)
+	Q := uint64(1) << uint(before.Q)
+	moves := make([]move, 0, P*Q)
+	for u := uint64(0); u < P; u++ {
+		for v := uint64(0); v < Q; v++ {
+			au, av := u, v
+			if transpose {
+				au, av = v, u
+			}
+			moves = append(moves, move{
+				key: u<<uint(before.Q) | v,
+				sp:  before.ProcOf(u, v), ss: int(before.LocalOf(u, v)),
+				dp: after.ProcOf(au, av), ds: int(after.LocalOf(au, av)),
+			})
+		}
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].key < moves[b].key })
+
+	m := &Moves{
+		before: before, after: after,
+		out: make([]map[uint64][]int, before.N()),
+		in:  make([]map[uint64][]int, after.N()),
+	}
+	for i := range m.out {
+		m.out[i] = make(map[uint64][]int)
+	}
+	for i := range m.in {
+		m.in[i] = make(map[uint64][]int)
+	}
+	for _, mv := range moves {
+		m.out[mv.sp][mv.dp] = append(m.out[mv.sp][mv.dp], mv.ss)
+		m.in[mv.dp][mv.sp] = append(m.in[mv.dp][mv.sp], mv.ds)
+	}
+	m.dests = make([][]uint64, before.N())
+	for sp := range m.dests {
+		var d []uint64
+		for dp := range m.out[sp] {
+			if dp != uint64(sp) {
+				d = append(d, dp)
+			}
+		}
+		sort.Slice(d, func(a, b int) bool { return d[a] < d[b] })
+		m.dests[sp] = d
+	}
+	return m, nil
+}
+
+// MustMoves is NewMoves for internally constructed layout pairs whose
+// validity is an invariant, not an input condition.
+func MustMoves(before, after field.Layout, transpose bool) *Moves {
+	m, err := NewMoves(before, after, transpose)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// Before returns the source layout.
+func (m *Moves) Before() field.Layout { return m.before }
+
+// After returns the destination layout.
+func (m *Moves) After() field.Layout { return m.after }
+
+// Gather collects the payload srcProc sends to dstProc from its local
+// array, in canonical order.
+func (m *Moves) Gather(srcProc uint64, local []float64, dstProc uint64) []float64 {
+	return m.gatherSlots(m.out[srcProc][dstProc], local)
+}
+
+// GatherRange collects the [off, off+n) sub-range of the canonical
+// (srcProc, dstProc) payload — the chunk a single path of a multi-path
+// route carries.
+func (m *Moves) GatherRange(srcProc uint64, local []float64, dstProc uint64, off, n int) []float64 {
+	slots := m.out[srcProc][dstProc]
+	return m.gatherSlots(slots[off:off+n], local)
+}
+
+func (m *Moves) gatherSlots(slots []int, local []float64) []float64 {
+	data := make([]float64, len(slots))
+	for i, s := range slots {
+		data[i] = local[s]
+	}
+	return data
+}
+
+// Scatter places a payload received from srcProc into the destination local
+// array.
+func (m *Moves) Scatter(dstProc uint64, local []float64, srcProc uint64, data []float64) {
+	slots := m.in[dstProc][srcProc]
+	if len(slots) != len(data) {
+		panic("plan: payload size does not match move-set")
+	}
+	for i, s := range slots {
+		local[s] = data[i]
+	}
+}
+
+// Destinations lists the processors srcProc sends to (excluding itself),
+// ascending. The returned slice is shared and must not be modified.
+func (m *Moves) Destinations(srcProc uint64) []uint64 { return m.dests[srcProc] }
+
+// PayloadLen returns the number of elements srcProc sends to dstProc.
+func (m *Moves) PayloadLen(srcProc, dstProc uint64) int { return len(m.out[srcProc][dstProc]) }

@@ -1,0 +1,139 @@
+// Package plan compiles a transposition — (before Layout, after Layout,
+// Algorithm, machine/strategy configuration) — into an immutable
+// intermediate representation that is then consumed three ways: replayed
+// against distributed data by internal/core, priced by the paper's
+// closed-form cost model (PredictedCost), and rendered as a trace label.
+//
+// Compilation does all the O(P·Q) element-address enumeration, route
+// construction and packetization once; execution only gathers, routes and
+// scatters. A Plan is sealed when Compile returns: nothing mutates it
+// afterwards, so one Plan may be replayed concurrently and may be shared
+// through the Cache, satisfying the simnet concurrency contract (node
+// programs only read it).
+package plan
+
+import (
+	"fmt"
+
+	"boolcube/internal/comm"
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+)
+
+// Config is the part of a transpose configuration that shapes the plan.
+type Config struct {
+	Machine  machine.Params
+	Strategy comm.Strategy // exchange-based algorithms (Section 8.1)
+	Packets  int           // packet count for path-based algorithms (0 = machine default)
+	// LocalCopies charges the local rearrangement cost (pack/unpack of the
+	// two-dimensional local arrays, Section 8.2.1) at the start and end.
+	LocalCopies bool
+}
+
+// Kind selects which executor replays a plan.
+type Kind int
+
+const (
+	// KindExchange runs the dimension-scan exchange node program over Dims.
+	KindExchange Kind = iota
+	// KindFlow injects the precomputed source-routed Flows.
+	KindFlow
+	// KindMixedProgram runs the Section 6.3 per-node case-table program
+	// gated by RowCtrl/ColCtrl.
+	KindMixedProgram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindExchange:
+		return "exchange"
+	case KindFlow:
+		return "flows"
+	case KindMixedProgram:
+		return "mixed-program"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Flow is one precompiled source-routed flow: the (Off, Len) range of the
+// canonical Src→Dst payload, the dimension path it follows, and its packet
+// count. The payload itself is gathered at execute time from fresh data.
+type Flow struct {
+	Src, Dst uint64
+	Dims     []int // read-only; shared across executions
+	Off, Len int
+	Packets  int
+}
+
+// Ctrl selects how a direction of the Section 6.3 pseudocode program is
+// gated across iterations: by the node's bit in the previous iteration's
+// dimension ("even block"), or by the running parity of the processed bits
+// ("even parity").
+type Ctrl int
+
+const (
+	CtrlBlock Ctrl = iota
+	CtrlParity
+)
+
+// Plan is the compiled, immutable transpose IR. All fields are unexported;
+// consumers read it through the accessor methods and must not retain
+// mutable references into the returned slices.
+type Plan struct {
+	alg           Algorithm
+	before, after field.Layout
+	cfg           Config
+	n             int // engine cube dimension
+	kind          Kind
+	moves         *Moves
+
+	dims             []int  // KindExchange: scan order
+	flows            []Flow // KindFlow: precompiled flows
+	rowCtrl, colCtrl Ctrl   // KindMixedProgram: iteration gating
+}
+
+// Algorithm returns the (resolved, never Auto) algorithm the plan encodes.
+func (p *Plan) Algorithm() Algorithm { return p.alg }
+
+// Before returns the source layout.
+func (p *Plan) Before() field.Layout { return p.before }
+
+// After returns the destination layout.
+func (p *Plan) After() field.Layout { return p.after }
+
+// Config returns the configuration the plan was compiled for.
+func (p *Plan) Config() Config { return p.cfg }
+
+// NDims returns the cube dimension the executing engine needs.
+func (p *Plan) NDims() int { return p.n }
+
+// Kind returns which executor replays the plan.
+func (p *Plan) Kind() Kind { return p.kind }
+
+// Moves returns the element move-set.
+func (p *Plan) Moves() *Moves { return p.moves }
+
+// Dims returns the exchange scan order (KindExchange). Read-only.
+func (p *Plan) Dims() []int { return p.dims }
+
+// Flows returns the precompiled flows (KindFlow). Read-only.
+func (p *Plan) Flows() []Flow { return p.flows }
+
+// Controls returns the row and column gating modes (KindMixedProgram).
+func (p *Plan) Controls() (row, col Ctrl) { return p.rowCtrl, p.colCtrl }
+
+// Describe renders a one-line human-readable summary, used as the trace
+// label and by cmd/transpose.
+func (p *Plan) Describe() string {
+	detail := ""
+	switch p.kind {
+	case KindExchange:
+		detail = fmt.Sprintf("%d exchange steps", len(p.dims))
+	case KindFlow:
+		detail = fmt.Sprintf("%d flows", len(p.flows))
+	case KindMixedProgram:
+		detail = fmt.Sprintf("%d case-table iterations", p.before.NBits()/2)
+	}
+	return fmt.Sprintf("%s: %s -> %s on %s (n=%d, %s)",
+		p.alg, p.before.Name, p.after.Name, p.cfg.Machine.Name, p.n, detail)
+}

@@ -537,10 +537,3 @@ func (e *Engine) maxResourceTime() float64 {
 	}
 	return t
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -14,6 +14,10 @@ import (
 // Recorder collects trace events; it implements simnet.Tracer.
 type Recorder struct {
 	Events []simnet.TraceEvent
+	// Label identifies what produced the events — the executor sets it to
+	// the compiled plan's description, so rendered timelines say which
+	// algorithm/layout/machine they show.
+	Label string
 }
 
 // New returns an empty recorder.
@@ -23,6 +27,10 @@ func New() *Recorder { return &Recorder{} }
 func (r *Recorder) Record(ev simnet.TraceEvent) {
 	r.Events = append(r.Events, ev)
 }
+
+// SetLabel records the producer's description; the executor calls it with
+// the compiled plan's Describe() string.
+func (r *Recorder) SetLabel(label string) { r.Label = label }
 
 // Span returns the [min start, max end] of all events.
 func (r *Recorder) Span() (float64, float64) {
@@ -100,6 +108,9 @@ func (r *Recorder) Gantt(width int) string {
 
 	scale := float64(width) / (hi - lo)
 	var sb strings.Builder
+	if r.Label != "" {
+		fmt.Fprintf(&sb, "%s\n", r.Label)
+	}
 	fmt.Fprintf(&sb, "time span %.1f .. %.1f µs, %.2f µs/column\n", lo, hi, (hi-lo)/float64(width))
 	for _, id := range ids {
 		row := make([]byte, width)

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Benchmark the compile/execute split: a one-shot Transpose (which compiles
+# a fresh plan every call) against replaying one compiled plan, on the
+# repeated 8-cube transpose. Emits BENCH_plan.json in the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-10x}"
+OUT=BENCH_plan.json
+
+raw=$(go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' \
+	-benchtime "$COUNT" .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$OUT" '
+	/^BenchmarkTransposeOneShot/  { oneshot = $3 }
+	/^BenchmarkTransposeCompiled/ { compiled = $3 }
+	END {
+		if (oneshot == "" || compiled == "") {
+			print "bench_plan: missing benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"repeated 8-cube transpose (p=q=9, exchange, iPSC)\",\n" >> out
+		printf "  \"oneshot_ns_per_op\": %s,\n", oneshot >> out
+		printf "  \"compiled_ns_per_op\": %s,\n", compiled >> out
+		printf "  \"speedup\": %.2f\n", oneshot / compiled >> out
+		printf "}\n" >> out
+	}
+'
+echo "wrote $OUT:"
+cat "$OUT"

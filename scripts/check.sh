@@ -17,6 +17,10 @@ go run ./cmd/cubevet ./...
 echo "==> go test ./..."
 go test ./...
 
+# Smoke the plan-cache benchmark pair (full measurement: `make bench`).
+echo "==> go test -bench plan split -benchtime=1x"
+go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' -benchtime=1x .
+
 # -short skips the exper figure sweeps, which exceed the per-package test
 # timeout under the race detector; they exercise no concurrency the short
 # suite doesn't. `make race` runs the full sweep with a raised timeout.
