@@ -26,6 +26,7 @@ package boolcube
 import (
 	"boolcube/internal/comm"
 	"boolcube/internal/core"
+	"boolcube/internal/fault"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
@@ -228,6 +229,15 @@ type Options struct {
 	// Trace, when non-nil, records every timed operation of the run for
 	// timeline rendering (see NewTrace).
 	Trace *TraceRecorder
+	// Faults, when non-nil, injects the compiled fault schedule into the
+	// run (see CompileFaults); Failover and Retry select the response.
+	Faults *FaultPlan
+	// Failover selects the response to routes blocked by permanent link
+	// failures; the zero value reroutes over unused disjoint paths.
+	Failover FailoverPolicy
+	// Retry bounds the per-transmission retry/backoff loop under faults;
+	// zero fields default to 3 attempts with the machine's τ as backoff.
+	Retry RetryPolicy
 }
 
 func (o Options) core() core.Options {
@@ -240,6 +250,9 @@ func (o Options) core() core.Options {
 		Strategy:    o.Strategy,
 		Packets:     o.Packets,
 		LocalCopies: o.LocalCopies,
+		Faults:      o.Faults,
+		Failover:    o.Failover,
+		Retry:       o.Retry,
 	}
 	if o.Trace != nil {
 		co.Tracer = o.Trace
@@ -291,6 +304,18 @@ func (c *CompiledTranspose) ExecuteTraced(d *Dist, t *TraceRecorder) (*Result, e
 	return core.Execute(c.plan, d, t)
 }
 
+// ExecOptions carries the per-run knobs of an execution — tracing, fault
+// injection, failover and retry policy. The zero value is a plain
+// fault-free run.
+type ExecOptions = core.ExecOptions
+
+// ExecuteWith replays the compiled plan with the full per-run option set.
+// The plan stays read-only even under failover: rerouted flows get fresh
+// route slices, so the shared compiled plan is never mutated.
+func (c *CompiledTranspose) ExecuteWith(d *Dist, xo ExecOptions) (*Result, error) {
+	return core.ExecuteWith(c.plan, d, xo)
+}
+
 // Algorithm returns the concrete algorithm the plan uses — the resolved
 // choice when compiled with AlgorithmAuto.
 func (c *CompiledTranspose) Algorithm() Algorithm { return c.plan.Algorithm() }
@@ -302,6 +327,63 @@ func (c *CompiledTranspose) PredictedCost() float64 { return c.plan.PredictedCos
 // Describe renders a one-line summary of the plan (algorithm, layouts,
 // machine, schedule size).
 func (c *CompiledTranspose) Describe() string { return c.plan.Describe() }
+
+// Fault injection (deterministic link/node failure schedules, see
+// internal/fault): a FaultSpec — seed plus rules — compiles into an
+// immutable FaultPlan whose injected failures, drops and recoveries are a
+// pure function of the spec, so faulted runs replay exactly.
+type (
+	// FaultSpec is a fault scenario: a seed plus declarative rules.
+	FaultSpec = fault.Spec
+	// FaultRule is one declarative fault (kind, link/node, window).
+	FaultRule = fault.Rule
+	// FaultLink identifies a directed cube link by source and dimension.
+	FaultLink = fault.Link
+	// FaultPlan is a compiled, immutable fault schedule for one cube.
+	FaultPlan = fault.Plan
+)
+
+// Fault rule kinds.
+const (
+	// FaultLinkDown takes one directed link down during the rule's window.
+	FaultLinkDown = fault.LinkDown
+	// FaultLinkFlaky drops transmissions on one link with probability Prob.
+	FaultLinkFlaky = fault.LinkFlaky
+	// FaultNodeDown fails a node: every incident directed link goes down.
+	FaultNodeDown = fault.NodeDown
+	// FaultRandomLinks takes Count seed-chosen directed links down.
+	FaultRandomLinks = fault.RandomLinks
+)
+
+// Fault scenario helpers and compilation.
+var (
+	// CompileFaults validates a FaultSpec against an n-cube and expands it
+	// into a FaultPlan.
+	CompileFaults = fault.Compile
+	// SingleLinkDown is the scenario with one directed link down forever.
+	SingleLinkDown = fault.SingleLinkDown
+	// RandomLinkFailures is the sweep scenario: k seed-chosen links down.
+	RandomLinkFailures = fault.RandomLinkFailures
+	// FlakyLink makes one directed link drop transmissions with a fixed
+	// probability.
+	FlakyLink = fault.FlakyLink
+)
+
+// FailoverPolicy selects how flow-based algorithms respond to routes
+// blocked by failed links: reroute over unused disjoint paths (default),
+// fail with a typed error, or abandon the blocked flows.
+type FailoverPolicy = core.FailoverPolicy
+
+// Failover policies.
+const (
+	FailoverReroute = core.FailoverReroute
+	FailoverNone    = core.FailoverNone
+	FailoverAbandon = core.FailoverAbandon
+)
+
+// RetryPolicy bounds the engine's per-transmission retry/backoff loop
+// under fault injection.
+type RetryPolicy = simnet.RetryPolicy
 
 // ConvertAlgorithm selects one of Section 6.2's three algorithms for
 // transposing from two-dimensional consecutive to two-dimensional cyclic

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"boolcube/internal/fault"
+	"boolcube/internal/plan"
+	"boolcube/internal/simnet"
+)
+
+// FailoverPolicy selects how a flow-based execution responds to routes
+// blocked by permanently-failed links. (Exchange-based algorithms have a
+// fixed dimension schedule with no alternative routes, so they always
+// surface a blocked link as a typed error regardless of policy.)
+type FailoverPolicy int
+
+const (
+	// FailoverReroute (the default) moves each blocked flow onto the first
+	// unused cube.DisjointPaths alternative before injection, recording the
+	// degradation in Stats (Rerouted, ExtraHops). A flow with no usable
+	// alternative fails the run with a typed *router.RouteError.
+	FailoverReroute FailoverPolicy = iota
+	// FailoverNone injects without rerouting: the first transmission to
+	// exhaust its retry budget on a failed link aborts the run with a
+	// typed, deterministic *simnet.FaultError.
+	FailoverNone
+	// FailoverAbandon reroutes like FailoverReroute, but a flow with no
+	// usable alternative is dropped from the run (its destination block
+	// stays zero) and counted in Stats.Abandoned instead of failing.
+	FailoverAbandon
+)
+
+func (p FailoverPolicy) String() string {
+	switch p {
+	case FailoverReroute:
+		return "reroute"
+	case FailoverNone:
+		return "none"
+	case FailoverAbandon:
+		return "abandon"
+	}
+	return fmt.Sprintf("failover(%d)", int(p))
+}
+
+// ExecOptions carries the per-run (as opposed to per-plan) knobs of an
+// execution: the tracer, and the fault scenario with its failover and retry
+// policies. The zero value is a plain fault-free run.
+type ExecOptions struct {
+	// Tracer, when non-nil, receives every timed operation of the run.
+	Tracer simnet.Tracer
+	// Faults, when non-nil, is the compiled fault schedule to inject. It
+	// must have been compiled for the plan's cube dimension.
+	Faults *fault.Plan
+	// Failover selects the response to routes blocked by permanent link
+	// failures; the zero value is FailoverReroute.
+	Failover FailoverPolicy
+	// Retry bounds the engine's per-transmission retry/backoff loop; zero
+	// fields take the simnet defaults (3 attempts, backoff τ).
+	Retry simnet.RetryPolicy
+}
+
+// checkFaults validates the fault plan against the plan's cube.
+func (xo ExecOptions) checkFaults(p *plan.Plan) error {
+	if xo.Faults != nil && xo.Faults.Dims() != p.NDims() {
+		return fmt.Errorf("core: fault plan compiled for a %d-cube, plan executes on a %d-cube",
+			xo.Faults.Dims(), p.NDims())
+	}
+	return nil
+}

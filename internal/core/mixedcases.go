@@ -49,8 +49,8 @@ func mixedCase(evenRow, evenParityCol bool, bitRow, bitCol uint64) mixedCaseActi
 
 // execMixedProgram replays a KindMixedProgram plan: the published per-node
 // program, gated by the plan's row/column control modes.
-func execMixedProgram(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
-	e, err := planEngine(p, tracer)
+func execMixedProgram(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
+	e, err := planEngine(p, xo)
 	if err != nil {
 		return nil, err
 	}

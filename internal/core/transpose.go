@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"boolcube/internal/comm"
+	"boolcube/internal/fault"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
@@ -47,6 +48,18 @@ type Options struct {
 	LocalCopies bool
 	// Tracer, when non-nil, receives every timed operation of the run.
 	Tracer simnet.Tracer
+	// Faults, when non-nil, injects the compiled fault schedule into the
+	// run; Failover and Retry then select the response policy (see
+	// ExecOptions).
+	Faults   *fault.Plan
+	Failover FailoverPolicy
+	Retry    simnet.RetryPolicy
+}
+
+// ExecConfig extracts the per-run half of the options (the complement of
+// PlanConfig).
+func (o Options) ExecConfig() ExecOptions {
+	return ExecOptions{Tracer: o.Tracer, Faults: o.Faults, Failover: o.Failover, Retry: o.Retry}
 }
 
 // PlanConfig extracts the part of the options that shapes a compiled plan
@@ -69,7 +82,7 @@ func Transpose(alg plan.Algorithm, d *matrix.Dist, after field.Layout, opt Optio
 	if err != nil {
 		return nil, err
 	}
-	return Execute(p, d, opt.Tracer)
+	return ExecuteWith(p, d, opt.ExecConfig())
 }
 
 // TransposeCached is Transpose through the process-wide plan cache: sweeps
@@ -80,23 +93,33 @@ func TransposeCached(alg plan.Algorithm, d *matrix.Dist, after field.Layout, opt
 	if err != nil {
 		return nil, err
 	}
-	return Execute(p, d, opt.Tracer)
+	return ExecuteWith(p, d, opt.ExecConfig())
 }
 
 // Execute replays a compiled plan against the distributed matrix d. The
 // plan is read-only here and inside every node program — the simnet
 // concurrency contract — so one plan may serve concurrent executions.
 func Execute(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+	return ExecuteWith(p, d, ExecOptions{Tracer: tracer})
+}
+
+// ExecuteWith is Execute with the full per-run option set: tracing, fault
+// injection, failover and retry policy. The plan stays read-only — fault
+// failover never mutates a plan's routes; rerouted flows get fresh ones.
+func ExecuteWith(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 	if got, want := d.Layout.String(), p.Before().String(); got != want {
 		return nil, fmt.Errorf("core: distribution layout %s does not match plan layout %s", got, want)
 	}
+	if err := xo.checkFaults(p); err != nil {
+		return nil, err
+	}
 	switch p.Kind() {
 	case plan.KindExchange:
-		return execExchange(p, d, tracer)
+		return execExchange(p, d, xo)
 	case plan.KindFlow:
-		return execFlow(p, d, tracer)
+		return execFlow(p, d, xo)
 	case plan.KindMixedProgram:
-		return execMixedProgram(p, d, tracer)
+		return execMixedProgram(p, d, xo)
 	}
 	return nil, fmt.Errorf("core: unknown plan kind %v", p.Kind())
 }
@@ -121,18 +144,27 @@ func applyTracer(e *simnet.Engine, opt Options) {
 	}
 }
 
-// planEngine builds the engine a plan executes on and installs the tracer,
-// labeling it with the plan's description when the tracer supports labels.
-func planEngine(p *plan.Plan, tracer simnet.Tracer) (*simnet.Engine, error) {
+// planEngine builds the engine a plan executes on, installs the tracer
+// (labeling it with the plan's description when the tracer supports
+// labels), and arms fault injection when the run carries a fault plan.
+func planEngine(p *plan.Plan, xo ExecOptions) (*simnet.Engine, error) {
 	e, err := simnet.New(p.NDims(), p.Config().Machine)
 	if err != nil {
 		return nil, err
 	}
-	if tracer != nil {
-		if l, ok := tracer.(interface{ SetLabel(string) }); ok {
+	if xo.Tracer != nil {
+		if l, ok := xo.Tracer.(interface{ SetLabel(string) }); ok {
 			l.SetLabel(p.Describe())
 		}
-		e.SetTracer(tracer)
+		if xo.Faults != nil {
+			if f, ok := xo.Tracer.(interface{ SetFaults([]string) }); ok {
+				f.SetFaults(xo.Faults.Describe())
+			}
+		}
+		e.SetTracer(xo.Tracer)
+	}
+	if xo.Faults != nil {
+		e.SetFaults(xo.Faults, xo.Retry)
 	}
 	return e, nil
 }
@@ -167,8 +199,8 @@ func finishDist(after field.Layout, loc [][]float64) *matrix.Dist {
 // execExchange replays a KindExchange plan: every node gathers its
 // per-destination blocks, runs the dimension-scan exchange over the plan's
 // dimension order with the configured strategy, and scatters what arrived.
-func execExchange(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
-	e, err := planEngine(p, tracer)
+func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
+	e, err := planEngine(p, xo)
 	if err != nil {
 		return nil, err
 	}
@@ -211,9 +243,12 @@ func execExchange(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, 
 
 // execFlow replays a KindFlow plan: materialize each precompiled flow's
 // payload from the fresh data, inject all flows through the router, and
-// reassemble the deliveries into the after-side distribution.
-func execFlow(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
-	e, err := planEngine(p, tracer)
+// reassemble the deliveries into the after-side distribution. Under fault
+// injection with failover enabled, blocked flows are first rerouted (or
+// abandoned) against the permanently-down links; the plan's own route
+// slices are never touched.
+func execFlow(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
+	e, err := planEngine(p, xo)
 	if err != nil {
 		return nil, err
 	}
@@ -228,22 +263,46 @@ func execFlow(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, erro
 			Data: mv.GatherRange(f.Src, d.Local[f.Src], f.Dst, f.Off, f.Len),
 		}
 	}
+	// keptIdx maps the flows actually injected back to plan flow indices,
+	// so deliveries can be scattered at each flow's canonical offset even
+	// when failover dropped or reordered routes.
+	keptIdx := make([]int, len(flows))
+	for i := range keptIdx {
+		keptIdx[i] = i
+	}
+	var rep router.FailoverReport
+	if xo.Faults != nil && xo.Failover != FailoverNone {
+		flows, keptIdx, rep, err = router.Failover(
+			flows, p.NDims(), xo.Faults.PermanentlyDown, xo.Failover == FailoverAbandon)
+		if err != nil {
+			return nil, err
+		}
+	}
 	deliveries, err := router.Run(e, flows)
 	if err != nil {
 		return nil, err
 	}
+	// offs[dst][src] lists each kept flow's canonical payload offset, in
+	// injection order. Deliveries from one source arrive at a destination in
+	// that same order (router.Run sorts stably by source), so zipping the
+	// two scatters every chunk into its own slot range.
+	offs := make(map[uint64]map[uint64][]int)
+	for k, f := range flows {
+		m := offs[f.Dst]
+		if m == nil {
+			m = make(map[uint64][]int)
+			offs[f.Dst] = m
+		}
+		m[f.Src] = append(m[f.Src], pf[keptIdx[k]].Off)
+	}
 	loc := newLocal(after, e.Nodes())
 	for dp := 0; dp < after.N(); dp++ {
 		out := loc[dp]
-		// Reassemble per-source payloads: multiple flows per (src, dst)
-		// arrive as separate deliveries in flow order; merge them back in
-		// path order before scattering.
-		bySrc := make(map[uint64][]float64)
+		next := make(map[uint64]int)
 		for _, del := range deliveries[uint64(dp)] {
-			bySrc[del.Src] = append(bySrc[del.Src], del.Data...)
-		}
-		for src, data := range bySrc {
-			mv.Scatter(uint64(dp), out, src, data)
+			o := offs[uint64(dp)][del.Src][next[del.Src]]
+			next[del.Src]++
+			mv.ScatterRange(uint64(dp), out, del.Src, o, del.Data)
 		}
 		if uint64(dp) < uint64(d.Layout.N()) {
 			self := mv.Gather(uint64(dp), d.Local[dp], uint64(dp))
@@ -251,6 +310,9 @@ func execFlow(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, erro
 		}
 	}
 	st := e.Stats()
+	st.Rerouted = rep.Rerouted
+	st.ExtraHops = rep.ExtraHops
+	st.Abandoned = rep.Abandoned
 	if cfg.LocalCopies {
 		// Pack before sending and unpack after receiving: 2 * PQ/N copies
 		// per processor (Section 8.2.1); charged analytically since flows

@@ -1,0 +1,66 @@
+package cube
+
+import "testing"
+
+// Fuzz the Saad & Schultz parallel-paths construction: for any pair (x, y)
+// on any cube up to n = 12, DisjointPaths must return exactly n paths from
+// x to y — H of length H and n-H of length H+2 — that are pairwise
+// internally node-disjoint.
+func FuzzDisjointPaths(f *testing.F) {
+	f.Add(uint64(0), uint64(1), 1)
+	f.Add(uint64(0), uint64(3), 2)
+	f.Add(uint64(5), uint64(10), 4)
+	f.Add(uint64(100), uint64(33), 12)
+	f.Fuzz(func(t *testing.T, x, y uint64, nRaw int) {
+		n := 1 + int(uint(nRaw)%12)
+		c := New(n)
+		x %= uint64(1) << uint(n)
+		y %= uint64(1) << uint(n)
+		if x == y {
+			return // DisjointPaths requires distinct endpoints
+		}
+		H := c.Distance(x, y)
+		paths := DisjointPaths(c, x, y)
+		if len(paths) != n {
+			t.Fatalf("n=%d x=%d y=%d: %d paths, want n", n, x, y, len(paths))
+		}
+		short, detour := 0, 0
+		interior := make(map[uint64]int) // node -> path index that visited it
+		for i, p := range paths {
+			if end := PathEnd(x, p); end != y {
+				t.Fatalf("path %d ends at %d, want %d", i, end, y)
+			}
+			switch len(p) {
+			case H:
+				short++
+			case H + 2:
+				detour++
+			default:
+				t.Fatalf("path %d has length %d, want %d or %d", i, len(p), H, H+2)
+			}
+			// Internal disjointness: no interior node shared across paths,
+			// and no path revisits a node.
+			node := x
+			seen := map[uint64]bool{x: true}
+			for hop, d := range p {
+				node ^= 1 << uint(d)
+				if seen[node] {
+					t.Fatalf("path %d revisits node %d", i, node)
+				}
+				seen[node] = true
+				if node == y && hop != len(p)-1 {
+					t.Fatalf("path %d passes through the destination mid-route", i)
+				}
+				if node != y {
+					if j, ok := interior[node]; ok {
+						t.Fatalf("paths %d and %d share interior node %d", j, i, node)
+					}
+					interior[node] = i
+				}
+			}
+		}
+		if short != H || detour != n-H {
+			t.Fatalf("n=%d H=%d: %d short + %d detour paths, want %d + %d", n, H, short, detour, H, n-H)
+		}
+	})
+}

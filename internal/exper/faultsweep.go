@@ -1,0 +1,131 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+
+	"boolcube/internal/core"
+	"boolcube/internal/cost"
+	"boolcube/internal/fault"
+	"boolcube/internal/machine"
+	"boolcube/internal/plan"
+	"boolcube/internal/router"
+	"boolcube/internal/simnet"
+)
+
+func init() {
+	register("fault-sweep", faultSweep)
+}
+
+// faultSeeds is the fixed seed set every (algorithm, k) cell is swept over,
+// so the table is deterministic run to run.
+var faultSeeds = []int64{1, 2, 3, 4}
+
+// faultSweep measures robustness rather than speed: each path system
+// transposes the same matrix on a 6-cube while k random directed links are
+// permanently down, failing over blocked flows to unused disjoint-path
+// alternatives. Survival is completing with the exact transpose; slowdown
+// is simulated time over the fault-free run of the same algorithm. The
+// multi-path systems ride the cube's redundancy (Section 6.1 path lemmas);
+// the exchange algorithm has a fixed dimension schedule and no alternative
+// routes, so any fault on its schedule is fatal by construction.
+func faultSweep() (*Table, error) {
+	const (
+		n        = 6
+		logElems = 12
+	)
+	t := &Table{
+		ID:    "fault-sweep",
+		Title: fmt.Sprintf("fault sweep: survival and slowdown under k random link failures (%d-cube, n-port iPSC)", n),
+		Columns: []string{"algorithm", "k links down", "survived", "mean slowdown",
+			"mean reroutes", "mean extra hops", "model slowdown"},
+		Notes: []string{
+			"survival = exact transpose delivered despite the faults (reroute failover);",
+			"slowdown and reroutes average over the surviving seeds; model slowdown is",
+			"the DegradedPipelinedPaths expectation for the algorithm's shortest route",
+		},
+	}
+	mach := machine.IPSCNPort()
+	algos := []struct {
+		name  string
+		alg   plan.Algorithm
+		paths int // path multiplicity for the degraded-cost model (0 = no model)
+	}{
+		{"SPT", plan.SPT, 1},
+		{"DPT", plan.DPT, 2},
+		{"MPT", plan.MPT, 2 * (n / 2)},
+		{"exchange", plan.Exchange, 0},
+	}
+	for _, a := range algos {
+		base, err := runTranspose(a.alg, logElems, n, core.Options{Machine: mach})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{0, 1, 2, 4} {
+			survived := 0
+			var slow, reroutes, extra float64
+			for _, seed := range faultSeeds {
+				fp, err := fault.Compile(fault.RandomLinkFailures(seed, k), n)
+				if err != nil {
+					return nil, err
+				}
+				st, ok, err := runFaulted(a.alg, logElems, n, core.Options{Machine: mach, Faults: fp})
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				survived++
+				slow += st.Time / base.Time
+				reroutes += float64(st.Rerouted)
+				extra += float64(st.ExtraHops)
+			}
+			row := []interface{}{a.name, k, fmt.Sprintf("%d/%d", survived, len(faultSeeds))}
+			if survived > 0 {
+				s := float64(survived)
+				row = append(row, slow/s, reroutes/s, extra/s)
+			} else {
+				row = append(row, "-", "-", "-")
+			}
+			if a.paths > 0 {
+				degraded := degradedModel(logElems, n, k, a.paths, mach)
+				row = append(row, degraded)
+			} else {
+				row = append(row, "-")
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// runFaulted is runTranspose, but an injected-fault outcome (typed route or
+// send error) is reported as ok=false instead of failing the sweep.
+func runFaulted(alg plan.Algorithm, logElems, n int, opt core.Options) (simnet.Stats, bool, error) {
+	st, err := runTranspose(alg, logElems, n, opt)
+	if err == nil {
+		return st, true, nil
+	}
+	if errors.Is(err, simnet.ErrLinkDown) || errors.Is(err, simnet.ErrRetryBudget) ||
+		errors.Is(err, router.ErrNoRoute) || errors.Is(err, router.ErrLinkBlocked) {
+		return simnet.Stats{}, false, nil
+	}
+	return simnet.Stats{}, false, err
+}
+
+// degradedModel evaluates the DegradedPipelinedPaths expectation over the
+// fault-free estimate, as a slowdown factor.
+func degradedModel(logElems, n, k, paths int, mach machine.Params) float64 {
+	if n < 1 || n > 20 || logElems < 0 || logElems > 40 {
+		return 0
+	}
+	M := float64(int64(1) << uint(logElems) * int64(mach.ElemBytes))
+	B := M / float64(int64(paths)<<uint(n)) // one packet per path
+	free := cost.PipelinedPaths(M, n, n, paths, B, mach)
+	deg := cost.DegradedPipelinedPaths(M, n, n, k, paths, B, mach)
+	if free <= 0 {
+		return 0
+	}
+	return deg / free
+}

@@ -1,0 +1,323 @@
+// Package fault is the deterministic fault-injection layer for the simnet
+// engine: a declarative Spec (seed + rules) compiles into an immutable Plan
+// — a reproducible schedule of link-down windows, flaky-link drop
+// probabilities and node failures on one cube. The simnet engine consults
+// the Plan at every transmission (it implements simnet.FaultModel), and the
+// flow executor consults it before injection to fail blocked routes over to
+// unused disjoint-path alternatives.
+//
+// Determinism is the whole point: the same (Spec, n) always compiles to the
+// same Plan, random link selection draws from rand.New(rand.NewSource(seed)),
+// and per-transmission drop decisions are a pure hash of
+// (seed, link, attempt) — so a faulted simulation is exactly as reproducible
+// as a fault-free one, and every failure a test observes can be replayed.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind selects what a Rule injects.
+type Kind int
+
+const (
+	// LinkDown takes one directed link down during the rule's window.
+	LinkDown Kind = iota
+	// LinkFlaky makes one directed link drop each transmission attempt
+	// with probability Prob (decided deterministically from the seed).
+	LinkFlaky
+	// NodeDown is a fail-stop node: every directed link into or out of
+	// Node is down during the window, so the node can neither originate,
+	// receive, nor forward traffic.
+	NodeDown
+	// RandomLinks takes Count distinct directed links down during the
+	// window, chosen reproducibly from the Spec seed.
+	RandomLinks
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkFlaky:
+		return "link-flaky"
+	case NodeDown:
+		return "node-down"
+	case RandomLinks:
+		return "random-links"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Link identifies a directed cube link: the transmission from node From
+// across dimension Dim (toward From XOR 2^Dim).
+type Link struct {
+	From uint64
+	Dim  int
+}
+
+// To returns the link's destination node.
+func (l Link) To() uint64 { return l.From ^ 1<<uint(l.Dim) }
+
+func (l Link) String() string {
+	return fmt.Sprintf("%d-(dim %d)->%d", l.From, l.Dim, l.To())
+}
+
+// Rule is one declarative fault. Start and End bound the active window in
+// simulated µs; End <= Start means the fault persists forever once Start is
+// reached (the common "link has failed" case is Start = 0, End = 0).
+type Rule struct {
+	Kind  Kind
+	Link  Link    // LinkDown, LinkFlaky
+	Node  uint64  // NodeDown
+	Count int     // RandomLinks: number of distinct directed links
+	Prob  float64 // LinkFlaky: per-attempt drop probability in [0, 1]
+	Start float64
+	End   float64
+}
+
+// Spec is a fault scenario: a seed plus rules. The zero Spec injects
+// nothing. Specs are pure data; Compile turns one into a queryable Plan.
+type Spec struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// SingleLinkDown is the simplest scenario: one directed link down from
+// time zero, forever.
+func SingleLinkDown(from uint64, dim int) Spec {
+	return Spec{Rules: []Rule{{Kind: LinkDown, Link: Link{From: from, Dim: dim}}}}
+}
+
+// RandomLinkFailures is the sweep scenario: k distinct directed links down
+// from time zero, chosen by seed.
+func RandomLinkFailures(seed int64, k int) Spec {
+	return Spec{Seed: seed, Rules: []Rule{{Kind: RandomLinks, Count: k}}}
+}
+
+// FlakyLink makes one directed link drop transmissions with probability
+// prob, from time zero, forever.
+func FlakyLink(from uint64, dim int, prob float64) Spec {
+	return Spec{Rules: []Rule{{Kind: LinkFlaky, Link: Link{From: from, Dim: dim}, Prob: prob}}}
+}
+
+// window is a half-open down interval [start, end); end = +Inf when the
+// fault never recovers.
+type window struct{ start, end float64 }
+
+// Plan is a compiled, immutable fault schedule for one n-cube. It is safe
+// for concurrent readers and implements simnet.FaultModel.
+type Plan struct {
+	n     int
+	seed  int64
+	downs map[Link][]window // per-link down windows, sorted by start
+	flaky map[Link]float64  // per-link drop probability
+	desc  []string          // deterministic human-readable fault list
+}
+
+// Compile validates the spec against an n-cube and expands it into a Plan:
+// NodeDown becomes the 2n directed links incident to the node, RandomLinks
+// draws Count distinct links from rand.New(rand.NewSource(seed)), and
+// per-link windows are sorted and merged.
+func Compile(spec Spec, n int) (*Plan, error) {
+	if n < 0 || n > 20 {
+		return nil, fmt.Errorf("fault: cube dimension %d out of range [0,20]", n)
+	}
+	N := uint64(1) << uint(n)
+	p := &Plan{
+		n:     n,
+		seed:  spec.Seed,
+		downs: make(map[Link][]window),
+		flaky: make(map[Link]float64),
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	checkLink := func(l Link) error {
+		if l.From >= N {
+			return fmt.Errorf("fault: link source %d out of range [0,%d)", l.From, N)
+		}
+		if l.Dim < 0 || l.Dim >= n {
+			return fmt.Errorf("fault: link dimension %d out of range [0,%d)", l.Dim, n)
+		}
+		return nil
+	}
+	for i, r := range spec.Rules {
+		w := window{start: r.Start, end: r.End}
+		if w.end <= w.start {
+			w.end = math.Inf(1)
+		}
+		switch r.Kind {
+		case LinkDown:
+			if err := checkLink(r.Link); err != nil {
+				return nil, fmt.Errorf("fault: rule %d: %w", i, err)
+			}
+			p.downs[r.Link] = append(p.downs[r.Link], w)
+		case LinkFlaky:
+			if err := checkLink(r.Link); err != nil {
+				return nil, fmt.Errorf("fault: rule %d: %w", i, err)
+			}
+			if r.Prob < 0 || r.Prob > 1 {
+				return nil, fmt.Errorf("fault: rule %d: drop probability %v out of [0,1]", i, r.Prob)
+			}
+			if r.Prob > p.flaky[r.Link] {
+				p.flaky[r.Link] = r.Prob
+			}
+		case NodeDown:
+			if r.Node >= N {
+				return nil, fmt.Errorf("fault: rule %d: node %d out of range [0,%d)", i, r.Node, N)
+			}
+			for d := 0; d < n; d++ {
+				out := Link{From: r.Node, Dim: d}
+				in := Link{From: out.To(), Dim: d}
+				p.downs[out] = append(p.downs[out], w)
+				p.downs[in] = append(p.downs[in], w)
+			}
+		case RandomLinks:
+			if r.Count < 0 || uint64(r.Count) > N*uint64(n) {
+				return nil, fmt.Errorf("fault: rule %d: %d random links on a cube with %d directed links",
+					i, r.Count, N*uint64(n))
+			}
+			chosen := make(map[Link]bool, r.Count)
+			for len(chosen) < r.Count {
+				l := Link{From: uint64(rng.Int63n(int64(N))), Dim: rng.Intn(n)}
+				if !chosen[l] {
+					chosen[l] = true
+					p.downs[l] = append(p.downs[l], w)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("fault: rule %d: unknown kind %v", i, r.Kind)
+		}
+	}
+	for l := range p.downs {
+		ws := p.downs[l]
+		sort.Slice(ws, func(a, b int) bool { return ws[a].start < ws[b].start })
+		p.downs[l] = mergeWindows(ws)
+	}
+	p.desc = p.describe()
+	return p, nil
+}
+
+// MustCompile is Compile for specs whose validity is an invariant.
+func MustCompile(spec Spec, n int) *Plan {
+	p, err := Compile(spec, n)
+	if err != nil {
+		panic("fault: " + err.Error())
+	}
+	return p
+}
+
+// mergeWindows coalesces overlapping or touching sorted windows.
+func mergeWindows(ws []window) []window {
+	out := ws[:0]
+	for _, w := range ws {
+		if len(out) > 0 && w.start <= out[len(out)-1].end {
+			if w.end > out[len(out)-1].end {
+				out[len(out)-1].end = w.end
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Dims returns the cube dimension the plan was compiled for.
+func (p *Plan) Dims() int { return p.n }
+
+// LinkState reports whether the directed link (from, dim) is usable at
+// virtual time t; when it is down, nextUp is the time the link recovers
+// (+Inf for a permanent failure). Part of simnet.FaultModel.
+func (p *Plan) LinkState(from uint64, dim int, t float64) (up bool, nextUp float64) {
+	for _, w := range p.downs[Link{From: from, Dim: dim}] {
+		if t >= w.start && t < w.end {
+			return false, w.end
+		}
+	}
+	return true, 0
+}
+
+// Drop reports whether transmission attempt `attempt` on the directed link
+// (from, dim) is dropped by a flaky link. The decision is a pure hash of
+// (seed, link, attempt), so replays agree. Part of simnet.FaultModel.
+func (p *Plan) Drop(from uint64, dim int, attempt int64) bool {
+	prob := p.flaky[Link{From: from, Dim: dim}]
+	if prob <= 0 {
+		return false
+	}
+	h := uint64(p.seed)
+	h = mix64(h ^ from)
+	h = mix64(h ^ uint64(dim)<<40)
+	h = mix64(h ^ uint64(attempt))
+	return float64(h>>11)/(1<<53) < prob
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PermanentlyDown reports whether the link is down at time zero and never
+// recovers — the condition under which the flow executor reroutes before
+// injection (a transient window is instead waited out by the engine's
+// retry policy).
+func (p *Plan) PermanentlyDown(from uint64, dim int) bool {
+	up, nextUp := p.LinkState(from, dim, 0)
+	return !up && math.IsInf(nextUp, 1)
+}
+
+// DownLinks returns every link with at least one down window, sorted by
+// (From, Dim).
+func (p *Plan) DownLinks() []Link {
+	out := make([]Link, 0, len(p.downs))
+	for l := range p.downs {
+		out = append(out, l)
+	}
+	sortLinks(out)
+	return out
+}
+
+func sortLinks(ls []Link) {
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].From != ls[b].From {
+			return ls[a].From < ls[b].From
+		}
+		return ls[a].Dim < ls[b].Dim
+	})
+}
+
+// describe renders the deterministic fault list (links sorted, windows in
+// order) used for trace labeling.
+func (p *Plan) describe() []string {
+	var out []string
+	links := p.DownLinks()
+	for _, l := range links {
+		for _, w := range p.downs[l] {
+			end := "inf"
+			if !math.IsInf(w.end, 1) {
+				end = fmt.Sprintf("%g", w.end)
+			}
+			out = append(out, fmt.Sprintf("link %s down [%g, %s)", l, w.start, end))
+		}
+	}
+	fl := make([]Link, 0, len(p.flaky))
+	for l := range p.flaky {
+		fl = append(fl, l)
+	}
+	sortLinks(fl)
+	for _, l := range fl {
+		out = append(out, fmt.Sprintf("link %s flaky p=%g", l, p.flaky[l]))
+	}
+	return out
+}
+
+// Describe returns one line per injected fault, in deterministic order —
+// the trace recorder attaches these to rendered timelines.
+func (p *Plan) Describe() []string {
+	return append([]string(nil), p.desc...)
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestLinkTo(t *testing.T) {
+	l := Link{From: 5, Dim: 1}
+	if got := l.To(); got != 7 {
+		t.Fatalf("To() = %d, want 7", got)
+	}
+	if got := l.String(); got != "5-(dim 1)->7" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		n    int
+	}{
+		{"dim out of range", Spec{Rules: []Rule{{Kind: LinkDown, Link: Link{From: 0, Dim: 4}}}}, 4},
+		{"source out of range", Spec{Rules: []Rule{{Kind: LinkDown, Link: Link{From: 16, Dim: 0}}}}, 4},
+		{"bad probability", Spec{Rules: []Rule{{Kind: LinkFlaky, Link: Link{}, Prob: 1.5}}}, 4},
+		{"node out of range", Spec{Rules: []Rule{{Kind: NodeDown, Node: 99}}}, 4},
+		{"too many random links", Spec{Rules: []Rule{{Kind: RandomLinks, Count: 65}}}, 2},
+		{"unknown kind", Spec{Rules: []Rule{{Kind: Kind(42)}}}, 4},
+		{"cube too big", Spec{}, 21},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.spec, c.n); err == nil {
+				t.Fatalf("Compile accepted invalid spec %+v", c.spec)
+			}
+		})
+	}
+}
+
+func TestSingleLinkDownPlan(t *testing.T) {
+	p := MustCompile(SingleLinkDown(3, 2), 4)
+	if !p.PermanentlyDown(3, 2) {
+		t.Fatal("failed link not reported permanently down")
+	}
+	up, nextUp := p.LinkState(3, 2, 1e9)
+	if up || !math.IsInf(nextUp, 1) {
+		t.Fatalf("LinkState(3,2) = (%v, %v), want (false, +Inf)", up, nextUp)
+	}
+	// The reverse direction and every other link stay up.
+	if up, _ := p.LinkState(7, 2, 0); !up {
+		t.Fatal("reverse link reported down")
+	}
+	if got := p.DownLinks(); len(got) != 1 || got[0] != (Link{From: 3, Dim: 2}) {
+		t.Fatalf("DownLinks() = %v", got)
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	spec := Spec{Rules: []Rule{
+		{Kind: LinkDown, Link: Link{From: 1, Dim: 0}, Start: 10, End: 20},
+		{Kind: LinkDown, Link: Link{From: 1, Dim: 0}, Start: 15, End: 30},
+	}}
+	p := MustCompile(spec, 3)
+	if p.PermanentlyDown(1, 0) {
+		t.Fatal("transient window reported permanent")
+	}
+	for _, tc := range []struct {
+		t      float64
+		up     bool
+		nextUp float64
+	}{
+		{0, true, 0}, {10, false, 30}, {19, false, 30}, {25, false, 30}, {30, true, 0},
+	} {
+		up, nextUp := p.LinkState(1, 0, tc.t)
+		if up != tc.up || (!up && nextUp != tc.nextUp) {
+			t.Fatalf("LinkState(t=%g) = (%v, %g), want (%v, %g)", tc.t, up, nextUp, tc.up, tc.nextUp)
+		}
+	}
+}
+
+func TestNodeDownExpansion(t *testing.T) {
+	const n = 3
+	p := MustCompile(Spec{Rules: []Rule{{Kind: NodeDown, Node: 5}}}, n)
+	links := p.DownLinks()
+	if len(links) != 2*n {
+		t.Fatalf("node-down expanded to %d links, want %d", len(links), 2*n)
+	}
+	for _, l := range links {
+		if l.From != 5 && l.To() != 5 {
+			t.Fatalf("link %v does not touch node 5", l)
+		}
+	}
+}
+
+func TestRandomLinksDeterministic(t *testing.T) {
+	a := MustCompile(RandomLinkFailures(7, 5), 4)
+	b := MustCompile(RandomLinkFailures(7, 5), 4)
+	if !reflect.DeepEqual(a.DownLinks(), b.DownLinks()) {
+		t.Fatalf("same seed chose different links:\n%v\n%v", a.DownLinks(), b.DownLinks())
+	}
+	if len(a.DownLinks()) != 5 {
+		t.Fatalf("chose %d links, want 5", len(a.DownLinks()))
+	}
+	c := MustCompile(RandomLinkFailures(8, 5), 4)
+	if reflect.DeepEqual(a.DownLinks(), c.DownLinks()) {
+		t.Fatal("different seeds chose identical links (astronomically unlikely)")
+	}
+}
+
+func TestDropDeterministicAndDistributed(t *testing.T) {
+	p := MustCompile(FlakyLink(2, 1, 0.5), 3)
+	q := MustCompile(FlakyLink(2, 1, 0.5), 3)
+	drops := 0
+	const attempts = 2000
+	for i := int64(1); i <= attempts; i++ {
+		d := p.Drop(2, 1, i)
+		if d != q.Drop(2, 1, i) {
+			t.Fatalf("attempt %d: drop decision not reproducible", i)
+		}
+		if d {
+			drops++
+		}
+		// Non-flaky links never drop.
+		if p.Drop(0, 0, i) {
+			t.Fatalf("attempt %d: drop on a healthy link", i)
+		}
+	}
+	if drops < attempts/3 || drops > 2*attempts/3 {
+		t.Fatalf("p=0.5 dropped %d of %d attempts — hash badly skewed", drops, attempts)
+	}
+}
+
+func TestDescribeDeterministic(t *testing.T) {
+	spec := Spec{Rules: []Rule{
+		{Kind: LinkDown, Link: Link{From: 6, Dim: 0}},
+		{Kind: LinkDown, Link: Link{From: 1, Dim: 2}, Start: 5, End: 9},
+		{Kind: LinkFlaky, Link: Link{From: 0, Dim: 1}, Prob: 0.25},
+	}}
+	want := []string{
+		"link 1-(dim 2)->5 down [5, 9)",
+		"link 6-(dim 0)->7 down [0, inf)",
+		"link 0-(dim 1)->2 flaky p=0.25",
+	}
+	for i := 0; i < 3; i++ {
+		got := MustCompile(spec, 3).Describe()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Describe() = %q, want %q", got, want)
+		}
+	}
+}

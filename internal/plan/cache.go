@@ -67,9 +67,20 @@ func (c *Cache) Compile(alg Algorithm, before, after field.Layout, cfg Config) (
 		}
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.p, e.err = Compile(alg, before, after, cfg) })
+	e.once.Do(func() {
+		if compileObserver != nil {
+			compileObserver()
+		}
+		e.p, e.err = Compile(alg, before, after, cfg)
+	})
 	return e.p, e.err
 }
+
+// compileObserver, when non-nil, is invoked once per actual compilation
+// (inside the sync.Once, before the work). Tests install it to assert the
+// at-most-one-compile-per-key guarantee under concurrency; production code
+// never sets it.
+var compileObserver func()
 
 // Len reports how many plans (or cached errors) the cache currently holds.
 func (c *Cache) Len() int {

@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"boolcube/internal/field"
+	"boolcube/internal/machine"
+)
+
+// stressKeys builds k distinct compilable cache keys (square two-dim MPT
+// shapes of growing size share nothing but the algorithm).
+type stressKey struct {
+	alg           Algorithm
+	before, after field.Layout
+	cfg           Config
+}
+
+func stressKeys(k int) []stressKey {
+	algs := []Algorithm{Exchange, SPT, DPT, MPT}
+	keys := make([]stressKey, 0, k)
+	for i := 0; i < k; i++ {
+		n := 2 + 2*(i%2) // 2 or 4
+		p := n/2 + 2
+		keys = append(keys, stressKey{
+			alg:    algs[i%len(algs)],
+			before: field.TwoDimConsecutive(p, p, n/2, n/2, field.Binary),
+			after:  field.TwoDimConsecutive(p, p, n/2, n/2, field.Binary),
+			cfg:    Config{Machine: machine.IPSCNPort(), Packets: i % 3},
+		})
+	}
+	return keys
+}
+
+// Hammer one cache from many goroutines over an overlapping key set: every
+// key must be compiled exactly once (counted via the test-only observer),
+// and every caller of the same key must receive the same *Plan. Run under
+// -race, this is the cache's concurrency contract test.
+func TestCacheStressOneCompilePerKey(t *testing.T) {
+	const (
+		goroutines = 32
+		keyCount   = 8
+		rounds     = 25
+	)
+	keys := stressKeys(keyCount)
+	c := NewCache(keyCount * 2) // no eviction in this test
+
+	var compiles atomic.Int64
+	compileObserver = func() { compiles.Add(1) }
+	defer func() { compileObserver = nil }()
+
+	got := make([][]*Plan, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			plans := make([]*Plan, keyCount)
+			for r := 0; r < rounds; r++ {
+				for _, i := range rng.Perm(keyCount) {
+					k := keys[i]
+					p, err := c.Compile(k.alg, k.before, k.after, k.cfg)
+					if err != nil {
+						panic(fmt.Sprintf("compile key %d: %v", i, err))
+					}
+					if plans[i] == nil {
+						plans[i] = p
+					} else if plans[i] != p {
+						panic(fmt.Sprintf("key %d returned two distinct plans", i))
+					}
+				}
+			}
+			got[g] = plans
+		}(g)
+	}
+	wg.Wait()
+
+	if n := compiles.Load(); n != keyCount {
+		t.Fatalf("%d compilations for %d keys, want exactly one each", n, keyCount)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range keys {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d key %d got a different plan pointer", g, i)
+			}
+		}
+	}
+	if c.Len() != keyCount {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), keyCount)
+	}
+}
+
+// Eviction under concurrency: a cache with capacity 1 thrashes while many
+// goroutines compile alternating keys. Every returned plan must stay valid
+// (immutable, never reclaimed out from under a holder) and key-consistent,
+// and the cache must stay within its bound.
+func TestCacheStressEvictionKeepsPlansValid(t *testing.T) {
+	keys := stressKeys(4)
+	c := NewCache(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for r := 0; r < 50; r++ {
+				k := keys[rng.Intn(len(keys))]
+				p, err := c.Compile(k.alg, k.before, k.after, k.cfg)
+				if err != nil {
+					panic(err)
+				}
+				// The plan must remain fully usable even after eviction.
+				if p.Algorithm() != k.alg {
+					panic("evicted plan lost its identity")
+				}
+				if p.Describe() == "" {
+					panic("evicted plan lost its description")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 1 {
+		t.Fatalf("cache exceeded its capacity: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,29 @@
+package plan
+
+import "testing"
+
+// Fuzz the algorithm registry's Parse∘String round-trip: any string the
+// parser accepts must re-parse to the same Algorithm from its canonical
+// String form, and every registered algorithm's name must be accepted.
+func FuzzAlgorithmParseString(f *testing.F) {
+	for _, a := range Algorithms() {
+		f.Add(a.String())
+	}
+	f.Add("auto")
+	f.Add("")
+	f.Add("no-such-algorithm")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAlgorithm(s)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		name := a.String()
+		b, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q) accepted, but canonical name %q rejected: %v", s, name, err)
+		}
+		if b != a {
+			t.Fatalf("round-trip changed the algorithm: %q -> %v -> %q -> %v", s, a, name, b)
+		}
+	})
+}

@@ -151,6 +151,20 @@ func (m *Moves) Scatter(dstProc uint64, local []float64, srcProc uint64, data []
 	}
 }
 
+// ScatterRange places the [off, off+len(data)) sub-range of the canonical
+// (srcProc, dstProc) payload into the destination local array — the
+// receive-side counterpart of GatherRange, used when multi-path chunks are
+// scattered per flow (e.g. after a failover pass abandons some of them).
+func (m *Moves) ScatterRange(dstProc uint64, local []float64, srcProc uint64, off int, data []float64) {
+	slots := m.in[dstProc][srcProc]
+	if off < 0 || off+len(data) > len(slots) {
+		panic("plan: payload range does not match move-set")
+	}
+	for i, s := range slots[off : off+len(data)] {
+		local[s] = data[i]
+	}
+}
+
 // Destinations lists the processors srcProc sends to (excluding itself),
 // ascending. The returned slice is shared and must not be modified.
 func (m *Moves) Destinations(srcProc uint64) []uint64 { return m.dests[srcProc] }

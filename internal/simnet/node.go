@@ -28,37 +28,59 @@ func (nd *Node) Neighbor(d int) uint64 {
 }
 
 // submit parks the node with a pending operation and blocks until the
-// engine executes it.
-func (nd *Node) submit(o op) Msg {
+// engine executes it, returning the operation's result message and (for
+// sends under fault injection) its error.
+func (nd *Node) submit(o op) (Msg, error) {
 	nd.pending = o
 	nd.parked <- struct{}{}
 	m := <-nd.resume
 	if nd.eng.poisoned {
 		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 	}
-	return m
+	return m, nd.opErr
 }
+
+// nodeAbort unwinds a node goroutine when a Send fails under fault
+// injection; the engine wrapper recovers it and surfaces err as the
+// program's failure, so Run returns the typed *FaultError.
+type nodeAbort struct{ err error }
 
 // Send transmits m to the neighbor across dimension dim. The call returns
 // when the transmission has been scheduled; the node's send port stays busy
 // for the transmission duration, so consecutive sends serialize according
-// to the machine's port model.
+// to the machine's port model. If fault injection defeats the transmission
+// (link down, retry budget exhausted) the node program is aborted and Run
+// returns the typed *FaultError; programs that handle failures themselves
+// use TrySend.
 func (nd *Node) Send(dim int, m Msg) {
+	if err := nd.TrySend(dim, m); err != nil {
+		panic(&nodeAbort{err: err})
+	}
+}
+
+// TrySend is Send, but an injected failure (link down past the retry
+// budget, every retransmission dropped) is returned as a *FaultError
+// instead of aborting the program. The retry/backoff budget has already
+// been charged to the node's clock when TrySend returns.
+func (nd *Node) TrySend(dim int, m Msg) error {
 	nd.checkDim(dim)
-	nd.submit(op{kind: opSend, dim: dim, msg: m})
+	_, err := nd.submit(op{kind: opSend, dim: dim, msg: m})
+	return err
 }
 
 // Recv blocks until a message arrives from the neighbor across dimension
 // dim and returns it. Messages on one link are delivered in FIFO order.
 func (nd *Node) Recv(dim int) Msg {
 	nd.checkDim(dim)
-	return nd.submit(op{kind: opRecv, dim: dim})
+	m, _ := nd.submit(op{kind: opRecv, dim: dim})
+	return m
 }
 
 // RecvAny blocks until a message arrives on any dimension and returns the
 // earliest-arriving one (ties broken by global send order).
 func (nd *Node) RecvAny() Msg {
-	return nd.submit(op{kind: opRecvAny})
+	m, _ := nd.submit(op{kind: opRecvAny})
+	return m
 }
 
 // Exchange sends m across dim and receives the partner's message from the
@@ -76,7 +98,7 @@ func (nd *Node) Copy(b int) {
 	if b < 0 {
 		panic(fmt.Sprintf("simnet: negative copy size %d", b))
 	}
-	nd.submit(op{kind: opCopy, bytes: b})
+	_, _ = nd.submit(op{kind: opCopy, bytes: b})
 }
 
 // CopyElems charges the copy cost of k matrix elements.
@@ -89,7 +111,7 @@ func (nd *Node) Advance(dt float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("simnet: negative time advance %v", dt))
 	}
-	nd.submit(op{kind: opAdvance, dt: dt})
+	_, _ = nd.submit(op{kind: opAdvance, dt: dt})
 }
 
 func (nd *Node) checkDim(d int) {

@@ -67,7 +67,10 @@ func (m Msg) Clone() Msg {
 }
 
 // Stats aggregates what the paper measures: simulated elapsed time,
-// communication start-ups, transferred volume and link load.
+// communication start-ups, transferred volume and link load — plus, under
+// fault injection, how much the run degraded. The engine fills the retry
+// and drop counters; the flow executor fills the failover counters on its
+// returned copy.
 type Stats struct {
 	Time         float64 // makespan over all nodes and transmissions, µs
 	Startups     int64   // total communication start-ups
@@ -77,6 +80,14 @@ type Stats struct {
 	CopyTime     float64 // total local copy time (sum over nodes), µs
 	MaxLinkBytes int64   // heaviest directed link, bytes
 	MaxLinkBusy  float64 // heaviest directed link, busy time µs
+
+	// Degradation under fault injection (all zero on fault-free runs).
+	Retries      int64 // transmission attempts repeated (drop retransmits, down-window waits)
+	Drops        int64 // frames lost in flight to flaky links
+	FaultedSends int64 // sends that failed past the retry budget (typed error)
+	Rerouted     int64 // flows failed over to an alternate disjoint path
+	ExtraHops    int64 // extra hops incurred by failover reroutes
+	Abandoned    int64 // flows abandoned under best-effort failover
 }
 
 type opKind int
@@ -126,6 +137,7 @@ type Node struct {
 	pending op
 	parked  chan struct{} // signaled by node when parked
 	resume  chan Msg      // engine -> node, carries recv results
+	opErr   error         // set by the engine before resume (fault injection)
 	done    bool
 	failure error
 }
@@ -142,6 +154,10 @@ type Engine struct {
 	linkBytes map[linkKey]int64
 	linkBusy  map[linkKey]float64
 
+	faults       FaultModel
+	retry        RetryPolicy
+	linkAttempts map[linkKey]int64 // per-link transmission attempts, for Drop decisions
+
 	stats    Stats
 	tracer   Tracer
 	started  bool // engines are one-shot; see Run
@@ -153,7 +169,7 @@ type Engine struct {
 // TraceEvent is one timed operation of one node, reported to a Tracer.
 type TraceEvent struct {
 	Node       uint64
-	Kind       string // "send", "recv", "copy", "compute"
+	Kind       string // "send", "recv", "copy", "compute", "drop" (faulted frame)
 	Dim        int    // cube dimension for send/recv; -1 otherwise
 	Bytes      int
 	Start, End float64
@@ -289,7 +305,13 @@ func (e *Engine) Run(prog func(*Node)) error {
 		go func(nd *Node) {
 			defer func() {
 				if r := recover(); r != nil && r != errPoisoned {
-					nd.failure = fmt.Errorf("simnet: node %d panicked: %v", nd.id, r)
+					if ab, ok := r.(*nodeAbort); ok {
+						// Typed unwind from a failed Send under fault
+						// injection; surface the fault error as-is.
+						nd.failure = ab.err
+					} else {
+						nd.failure = fmt.Errorf("simnet: node %d panicked: %v", nd.id, r)
+					}
 				}
 				nd.pending = op{kind: opDone}
 				nd.parked <- struct{}{}
@@ -412,9 +434,10 @@ func (e *Engine) actionTime(nd *Node) (float64, bool) {
 // and resumes the node (except for opDone). Returns true when the node has
 // finished.
 func (e *Engine) execute(nd *Node) bool {
+	nd.opErr = nil
 	switch nd.pending.kind {
 	case opSend:
-		e.doSend(nd, nd.pending.dim, nd.pending.msg)
+		nd.opErr = e.doSend(nd, nd.pending.dim, nd.pending.msg)
 		nd.resume <- Msg{}
 	case opRecv:
 		m := e.doRecv(nd, nd.pending.dim)
@@ -444,13 +467,79 @@ func (e *Engine) execute(nd *Node) bool {
 	return false
 }
 
-func (e *Engine) doSend(nd *Node, dim int, m Msg) {
+// doSend executes one send operation. The returned error is non-nil only
+// under fault injection, when the transmission fails past the retry budget;
+// it is delivered to the node (TrySend returns it, Send aborts with it).
+func (e *Engine) doSend(nd *Node, dim int, m Msg) error {
 	bytes := len(m.Data) * e.params.ElemBytes
 	dur, startups := e.params.SendTime(bytes)
 	port := e.portIndex(dim)
 	lk := linkKey{from: nd.id, dim: dim}
 	start := math.Max(nd.clock, nd.sendFree[port])
 	start = math.Max(start, e.linkFree[lk])
+	if e.faults != nil {
+		var err error
+		if start, err = e.clearFaults(nd, dim, lk, port, bytes, dur, startups, start); err != nil {
+			e.stats.FaultedSends++
+			nd.clock = math.Max(nd.clock, start)
+			e.bumpTime(nd.clock)
+			return err
+		}
+	}
+	end := e.chargeLink(nd, dim, lk, port, bytes, dur, startups, start)
+	e.stats.Sends++
+	nd.clock = start
+	e.trace(TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
+
+	dest := e.nodes[nd.id^1<<uint(dim)]
+	e.seq++
+	dest.queues[dim] = append(dest.queues[dim], arrival{
+		msg: m, at: end, dur: dur, fromDim: dim, seq: e.seq,
+	})
+	return nil
+}
+
+// clearFaults advances a transmission's start time past injected failures:
+// transient link-down windows are waited out and flaky drops retransmitted,
+// each consuming one attempt of the retry budget and charging the backoff.
+// It returns the start time of the first clean attempt, or a *FaultError
+// once the budget is exhausted (immediately, for a permanent link failure).
+func (e *Engine) clearFaults(nd *Node, dim int, lk linkKey, port, bytes int, dur float64, startups int, start float64) (float64, error) {
+	attempts := 0
+	for {
+		attempts++
+		up, nextUp := e.faults.LinkState(nd.id, dim, start)
+		if !up {
+			if math.IsInf(nextUp, 1) || attempts >= e.retry.Attempts {
+				return start, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
+					At: start, Attempts: attempts, Err: ErrLinkDown}
+			}
+			e.stats.Retries++
+			start = math.Max(nextUp, start+e.retry.Backoff)
+			continue
+		}
+		e.linkAttempts[lk]++
+		if !e.faults.Drop(nd.id, dim, e.linkAttempts[lk]) {
+			return start, nil
+		}
+		// The dropped frame still occupied the wire: charge the port, the
+		// link and the volume statistics, then retransmit after backoff.
+		end := e.chargeLink(nd, dim, lk, port, bytes, dur, startups, start)
+		e.stats.Drops++
+		e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end})
+		if attempts >= e.retry.Attempts {
+			return end, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
+				At: start, Attempts: attempts, Err: ErrRetryBudget}
+		}
+		e.stats.Retries++
+		start = end + e.retry.Backoff
+	}
+}
+
+// chargeLink books one transmission interval [start, start+dur) on the
+// sender's port and the directed link, updating occupancy and volume
+// statistics. Shared by delivered sends and dropped frames.
+func (e *Engine) chargeLink(nd *Node, dim int, lk linkKey, port, bytes int, dur float64, startups int, start float64) float64 {
 	end := start + dur
 	if e.debug {
 		if prev := nd.lastSendEnd[port]; start < prev {
@@ -471,17 +560,9 @@ func (e *Engine) doSend(nd *Node, dim int, m Msg) {
 		e.stats.MaxLinkBusy = e.linkBusy[lk]
 	}
 	e.stats.Startups += int64(startups)
-	e.stats.Sends++
 	e.stats.Bytes += int64(bytes)
-	nd.clock = start
 	e.bumpTime(end)
-	e.trace(TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
-
-	dest := e.nodes[nd.id^1<<uint(dim)]
-	e.seq++
-	dest.queues[dim] = append(dest.queues[dim], arrival{
-		msg: m, at: end, dur: dur, fromDim: dim, seq: e.seq,
-	})
+	return end
 }
 
 func (e *Engine) doRecv(nd *Node, dim int) Msg {

@@ -18,6 +18,10 @@ type Recorder struct {
 	// the compiled plan's description, so rendered timelines say which
 	// algorithm/layout/machine they show.
 	Label string
+	// Faults lists the injected faults of the run (one line per fault, from
+	// fault.Plan.Describe), so a rendered timeline says which links were
+	// down or flaky while it was recorded.
+	Faults []string
 }
 
 // New returns an empty recorder.
@@ -31,6 +35,12 @@ func (r *Recorder) Record(ev simnet.TraceEvent) {
 // SetLabel records the producer's description; the executor calls it with
 // the compiled plan's Describe() string.
 func (r *Recorder) SetLabel(label string) { r.Label = label }
+
+// SetFaults records the run's injected fault list; the executor calls it
+// with the fault plan's Describe() lines when injection is armed.
+func (r *Recorder) SetFaults(faults []string) {
+	r.Faults = append([]string(nil), faults...)
+}
 
 // Span returns the [min start, max end] of all events.
 func (r *Recorder) Span() (float64, float64) {
@@ -86,6 +96,7 @@ var kindGlyph = map[string]byte{
 	"recv":    'R',
 	"copy":    'C',
 	"compute": 'X',
+	"drop":    'D',
 }
 
 // Gantt renders an ASCII timeline, one row per node, width columns across
@@ -110,6 +121,9 @@ func (r *Recorder) Gantt(width int) string {
 	var sb strings.Builder
 	if r.Label != "" {
 		fmt.Fprintf(&sb, "%s\n", r.Label)
+	}
+	for _, f := range r.Faults {
+		fmt.Fprintf(&sb, "fault: %s\n", f)
 	}
 	fmt.Fprintf(&sb, "time span %.1f .. %.1f µs, %.2f µs/column\n", lo, hi, (hi-lo)/float64(width))
 	for _, id := range ids {
@@ -140,7 +154,7 @@ func (r *Recorder) Gantt(width int) string {
 		}
 		fmt.Fprintf(&sb, "node %4d |%s|\n", id, row)
 	}
-	sb.WriteString("legend: S send, R recv, C copy, X compute, * overlap\n")
+	sb.WriteString("legend: S send, R recv, C copy, X compute, D dropped frame, * overlap\n")
 	return sb.String()
 }
 

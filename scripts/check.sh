@@ -17,6 +17,20 @@ go run ./cmd/cubevet ./...
 echo "==> go test ./..."
 go test ./...
 
+# Fuzz corpora in regression mode: replay the checked-in seeds (no fuzzing).
+echo "==> go test -run '^Fuzz' (fuzz seed regression)"
+go test -run '^Fuzz' ./internal/plan/ ./internal/cube/
+
+# Smoke the fault sweep: robustness table on a 6-cube (survival under k
+# random link failures per path system).
+echo "==> experiments -exp fault-sweep (6-cube smoke)"
+go run ./cmd/experiments -exp fault-sweep >/dev/null
+
+# Faulted soak: combined permanent + flaky faults on an 8-cube, replayed
+# for determinism (part of the non-short suite; run explicitly here).
+echo "==> go test -run TestSoakFaultedTranspose"
+go test -run 'TestSoakFaultedTranspose' .
+
 # Smoke the plan-cache benchmark pair (full measurement: `make bench`).
 echo "==> go test -bench plan split -benchtime=1x"
 go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' -benchtime=1x .
