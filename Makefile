@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cubevet check bench
+.PHONY: build test race vet cubevet check bench bench-engine
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,8 @@ check:
 # repeated 8-cube transpose. Writes BENCH_plan.json.
 bench:
 	./scripts/bench_plan.sh
+
+# Engine hot path: indexed ready-queue scheduler vs linear-scan reference,
+# plus the full experiment-sweep wall-clock. Writes BENCH_engine.json.
+bench-engine:
+	./scripts/bench_engine.sh

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 
 	"boolcube/internal/exper"
 )
@@ -31,7 +30,7 @@ func realMain(args []string, out io.Writer) error {
 	id := flag.String("exp", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
 	format := flag.String("format", "text", "output format: text, md, csv")
-	par := flag.Int("parallel", 1, "experiments to generate concurrently with -all")
+	par := flag.Int("parallel", 0, "experiments to generate concurrently with -all (0 = all cores)")
 	if err := flag.Parse(args); err != nil {
 		return err
 	}
@@ -61,44 +60,24 @@ func realMain(args []string, out io.Writer) error {
 
 var render = "text"
 
-// runAll generates every experiment, up to par at a time, printing the
-// results in id order as they complete.
+// runAll generates every experiment through the parallel sweep harness
+// (exper.RunMany, up to par workers) and prints the results in id order;
+// the output is byte-identical to a serial run for any par.
 func runAll(out io.Writer, par int) error {
-	if par < 1 {
-		par = 1
-	}
 	ids := exper.IDs()
-	outs := make([]string, len(ids))
-	errs := make([]error, len(ids))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, id string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tab, err := exper.Run(id)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			switch render {
-			case "md":
-				outs[i] = tab.Markdown()
-			case "csv":
-				outs[i] = tab.CSV()
-			default:
-				outs[i] = tab.String()
-			}
-		}(i, id)
+	tabs, err := exper.RunMany(ids, par)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	for i, id := range ids {
-		if errs[i] != nil {
-			return fmt.Errorf("%s: %w", id, errs[i])
+	for _, tab := range tabs {
+		switch render {
+		case "md":
+			fmt.Fprint(out, tab.Markdown())
+		case "csv":
+			fmt.Fprint(out, tab.CSV())
+		default:
+			fmt.Fprint(out, tab.String())
 		}
-		fmt.Fprint(out, outs[i])
 		fmt.Fprintln(out)
 	}
 	return nil

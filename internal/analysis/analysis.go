@@ -2,7 +2,7 @@
 // go/types, no go/packages) static-analysis framework that enforces this
 // repository's invariants — contracts the compiler cannot see.
 //
-// Four passes ship with it:
+// Five passes ship with it:
 //
 //   - nodeprog: node-program closures handed to Simulate/SimulateLoads/
 //     (*Engine).Run must only write shared state partitioned by nd.ID()
@@ -18,6 +18,9 @@
 //   - detbreak: simulation and cost paths must stay deterministic — no
 //     time.Now, no unseeded math/rand, no output emitted from map
 //     iteration order.
+//   - poolretain: node programs must not retain a pooled message buffer
+//     (Msg.Data/Msg.Parts or an alias) past the Recycle call that returns
+//     it to the engine's pool.
 //
 // Findings are reported as "file:line: [pass] message". A finding is
 // suppressed by a "//cubevet:ignore <pass>" comment on the same line or the
@@ -76,6 +79,7 @@ func Passes() []Pass {
 		{Name: "shiftwidth", Doc: "shift counts derived from address widths must be guarded < 64", Run: runShiftwidth},
 		{Name: "liberrors", Doc: "library code must not drop errors or panic on error values", Run: runLiberrors},
 		{Name: "detbreak", Doc: "simulation paths must stay deterministic", Run: runDetbreak},
+		{Name: "poolretain", Doc: "node programs must not retain pooled message buffers past Recycle", Run: runPoolretain},
 	}
 }
 

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runPoolretain enforces the pooled-buffer ownership contract on node
+// programs: (*Node).Recycle(m) returns m's Data and Parts buffers to the
+// engine's pool, where later AllocData/AllocParts calls hand them out
+// again. A node program must therefore not
+//
+//   - use a recycled message — or any alias of its buffers — after the
+//     Recycle call, nor
+//   - store a recycled message's buffer (or an alias of it) into state
+//     captured from outside the program; that retains the slice past the
+//     recycle point and the pool will scribble over it.
+//
+// Copies are fine: m.Clone() and append([]float64(nil), m.Data...) build
+// fresh backing arrays, and the pass treats any function call on the
+// right-hand side as a copy. The analysis is positional (a use textually
+// after the Recycle call is flagged), which is exact for straight-line
+// programs; loop-carried cases it cannot order should be restructured or
+// annotated with //cubevet:ignore poolretain.
+func runPoolretain(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "Simulate", "SimulateLoads", "Run":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if param := nodeParam(lit); param != nil {
+					out = append(out, p.checkPoolRetain(lit, param)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkPoolRetain analyzes one node-program closure.
+func (p *Package) checkPoolRetain(lit *ast.FuncLit, param *ast.Ident) []Finding {
+	if p.objOf(param) == nil {
+		return nil // no type info; nothing reliable to say
+	}
+	litSpan := span{lit.Pos(), lit.End()}
+	local := func(o types.Object) bool { return o != nil && litSpan.contains(o.Pos()) }
+
+	// Recycle points: buffer-owning objects handed back to the pool, keyed
+	// to the end of the earliest Recycle call that consumes them.
+	recycleEnd := map[types.Object]token.Pos{}
+	rootName := map[types.Object]string{}
+	markRecycled := func(id *ast.Ident, at token.Pos) {
+		o := p.objOf(id)
+		if !local(o) {
+			return
+		}
+		if prev, ok := recycleEnd[o]; !ok || at < prev {
+			recycleEnd[o] = at
+		}
+		rootName[o] = id.Name
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(call) != "Recycle" || len(call.Args) != 1 {
+			return true
+		}
+		switch arg := ast.Unparen(call.Args[0]).(type) {
+		case *ast.Ident:
+			markRecycled(arg, call.End())
+		case *ast.CompositeLit:
+			// Recycle(Msg{Data: buf}) recycles the buffer variable itself.
+			// Field selectors (Msg{Parts: m.Parts}) recycle only one field
+			// of m and are deliberately not tracked as recycling m.
+			for _, el := range arg.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+					markRecycled(id, call.End())
+				}
+			}
+		}
+		return true
+	})
+	if len(recycleEnd) == 0 {
+		return nil
+	}
+
+	// Alias fixpoint: tracked holds the recycled objects plus every local
+	// assigned an alias of their buffers (d := m.Data, e := d[2:], ...).
+	// rootOf follows selector/slice/index wrappers down to a tracked
+	// identifier; a call expression breaks the chain (calls copy).
+	tracked := map[types.Object]bool{}
+	aliasRoot := map[types.Object]types.Object{}
+	for o := range recycleEnd {
+		tracked[o] = true
+		aliasRoot[o] = o
+	}
+	rootOf := func(e ast.Expr) types.Object {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				if o := p.objOf(x); o != nil && tracked[o] {
+					return aliasRoot[o]
+				}
+				return nil
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			default:
+				return nil
+			}
+		}
+	}
+	// pairs visits an assignment's (lhs, rhs) pairs, handling the
+	// multi-assign form a, b = f() by reusing the single rhs.
+	pairs := func(st *ast.AssignStmt, f func(lhs, rhs ast.Expr)) {
+		for i, lhs := range st.Lhs {
+			rhs := st.Rhs[0]
+			if len(st.Rhs) == len(st.Lhs) {
+				rhs = st.Rhs[i]
+			}
+			f(lhs, rhs)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(id *ast.Ident, root types.Object) {
+			if o := p.objOf(id); local(o) && !tracked[o] {
+				tracked[o] = true
+				aliasRoot[o] = root
+				changed = true
+			}
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				pairs(st, func(lhs, rhs ast.Expr) {
+					if root := rootOf(rhs); root != nil {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							mark(id, root)
+						}
+					}
+				})
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						if root := rootOf(st.Values[i]); root != nil {
+							mark(name, root)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+
+	// Rule 1: storing a recycled buffer (or alias) into captured state —
+	// the retention happens regardless of where the store sits relative to
+	// the Recycle call, so this check is position-independent.
+	var reported []span
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		pairs(st, func(lhs, rhs ast.Expr) {
+			root := rootOf(rhs)
+			if root == nil {
+				return
+			}
+			base := baseExpr(lhs)
+			if base == nil || base.Name == "_" {
+				return
+			}
+			if o := p.objOf(base); o == nil || local(o) {
+				return
+			}
+			out = append(out, p.finding("poolretain", st, fmt.Sprintf(
+				"node program stores pooled buffer %q into captured %q but recycles it in this program; the pool will reuse the backing array — copy first (Clone or append to a fresh slice)",
+				rootName[root], base.Name)))
+			reported = append(reported, span{st.Pos(), st.End()})
+		})
+		return true
+	})
+
+	// Rule 2: any use of a recycled object or alias positioned after its
+	// Recycle call. Plain rebinds (m = nd.Recv(d) with a non-aliasing
+	// right-hand side) are not uses; identifiers inside an assignment
+	// already reported by rule 1 are not double-reported.
+	rebind := map[token.Pos]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.AssignStmt); ok {
+			pairs(st, func(lhs, rhs ast.Expr) {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && rootOf(rhs) == nil {
+					rebind[id.Pos()] = true
+				}
+			})
+		}
+		return true
+	})
+	inReported := func(pos token.Pos) bool {
+		for _, s := range reported {
+			if s.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := p.objOf(id)
+		if o == nil || !tracked[o] {
+			return true
+		}
+		end, ok := recycleEnd[aliasRoot[o]]
+		if !ok || id.Pos() < end || rebind[id.Pos()] || inReported(id.Pos()) {
+			return true
+		}
+		out = append(out, p.finding("poolretain", id, fmt.Sprintf(
+			"node program uses pooled buffer %q after recycling it; the pool may already have handed its backing array to another allocation",
+			rootName[aliasRoot[o]])))
+		return true
+	})
+	return out
+}

@@ -10,11 +10,18 @@
 // Each algorithm comes in two layers: a per-node phase function (operating
 // on a *simnet.Node inside a running program, so that phases compose) and a
 // whole-engine wrapper that runs the phase on every node.
+//
+// Message building is allocation-disciplined: every builder counts a
+// message's blocks and elements before allocating, draws the buffers from
+// the engine's pool (simnet.Node.AllocData/AllocParts) at exactly that
+// size, and recycles received buffers back to the pool once the last block
+// aliasing them has been copied onward — so a multi-step exchange reuses a
+// near-constant set of buffers instead of growing fresh ones per step.
 package comm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"boolcube/internal/bits"
 	"boolcube/internal/simnet"
@@ -64,6 +71,22 @@ type Block struct {
 	Data     []float64
 }
 
+// slotBlock is a Block inside the exchange slot table, tagged with the
+// receive buffer its Data aliases (an index into the rx list) or -1 when
+// the data is caller-owned.
+type slotBlock struct {
+	Block
+	buf int32
+}
+
+// rxBuf tracks one received payload buffer and how many placed blocks still
+// alias it. When the last aliasing block is copied into an outgoing
+// message, the buffer goes back to the engine pool.
+type rxBuf struct {
+	data []float64
+	live int32
+}
+
 // ExchangeBlocks runs the standard exchange algorithm (Definition 10
 // generalized) on one node, inside a node program. dims are the cube
 // dimensions to exchange over, processed in the order given (the paper
@@ -77,6 +100,12 @@ type Block struct {
 // source bits after it, so the number of contiguous runs — and hence
 // message count and copy cost per Strategy — doubles each step exactly as
 // in Section 8.1.
+//
+// Buffer ownership: outgoing message buffers are drawn from the engine
+// pool, received buffers are recycled once every block aliasing them has
+// been forwarded, and the returned blocks may alias final-step receive
+// buffers — the caller owns those and they are simply retained. Callers
+// retain ownership of the Data slices in the input blocks.
 func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block) []Block {
 	id := nd.ID()
 	l := len(dims)
@@ -93,7 +122,8 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 		}
 		return s
 	}
-	slots := make([][]Block, 1<<uint(l))
+	nslots := 1 << uint(l)
+	slots := make([][]slotBlock, nslots)
 	for _, b := range blocks {
 		for _, d := range dims {
 			if bits.Bit(b.Src, d) != bits.Bit(id, d) {
@@ -101,8 +131,48 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 			}
 		}
 		s := slotOf(b.Src, b.Dst, 0)
-		slots[s] = append(slots[s], b)
+		slots[s] = append(slots[s], slotBlock{Block: b, buf: -1})
 	}
+	var rx []rxBuf
+
+	// retire drops one reference to a receive buffer, recycling it once no
+	// placed block aliases it anymore.
+	retire := func(buf int32) {
+		if buf < 0 {
+			return
+		}
+		rx[buf].live--
+		if rx[buf].live == 0 {
+			nd.Recycle(simnet.Msg{Data: rx[buf].data})
+			rx[buf].data = nil
+		}
+	}
+
+	// packRun copies one run of slots into m starting at offsets (po, do),
+	// clears the slots (keeping their backing for the placement pass), and
+	// retires the forwarded blocks' receive buffers.
+	packRun := func(m *simnet.Msg, po, do, start, runLen int) (int, int) {
+		for s := start; s < start+runLen; s++ {
+			for _, b := range slots[s] {
+				m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+				po++
+				do += copy(m.Data[do:], b.Data)
+				retire(b.buf)
+			}
+			slots[s] = slots[s][:0]
+		}
+		return po, do
+	}
+
+	// Per-step scratch, sized for the worst (last) step so the loop body
+	// allocates only message buffers.
+	maxRuns := nslots / 2
+	if maxRuns < 1 {
+		maxRuns = 1
+	}
+	runBlocks := make([]int, maxRuns)
+	runElems := make([]int, maxRuns)
+	msgScratch := make([]simnet.Msg, 0, maxRuns)
 
 	for step := 0; step < l; step++ {
 		d := dims[step]
@@ -111,50 +181,89 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 		// Runs of slots to send: consecutive indices with slot bit i !=
 		// myBit. There are 2^step runs of 2^i slots each.
 		runLen := 1 << uint(i)
-		var runs []simnet.Msg
-		for base := 0; base < len(slots); base += 2 * runLen {
-			start := base
+		numRuns := 1 << uint(step)
+		runStart := func(r int) int {
+			start := r * 2 * runLen
 			if myBit == 0 {
-				start = base + runLen
+				start += runLen
 			}
-			var m simnet.Msg
-			for s := start; s < start+runLen; s++ {
+			return start
+		}
+
+		// Count every run's blocks and elements up front, so each message
+		// buffer is pool-allocated once at its exact final size.
+		for r := 0; r < numRuns; r++ {
+			nb, ne := 0, 0
+			for s, end := runStart(r), runStart(r)+runLen; s < end; s++ {
 				for _, b := range slots[s] {
-					m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
-					m.Data = append(m.Data, b.Data...)
+					nb++
+					ne += len(b.Data)
 				}
-				slots[s] = nil
 			}
-			runs = append(runs, m)
+			runBlocks[r], runElems[r] = nb, ne
 		}
 
 		// Package runs into messages per strategy.
-		var msgs []simnet.Msg
+		msgs := msgScratch[:0]
 		switch strat {
 		case SingleMessage, Shuffled:
-			var all simnet.Msg
-			for _, r := range runs {
-				all.Parts = append(all.Parts, r.Parts...)
-				all.Data = append(all.Data, r.Data...)
+			tb, te := 0, 0
+			for r := 0; r < numRuns; r++ {
+				tb += runBlocks[r]
+				te += runElems[r]
 			}
-			msgs = []simnet.Msg{all}
+			if tb > 0 {
+				m := simnet.Msg{Parts: nd.AllocParts(tb), Data: nd.AllocData(te)}
+				po, do := 0, 0
+				for r := 0; r < numRuns; r++ {
+					po, do = packRun(&m, po, do, runStart(r), runLen)
+				}
+				msgs = append(msgs, m)
+			}
 		case Unbuffered:
-			msgs = runs
+			// One message per run even when the run is empty: the doubling
+			// start-up count per step is the point of this variant.
+			for r := 0; r < numRuns; r++ {
+				var m simnet.Msg
+				if runBlocks[r] > 0 {
+					m = simnet.Msg{Parts: nd.AllocParts(runBlocks[r]), Data: nd.AllocData(runElems[r])}
+					packRun(&m, 0, 0, runStart(r), runLen)
+				}
+				msgs = append(msgs, m)
+			}
 		case Buffered:
+			// Runs of at least BCopy bytes go directly; the rest are copied
+			// into one buffered message (charged as a local copy).
+			direct := func(r int) bool {
+				rb := runElems[r] * nd.Params().ElemBytes
+				return rb >= nd.Params().BCopy && nd.Params().BCopy > 0
+			}
+			tb, te := 0, 0
+			for r := 0; r < numRuns; r++ {
+				if runBlocks[r] > 0 && !direct(r) {
+					tb += runBlocks[r]
+					te += runElems[r]
+				}
+			}
 			var buffered simnet.Msg
-			bufBytes := 0
-			for _, r := range runs {
-				rb := len(r.Data) * nd.Params().ElemBytes
-				if rb >= nd.Params().BCopy && nd.Params().BCopy > 0 {
-					msgs = append(msgs, r)
+			po, do := 0, 0
+			if tb > 0 {
+				buffered = simnet.Msg{Parts: nd.AllocParts(tb), Data: nd.AllocData(te)}
+			}
+			for r := 0; r < numRuns; r++ {
+				if runBlocks[r] == 0 {
 					continue
 				}
-				buffered.Parts = append(buffered.Parts, r.Parts...)
-				buffered.Data = append(buffered.Data, r.Data...)
-				bufBytes += rb
+				if direct(r) {
+					m := simnet.Msg{Parts: nd.AllocParts(runBlocks[r]), Data: nd.AllocData(runElems[r])}
+					packRun(&m, 0, 0, runStart(r), runLen)
+					msgs = append(msgs, m)
+					continue
+				}
+				po, do = packRun(&buffered, po, do, runStart(r), runLen)
 			}
-			if len(buffered.Parts) > 0 {
-				nd.Copy(bufBytes)
+			if tb > 0 {
+				nd.Copy(te * nd.Params().ElemBytes)
 				msgs = append(msgs, buffered)
 			}
 		}
@@ -165,29 +274,38 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 		// step's total message count in Tag and at least one message is
 		// always sent.
 		if len(msgs) == 0 {
-			msgs = []simnet.Msg{{}}
+			msgs = append(msgs, simnet.Msg{})
 		}
 		for _, m := range msgs {
 			m.Tag = len(msgs)
 			nd.Send(d, m)
 		}
-		var incoming []simnet.Part
-		var incomingData []float64
-		in := nd.Recv(d)
-		incoming = append(incoming, in.Parts...)
-		incomingData = append(incomingData, in.Data...)
-		for k := 1; k < in.Tag; k++ {
-			in = nd.Recv(d)
-			incoming = append(incoming, in.Parts...)
-			incomingData = append(incomingData, in.Data...)
-		}
 
-		// Place received blocks under the post-step slot interpretation.
-		off := 0
-		for _, p := range incoming {
-			s := slotOf(p.Src, p.Dst, step+1)
-			slots[s] = append(slots[s], Block{Src: p.Src, Dst: p.Dst, Data: incomingData[off : off+p.N]})
-			off += p.N
+		// Place received blocks under the post-step slot interpretation,
+		// aliasing the received buffer instead of copying it out; the alias
+		// count decides when the buffer can be recycled.
+		expect := 1
+		for k := 0; k < expect; k++ {
+			in := nd.Recv(d)
+			if k == 0 {
+				expect = in.Tag
+			}
+			if len(in.Parts) == 0 {
+				nd.Recycle(in)
+				continue
+			}
+			bi := int32(len(rx))
+			rx = append(rx, rxBuf{data: in.Data, live: int32(len(in.Parts))})
+			off := 0
+			for _, p := range in.Parts {
+				s := slotOf(p.Src, p.Dst, step+1)
+				slots[s] = append(slots[s], slotBlock{
+					Block: Block{Src: p.Src, Dst: p.Dst, Data: in.Data[off : off+p.N : off+p.N]},
+					buf:   bi,
+				})
+				off += p.N
+			}
+			nd.Recycle(simnet.Msg{Parts: in.Parts})
 		}
 
 		if strat == Shuffled && step < l-1 {
@@ -203,22 +321,35 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 		}
 	}
 
-	var out []Block
+	total := 0
 	for _, sl := range slots {
-		for _, b := range sl {
+		total += len(sl)
+	}
+	out := make([]Block, 0, total)
+	for _, sl := range slots {
+		for _, sb := range sl {
 			for _, d := range dims {
-				if bits.Bit(b.Dst, d) != bits.Bit(id, d) {
-					panic(fmt.Sprintf("comm: node %d ended with block for %d", id, b.Dst))
+				if bits.Bit(sb.Dst, d) != bits.Bit(id, d) {
+					panic(fmt.Sprintf("comm: node %d ended with block for %d", id, sb.Dst))
 				}
 			}
-			out = append(out, b)
+			out = append(out, sb.Block)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Src != out[b].Src {
-			return out[a].Src < out[b].Src
+	slices.SortFunc(out, func(a, b Block) int {
+		if a.Src != b.Src {
+			if a.Src < b.Src {
+				return -1
+			}
+			return 1
 		}
-		return out[a].Dst < out[b].Dst
+		if a.Dst < b.Dst {
+			return -1
+		}
+		if a.Dst > b.Dst {
+			return 1
+		}
+		return 0
 	})
 	return out
 }
@@ -290,7 +421,7 @@ func subcube(x uint64, dims []int) []uint64 {
 	for i := range out {
 		out[i] |= base
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

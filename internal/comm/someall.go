@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"slices"
 
 	"boolcube/internal/bits"
 	"boolcube/internal/simnet"
@@ -14,6 +15,22 @@ import (
 // commute but that splitting first (for some-to-all) and exchanging first
 // (for all-to-some) minimizes the data transfer time; both orders are
 // provided so the theorem can be measured.
+
+// recvBlocks receives one message on dimension d and appends its blocks to
+// held, growing held once. The blocks alias the received Data buffer (whose
+// ownership passes to them); the Parts buffer is consumed here and goes
+// back to the pool.
+func recvBlocks(nd *simnet.Node, d int, held []Block) []Block {
+	m := nd.Recv(d)
+	held = slices.Grow(held, len(m.Parts))
+	off := 0
+	for _, p := range m.Parts {
+		held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N : off+p.N]})
+		off += p.N
+	}
+	nd.Recycle(simnet.Msg{Parts: m.Parts})
+	return held
+}
 
 // zeroOn reports whether x has zero bits on all the given dimensions.
 func zeroOn(x uint64, dims []int) bool {
@@ -37,12 +54,24 @@ func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 			continue // receives in a later step
 		}
 		if bits.Bit(id, d) == 0 {
-			var keep []Block
-			var m simnet.Msg
+			nb, ne := 0, 0
 			for _, b := range held {
 				if bits.Bit(b.Dst, d) == 1 {
-					m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
-					m.Data = append(m.Data, b.Data...)
+					nb++
+					ne += len(b.Data)
+				}
+			}
+			var m simnet.Msg
+			if nb > 0 {
+				m = simnet.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
+			}
+			keep := held[:0] // filtered in place; writes trail reads
+			po, do := 0, 0
+			for _, b := range held {
+				if bits.Bit(b.Dst, d) == 1 {
+					m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+					po++
+					do += copy(m.Data[do:], b.Data)
 				} else {
 					keep = append(keep, b)
 				}
@@ -50,12 +79,7 @@ func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 			nd.Send(d, m)
 			held = keep
 		} else {
-			m := nd.Recv(d)
-			off := 0
-			for _, p := range m.Parts {
-				held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
-				off += p.N
-			}
+			held = recvBlocks(nd, d, held)
 		}
 	}
 	return held
@@ -73,19 +97,22 @@ func AccumulateBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 		}
 		if bits.Bit(id, d) == 1 {
 			var m simnet.Msg
-			for _, b := range held {
-				m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
-				m.Data = append(m.Data, b.Data...)
+			if len(held) > 0 {
+				ne := 0
+				for _, b := range held {
+					ne += len(b.Data)
+				}
+				m = simnet.Msg{Parts: nd.AllocParts(len(held)), Data: nd.AllocData(ne)}
+				do := 0
+				for i, b := range held {
+					m.Parts[i] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+					do += copy(m.Data[do:], b.Data)
+				}
 			}
 			nd.Send(d, m)
 			held = nil
 		} else {
-			m := nd.Recv(d)
-			off := 0
-			for _, p := range m.Parts {
-				held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
-				off += p.N
-			}
+			held = recvBlocks(nd, d, held)
 		}
 	}
 	return held

@@ -2,7 +2,7 @@ package comm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"boolcube/internal/cube"
 	"boolcube/internal/simnet"
@@ -49,12 +49,14 @@ func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(
 			// One message per root subtree, largest subtree first so the
 			// longest chain starts draining earliest.
 			children := append([]uint64(nil), t.Children[root]...)
-			sort.Slice(children, func(a, b int) bool {
-				sa, sb := t.SubtreeSize(children[a]), t.SubtreeSize(children[b])
-				if sa != sb {
-					return sa > sb
+			slices.SortFunc(children, func(a, b uint64) int {
+				if sa, sb := t.SubtreeSize(a), t.SubtreeSize(b); sa != sb {
+					return sb - sa
 				}
-				return children[a] < children[b]
+				if a < b {
+					return -1
+				}
+				return 1
 			})
 			for _, c := range children {
 				m := buildSubtreeMsg(t, c, k, parts)
@@ -63,49 +65,74 @@ func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(
 		}
 	} else {
 		// Every non-root node receives exactly one message per tree.
+		type group struct {
+			child  uint64
+			nb, ne int
+			msg    simnet.Msg
+			po, do int
+		}
+		var groups []*group // at most one per cube dimension
 		for range trees {
 			m := nd.RecvAny()
 			k := m.Tag
 			t := trees[k]
-			// Split the payload: keep own part, forward the rest grouped
-			// by child subtree.
-			type group struct {
-				child uint64
-				msg   simnet.Msg
+			// Split the payload: keep own part, forward the rest grouped by
+			// child subtree. First pass sizes each child's message so its
+			// buffers come from the pool at exact size; second pass fills.
+			groups = groups[:0]
+			findGroup := func(c uint64) *group {
+				for _, g := range groups {
+					if g.child == c {
+						return g
+					}
+				}
+				g := &group{child: c}
+				groups = append(groups, g)
+				return g
 			}
-			groups := make(map[uint64]*group)
-			var order []uint64
-			off := 0
-			for _, p := range m.Parts {
-				data := m.Data[off : off+p.N]
-				off += p.N
+			childOf := make([]uint64, len(m.Parts))
+			for i, p := range m.Parts {
 				if p.Dst == id {
-					ownByTree[k] = data
 					continue
 				}
 				c := nextHop(t, id, p.Dst)
-				g, ok := groups[c]
-				if !ok {
-					g = &group{child: c}
-					groups[c] = g
-					order = append(order, c)
+				childOf[i] = c
+				g := findGroup(c)
+				g.nb++
+				g.ne += p.N
+			}
+			for _, g := range groups {
+				g.msg = simnet.Msg{Tag: k, Parts: nd.AllocParts(g.nb), Data: nd.AllocData(g.ne)}
+			}
+			off := 0
+			for i, p := range m.Parts {
+				data := m.Data[off : off+p.N]
+				off += p.N
+				if p.Dst == id {
+					// Copy the own chunk out so the received buffer can be
+					// recycled once the forwards below have drained it.
+					ownByTree[k] = append([]float64(nil), data...)
+					continue
 				}
-				g.msg.Parts = append(g.msg.Parts, p)
-				g.msg.Data = append(g.msg.Data, data...)
+				g := findGroup(childOf[i])
+				g.msg.Parts[g.po] = p
+				g.po++
+				g.do += copy(g.msg.Data[g.do:], data)
 			}
 			// Forward larger subtrees first, as at the root.
-			sort.Slice(order, func(a, b int) bool {
-				sa, sb := t.SubtreeSize(order[a]), t.SubtreeSize(order[b])
-				if sa != sb {
-					return sa > sb
+			slices.SortFunc(groups, func(a, b *group) int {
+				if sa, sb := t.SubtreeSize(a.child), t.SubtreeSize(b.child); sa != sb {
+					return sb - sa
 				}
-				return order[a] < order[b]
+				if a.child < b.child {
+					return -1
+				}
+				return 1
 			})
-			for _, c := range order {
-				g := groups[c]
-				g.msg.Tag = k
-				nd.Send(dimOf(id, c), g.msg)
+			for _, g := range groups {
+				nd.Send(dimOf(id, g.child), g.msg)
 			}
+			nd.Recycle(m)
 		}
 	}
 	for _, d := range ownByTree {
@@ -145,23 +172,45 @@ func dimOf(a, b uint64) int {
 // only, the gathered blocks sorted by source; other nodes return nil.
 func GatherOnNode(nd *simnet.Node, t *cube.Tree, data []float64) []Block {
 	id := nd.ID()
-	acc := []Block{{Src: id, Dst: t.Root, Data: data}}
+	acc := make([]Block, 1, t.SubtreeSize(id))
+	acc[0] = Block{Src: id, Dst: t.Root, Data: data}
+	rxDatas := make([][]float64, 0, len(t.Children[id]))
 	for range t.Children[id] {
 		m := nd.RecvAny()
 		off := 0
 		for _, p := range m.Parts {
-			acc = append(acc, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N]})
+			acc = append(acc, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N : off+p.N]})
 			off += p.N
 		}
+		rxDatas = append(rxDatas, m.Data)
+		nd.Recycle(simnet.Msg{Parts: m.Parts})
 	}
 	if id == t.Root {
-		sort.Slice(acc, func(a, b int) bool { return acc[a].Src < acc[b].Src })
+		slices.SortFunc(acc, func(a, b Block) int {
+			if a.Src < b.Src {
+				return -1
+			}
+			if a.Src > b.Src {
+				return 1
+			}
+			return 0
+		})
 		return acc
 	}
-	var m simnet.Msg
+	ne := 0
 	for _, b := range acc {
-		m.Parts = append(m.Parts, simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)})
-		m.Data = append(m.Data, b.Data...)
+		ne += len(b.Data)
+	}
+	m := simnet.Msg{Parts: nd.AllocParts(len(acc)), Data: nd.AllocData(ne)}
+	do := 0
+	for i, b := range acc {
+		m.Parts[i] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+		do += copy(m.Data[do:], b.Data)
+	}
+	// Everything received has been copied into the upward message; the
+	// receive buffers can go back to the pool.
+	for _, d := range rxDatas {
+		nd.Recycle(simnet.Msg{Data: d})
 	}
 	p := uint64(t.Parent[id])
 	nd.Send(dimOf(id, p), m)

@@ -209,6 +209,7 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 	dims := p.Dims()
 	after := p.After()
 	loc := newLocal(after, e.Nodes())
+	hint := p.MsgElemsHint()
 	err = e.Run(func(nd *simnet.Node) {
 		id := nd.ID()
 		local := srcLocal(d, id)
@@ -217,8 +218,20 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 		}
 		var blocks []comm.Block
 		if local != nil {
-			for _, dp := range mv.Destinations(id) {
-				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: mv.Gather(id, local, dp)})
+			// Gather every destination's payload into one pooled arena sized
+			// by the plan's hint, instead of one allocation per destination.
+			// The arena is handed off to the exchange (which copies blocks
+			// into outgoing messages), never recycled here.
+			dests := mv.Destinations(id)
+			arena := nd.AllocData(hint)
+			blocks = make([]comm.Block, 0, len(dests))
+			off := 0
+			for _, dp := range dests {
+				n := mv.PayloadLen(id, dp)
+				buf := arena[off : off+n : off+n]
+				off += n
+				mv.GatherInto(id, local, dp, buf)
+				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: buf})
 			}
 		}
 		got := comm.ExchangeBlocks(nd, dims, cfg.Strategy, blocks)

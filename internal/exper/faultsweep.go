@@ -56,30 +56,52 @@ func faultSweep() (*Table, error) {
 		{"MPT", plan.MPT, 2 * (n / 2)},
 		{"exchange", plan.Exchange, 0},
 	}
-	for _, a := range algos {
-		base, err := runTranspose(a.alg, logElems, n, core.Options{Machine: mach})
+	ks := []int{0, 1, 2, 4}
+
+	// Every (algorithm, k, seed) point is an independent simulation, so the
+	// whole sweep fans out over one flat job list; the rows are assembled
+	// serially afterwards in the canonical (algorithm, k, seed) order, so
+	// the table is byte-identical to a serial sweep for any worker count.
+	bases, err := Par(len(algos), 0, func(i int) (simnet.Stats, error) {
+		return runTranspose(algos[i].alg, logElems, n, core.Options{Machine: mach})
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		st simnet.Stats
+		ok bool
+	}
+	nseeds := len(faultSeeds)
+	cells, err := Par(len(algos)*len(ks)*nseeds, 0, func(j int) (cell, error) {
+		a := algos[j/(len(ks)*nseeds)]
+		k := ks[j/nseeds%len(ks)]
+		seed := faultSeeds[j%nseeds]
+		fp, err := fault.Compile(fault.RandomLinkFailures(seed, k), n)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		for _, k := range []int{0, 1, 2, 4} {
+		st, ok, err := runFaulted(a.alg, logElems, n, core.Options{Machine: mach, Faults: fp})
+		return cell{st: st, ok: ok}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ai, a := range algos {
+		base := bases[ai]
+		for ki, k := range ks {
 			survived := 0
 			var slow, reroutes, extra float64
-			for _, seed := range faultSeeds {
-				fp, err := fault.Compile(fault.RandomLinkFailures(seed, k), n)
-				if err != nil {
-					return nil, err
-				}
-				st, ok, err := runFaulted(a.alg, logElems, n, core.Options{Machine: mach, Faults: fp})
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
+			for si := range faultSeeds {
+				c := cells[(ai*len(ks)+ki)*nseeds+si]
+				if !c.ok {
 					continue
 				}
 				survived++
-				slow += st.Time / base.Time
-				reroutes += float64(st.Rerouted)
-				extra += float64(st.ExtraHops)
+				slow += c.st.Time / base.Time
+				reroutes += float64(c.st.Rerouted)
+				extra += float64(c.st.ExtraHops)
 			}
 			row := []interface{}{a.name, k, fmt.Sprintf("%d/%d", survived, len(faultSeeds))}
 			if survived > 0 {

@@ -1,0 +1,74 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Par runs job(i) for every i in [0, n) across a bounded worker pool and
+// returns the results in index order. workers <= 0 selects GOMAXPROCS.
+//
+// The merge is canonical: results are stored at their own index and the
+// returned error (if any) is the one from the lowest failing index, so the
+// outcome — including which error surfaces — is a pure function of the jobs
+// and independent of worker count and goroutine scheduling. That is what
+// lets the sweep harness fan out across cores while staying byte-identical
+// to a serial run.
+//
+// Jobs must be independent: they run concurrently, so anything they share
+// must be read-only or synchronized (each simulation job builds its own
+// engine; the plan cache is already concurrency-safe).
+func Par[T any](n, workers int, job func(int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = job(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = job(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunMany generates the given experiments, up to workers at a time
+// (workers <= 0 selects GOMAXPROCS), returning the tables in input order.
+// Output is byte-identical to running the ids serially: generation order
+// does not affect any table, and the merge preserves the input order.
+func RunMany(ids []string, workers int) ([]*Table, error) {
+	return Par(len(ids), workers, func(i int) (*Table, error) {
+		t, err := Run(ids[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+		return t, nil
+	})
+}

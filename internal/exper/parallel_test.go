@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParCanonicalOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Par(20, workers, func(i int) (int, error) {
+			// Finish out of order on purpose: later jobs return sooner.
+			time.Sleep(time.Duration(20-i) * time.Millisecond / 4)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParZeroJobs(t *testing.T) {
+	got, err := Par(0, 4, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Par(0) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestParFirstErrorWins: the surfaced error must be the lowest-index one
+// regardless of completion order or worker count, so a failing sweep fails
+// identically serial and parallel.
+func TestParFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Par(10, workers, func(i int) (int, error) {
+			if i == 2 || i == 7 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 2 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 2's error", workers, err)
+		}
+	}
+}
+
+// TestRunManyDeterministic is the sweep-harness determinism test: the
+// rendered output of a parallel run must be byte-identical to the serial
+// run, across GOMAXPROCS settings.
+func TestRunManyDeterministic(t *testing.T) {
+	ids := []string{"fig9", "fig16", "sec31scatter", "table1", "table2", "table3"}
+	render := func(workers int) string {
+		tabs, err := RunMany(ids, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tab := range tabs {
+			sb.WriteString(tab.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("serial render is empty")
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		parallel := render(4)
+		runtime.GOMAXPROCS(prev)
+		if parallel != serial {
+			t.Errorf("GOMAXPROCS=%d: parallel output differs from serial (%d vs %d bytes)",
+				procs, len(parallel), len(serial))
+		}
+	}
+}
+
+func TestRunManyUnknownID(t *testing.T) {
+	_, err := RunMany([]string{"fig9", "no-such-exp"}, 2)
+	if err == nil || !strings.Contains(err.Error(), "no-such-exp") {
+		t.Fatalf("err = %v, want unknown-experiment error naming the id", err)
+	}
+}

@@ -13,7 +13,7 @@ package field
 
 import (
 	"fmt"
-	"sort"
+	mathbits "math/bits"
 	"strings"
 
 	"boolcube/internal/bits"
@@ -107,33 +107,41 @@ func (l Layout) Validate() error {
 	return nil
 }
 
+// realMask returns the element-address bits used for real processors as a
+// bitmask. Fields are validated non-overlapping, so OR-ing them is exact.
+func (l Layout) realMask() uint64 {
+	var m uint64
+	for _, f := range l.Fields {
+		m |= bits.Mask(f.Width()) << uint(f.Lo)
+	}
+	return m
+}
+
+// virtualMask returns the element-address bits used for virtual processors
+// (local addresses) as a bitmask: every address bit not in a real field.
+func (l Layout) virtualMask() uint64 {
+	return bits.Mask(l.M()) &^ l.realMask()
+}
+
 // RealBits returns the set of element-address bit positions used for real
 // processors (the paper's R for this layout), in ascending order.
 func (l Layout) RealBits() []int {
-	var r []int
-	for _, f := range l.Fields {
-		for i := f.Lo; i < f.Hi; i++ {
-			r = append(r, i)
-		}
-	}
-	sort.Ints(r)
-	return r
+	return maskBits(l.realMask())
 }
 
 // VirtualBits returns the element-address bit positions used for virtual
 // processors (local addresses), in ascending order.
 func (l Layout) VirtualBits() []int {
-	real := make(map[int]bool)
-	for _, b := range l.RealBits() {
-		real[b] = true
+	return maskBits(l.virtualMask())
+}
+
+// maskBits expands a bitmask into its set positions, ascending.
+func maskBits(m uint64) []int {
+	out := make([]int, 0, mathbits.OnesCount64(m))
+	for ; m != 0; m &= m - 1 {
+		out = append(out, mathbits.TrailingZeros64(m))
 	}
-	var v []int
-	for i := 0; i < l.M(); i++ {
-		if !real[i] {
-			v = append(v, i)
-		}
-	}
-	return v
+	return out
 }
 
 // addr computes the concatenated element address w = (u || v).
@@ -163,10 +171,14 @@ func (l Layout) ProcOf(u, v uint64) uint64 {
 // significant.
 func (l Layout) LocalOf(u, v uint64) uint64 {
 	w := l.addr(u, v)
-	vb := l.VirtualBits()
+	// Compress the virtual-mask bits of w: the lowest virtual address bit
+	// becomes the lowest local bit (equivalent to reading the virtual bit
+	// positions in ascending order).
 	var local uint64
-	for i := len(vb) - 1; i >= 0; i-- { // high bit first
-		local = local<<1 | (w>>uint(vb[i]))&1
+	shift := 0
+	for m := l.virtualMask(); m != 0; m &= m - 1 {
+		local |= (w >> uint(mathbits.TrailingZeros64(m)) & 1) << uint(shift)
+		shift++
 	}
 	return local
 }
@@ -196,9 +208,12 @@ func (l Layout) ElementOf(proc, local uint64) (u, v uint64) {
 		}
 		w |= val << uint(f.Lo)
 	}
-	vb := l.VirtualBits()
-	for i, pos := range vb {
-		w |= (local >> uint(i)) & 1 << uint(pos)
+	// Expand the local bits back onto the virtual-mask positions (the
+	// inverse of the compression in LocalOf).
+	i := 0
+	for m := l.virtualMask(); m != 0; m &= m - 1 {
+		w |= (local >> uint(i)) & 1 << uint(mathbits.TrailingZeros64(m))
+		i++
 	}
 	return w >> uint(l.Q), w & bits.Mask(max(l.Q, 1))
 }

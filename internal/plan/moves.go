@@ -133,10 +133,25 @@ func (m *Moves) GatherRange(srcProc uint64, local []float64, dstProc uint64, off
 
 func (m *Moves) gatherSlots(slots []int, local []float64) []float64 {
 	data := make([]float64, len(slots))
-	for i, s := range slots {
-		data[i] = local[s]
-	}
+	m.gatherSlotsInto(slots, local, data)
 	return data
+}
+
+func (m *Moves) gatherSlotsInto(slots []int, local, dst []float64) {
+	for i, s := range slots {
+		dst[i] = local[s]
+	}
+}
+
+// GatherInto is Gather into a caller-provided buffer (len(dst) must equal
+// PayloadLen(srcProc, dstProc)), so replay loops can gather every
+// destination's payload into one preallocated arena.
+func (m *Moves) GatherInto(srcProc uint64, local []float64, dstProc uint64, dst []float64) {
+	slots := m.out[srcProc][dstProc]
+	if len(slots) != len(dst) {
+		panic("plan: gather buffer size does not match move-set")
+	}
+	m.gatherSlotsInto(slots, local, dst)
 }
 
 // Scatter places a payload received from srcProc into the destination local

@@ -122,6 +122,13 @@ func (p *Plan) Flows() []Flow { return p.flows }
 // Controls returns the row and column gating modes (KindMixedProgram).
 func (p *Plan) Controls() (row, col Ctrl) { return p.rowCtrl, p.colCtrl }
 
+// MsgElemsHint returns a per-node payload capacity hint in elements: an
+// upper bound on the data one node contributes to the communication,
+// derived from the layout (and, for flow plans, matching the packetization
+// total). Executors use it to pool-allocate gather arenas and message
+// buffers up front instead of growing them by append; 0 means no hint.
+func (p *Plan) MsgElemsHint() int { return p.before.LocalSize() }
+
 // Describe renders a one-line human-readable summary, used as the trace
 // label and by cmd/transpose.
 func (p *Plan) Describe() string {

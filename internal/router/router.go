@@ -12,7 +12,7 @@ package router
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"boolcube/internal/simnet"
 )
@@ -56,9 +56,12 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 		}
 	}
 
-	// Static planning: per-source flow lists and per-node arrival counts.
-	bySrc := make(map[uint64][]int)
+	// Static planning: per-source flow lists, per-node arrival counts, and
+	// per-destination final packet counts (all dense — the routes are fixed,
+	// so every buffer can be sized exactly before the engine runs).
+	bySrc := make([][]int, N)
 	expect := make([]int, N)
+	finalCount := make([]int, N)
 	for i, f := range flows {
 		pk := f.Packets
 		if pk < 1 {
@@ -76,14 +79,21 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 			x ^= 1 << uint(d)
 			expect[x] += pk
 		}
+		finalCount[f.Dst] += pk
 	}
 
 	type pkt struct {
 		flow, idx int
 		data      []float64
 	}
-	// finals[node] accumulates (flow, packet, data) at destinations.
+	// finals[node] accumulates (flow, packet, data) at destinations,
+	// presized to the known arrival totals.
 	finals := make([][]pkt, N)
+	for i := range finals {
+		if finalCount[i] > 0 {
+			finals[i] = make([]pkt, 0, finalCount[i])
+		}
+	}
 
 	err := e.Run(func(nd *simnet.Node) {
 		id := nd.ID()
@@ -154,7 +164,8 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 			data = append([]float64(nil), f.Data...)
 		} else {
 			ps := byFlow[i]
-			sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+			slices.SortFunc(ps, func(a, b pkt) int { return a.idx - b.idx })
+			data = make([]float64, 0, len(f.Data))
 			for _, p := range ps {
 				data = append(data, p.data...)
 			}
@@ -164,7 +175,15 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 	for _, ds := range out {
 		// Stable: deliveries from the same source keep flow order, so
 		// multi-path payloads reassemble deterministically.
-		sort.SliceStable(ds, func(a, b int) bool { return ds[a].Src < ds[b].Src })
+		slices.SortStableFunc(ds, func(a, b Delivery) int {
+			if a.Src < b.Src {
+				return -1
+			}
+			if a.Src > b.Src {
+				return 1
+			}
+			return 0
+		})
 	}
 	return out, nil
 }

@@ -25,6 +25,37 @@ func BenchmarkEngineExchange(b *testing.B) {
 	}
 }
 
+// benchTransposeSched is the scheduler benchmark workload of
+// BENCH_engine.json: a repeated 8-cube exchange transpose (every node
+// exchanges pooled payloads over all dimensions, four passes), run under
+// either the indexed ready-queue scheduler or the linear-scan reference.
+// scripts/bench_engine.sh parses the Indexed/Reference pair and gates their
+// ratio in scripts/check.sh.
+func benchTransposeSched(b *testing.B, reference bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := New(8, machine.IPSC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetReferenceScheduler(reference)
+		err = e.Run(func(nd *Node) {
+			for rep := 0; rep < 4; rep++ {
+				for d := nd.Dims() - 1; d >= 0; d-- {
+					m := nd.Exchange(d, Msg{Data: nd.AllocData(64)})
+					nd.Recycle(m)
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTransposeIndexed(b *testing.B)   { benchTransposeSched(b, false) }
+func BenchmarkEngineTransposeReference(b *testing.B) { benchTransposeSched(b, true) }
+
 func BenchmarkEngineSpawn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e, err := New(8, machine.Ideal(machine.NPort))

@@ -78,7 +78,7 @@ func (e *Engine) SetFaults(f FaultModel, rp RetryPolicy) {
 	e.faults = f
 	e.retry = rp.withDefaults(e.params.Tau)
 	if f != nil && e.linkAttempts == nil {
-		e.linkAttempts = make(map[linkKey]int64)
+		e.linkAttempts = make([]int64, e.nodesCount*e.n)
 	}
 }
 

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// bufPool recycles message payload buffers within one engine. Buffers are
+// size-classed by power-of-two capacity, so a recycled buffer satisfies any
+// later request of equal or smaller size without reallocation. The pool is
+// engine-scoped — it lives and dies with one Run — and mutex-guarded,
+// because node programs may allocate and recycle during their prologues and
+// epilogues, which execute concurrently (the simnet concurrency contract).
+//
+// Buffer identity never influences virtual time, so pooling is invisible to
+// the determinism contract: traces and Stats are bit-identical with or
+// without recycling.
+type bufPool struct {
+	mu    sync.Mutex
+	data  [maxPoolClass][][]float64
+	parts [maxPoolClass][][]Part
+}
+
+// maxPoolClass bounds the pooled size classes at 2^24 elements (128 MB of
+// float64); larger buffers bypass the pool.
+const maxPoolClass = 25
+
+// classFor returns the size class whose buffers hold at least n elements.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func (p *bufPool) getData(n int) []float64 {
+	c := classFor(n)
+	if c < maxPoolClass {
+		p.mu.Lock()
+		if l := len(p.data[c]); l > 0 {
+			buf := p.data[c][l-1]
+			p.data[c] = p.data[c][:l-1]
+			p.mu.Unlock()
+			return buf[:n]
+		}
+		p.mu.Unlock()
+		return make([]float64, n, 1<<uint(c))
+	}
+	return make([]float64, n)
+}
+
+func (p *bufPool) putData(s []float64) {
+	c := capClass(cap(s))
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.data[c] = append(p.data[c], s[:0])
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getParts(n int) []Part {
+	c := classFor(n)
+	if c < maxPoolClass {
+		p.mu.Lock()
+		if l := len(p.parts[c]); l > 0 {
+			buf := p.parts[c][l-1]
+			p.parts[c] = p.parts[c][:l-1]
+			p.mu.Unlock()
+			return buf[:n]
+		}
+		p.mu.Unlock()
+		return make([]Part, n, 1<<uint(c))
+	}
+	return make([]Part, n)
+}
+
+func (p *bufPool) putParts(s []Part) {
+	c := capClass(cap(s))
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.parts[c] = append(p.parts[c], s[:0])
+	p.mu.Unlock()
+}
+
+// capClass returns the class a buffer of the given capacity is filed under
+// (floor log2, so every buffer in class c has capacity >= 2^c), or -1 for
+// buffers the pool refuses (empty backing arrays, oversized buffers).
+func capClass(c int) int {
+	if c < 1 {
+		return -1
+	}
+	cl := bits.Len(uint(c)) - 1
+	if cl >= maxPoolClass {
+		return -1
+	}
+	return cl
+}
+
+// AllocData returns a payload buffer of length n from the engine's pool.
+// The contents are unspecified — callers overwrite every element they send.
+// Ownership follows the message it is packed into: once sent, the receiver
+// owns it (and may Recycle it); a buffer never sent may be recycled by its
+// allocator.
+func (nd *Node) AllocData(n int) []float64 {
+	return nd.eng.pool.getData(n)
+}
+
+// AllocParts returns a Parts buffer of length n from the engine's pool,
+// under the same ownership rules as AllocData.
+func (nd *Node) AllocParts(n int) []Part {
+	return nd.eng.pool.getParts(n)
+}
+
+// Recycle returns m's buffers (Data and Parts) to the engine's pool. The
+// caller must own the message — normally because it received it — and must
+// not touch the buffers afterwards: the pool hands them to the next
+// allocation, on any node. Retaining a view of m.Data or m.Parts past
+// Recycle is the aliasing bug the cubevet poolretain pass flags; copy (or
+// Clone) first. Under SIMNET_DEBUG the recycled payload is poisoned with
+// NaN so a retained alias is loud instead of silently corrupt.
+func (nd *Node) Recycle(m Msg) {
+	e := nd.eng
+	if m.Data != nil {
+		if e.debug {
+			for i := range m.Data {
+				m.Data[i] = math.NaN()
+			}
+		}
+		e.pool.putData(m.Data)
+	}
+	if m.Parts != nil {
+		e.pool.putParts(m.Parts)
+	}
+}

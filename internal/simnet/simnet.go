@@ -16,7 +16,19 @@
 // time (ties broken by node id). Since node clocks are monotone and a
 // message's arrival time is never earlier than its sender's action time,
 // this order is causally correct, and repeated runs produce identical
-// virtual-time traces regardless of goroutine scheduling.
+// virtual-time traces regardless of goroutine scheduling. The executable
+// nodes are kept in an indexed min-heap ready queue keyed by action time
+// (sched.go); only the nodes whose scheduling inputs changed — the executed
+// node, and the destination of a send — are re-keyed, so scheduling costs
+// O(log N) per operation instead of the O(N) scan of the retained reference
+// scheduler (SetReferenceScheduler).
+//
+// Message payloads are zero-copy: Send hands the Msg — including its Data
+// and Parts backing arrays — to the receiver without cloning, so sending
+// transfers ownership. A sender that needs to keep reading a payload after
+// Send must Clone it first. Receivers that are done with a message may
+// return its buffers to the engine's pool with Recycle (see pool.go); the
+// cubevet poolretain pass flags programs that retain a recycled buffer.
 //
 // Concurrency contract: between a node's timed operations, only that node
 // runs — but all node prologues (before the first timed operation) and
@@ -29,7 +41,7 @@ package simnet
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"boolcube/internal/machine"
 )
@@ -48,6 +60,11 @@ type Part struct {
 // Rel and Path carry routing state for relative-address and source-routed
 // algorithms; Data is the payload in matrix elements, optionally subdivided
 // by Parts.
+//
+// Ownership: Send transfers the message and its buffers to the receiver
+// without copying. The sender must not reuse Data/Parts/Path after Send;
+// the receiver owns them and may pass them along, keep them, or Recycle
+// them.
 type Msg struct {
 	Src, Dst uint64
 	Tag      int
@@ -58,6 +75,8 @@ type Msg struct {
 }
 
 // Clone returns a deep copy of the message (fresh Data, Path and Parts).
+// Use it when a payload must outlive the ownership hand-off of Send or
+// survive past a Recycle point.
 func (m Msg) Clone() Msg {
 	c := m
 	c.Data = append([]float64(nil), m.Data...)
@@ -117,6 +136,28 @@ type arrival struct {
 	seq     int64 // global sequence for stable FIFO ordering
 }
 
+// inQueue is one dimension's inbound arrival queue. Popping advances a head
+// index instead of reslicing, so the backing array is reused once drained
+// rather than regrown on every append/pop cycle.
+type inQueue struct {
+	buf  []arrival
+	head int
+}
+
+func (q *inQueue) empty() bool     { return q.head == len(q.buf) }
+func (q *inQueue) front() *arrival { return &q.buf[q.head] }
+func (q *inQueue) push(a arrival)  { q.buf = append(q.buf, a) }
+func (q *inQueue) pop() arrival {
+	a := q.buf[q.head]
+	q.buf[q.head] = arrival{} // release the message for reuse/GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return a
+}
+
 // Node is the per-processor handle node programs use. Its methods may only
 // be called from within the program function passed to Run, on the node's
 // own goroutine.
@@ -133,7 +174,7 @@ type Node struct {
 	lastSendStart []float64
 	lastSendEnd   []float64
 
-	queues  [][]arrival // inbound, per dimension
+	queues  []inQueue // inbound, per dimension
 	pending op
 	parked  chan struct{} // signaled by node when parked
 	resume  chan Msg      // engine -> node, carries recv results
@@ -150,13 +191,23 @@ type Engine struct {
 	nodes []*Node
 	seq   int64
 
-	linkFree  map[linkKey]float64
-	linkBytes map[linkKey]int64
-	linkBusy  map[linkKey]float64
+	// Per-directed-link occupancy and volume, dense-indexed by
+	// from*n + dim (linkIndex). Dense arrays replace the seed's maps on
+	// the per-send hot path.
+	linkFree     []float64
+	linkBytes    []int64
+	linkBusy     []float64
+	linkUsed     []bool
+	linkAttempts []int64 // per-link transmission attempts, for Drop decisions
 
-	faults       FaultModel
-	retry        RetryPolicy
-	linkAttempts map[linkKey]int64 // per-link transmission attempts, for Drop decisions
+	ready    *readyHeap // indexed ready queue (nil until Run)
+	refSched bool       // linear-scan reference scheduler (testing/benchmarks)
+	sendDest int        // node whose inbound queue the last op appended to, -1 none
+
+	pool bufPool
+
+	faults FaultModel
+	retry  RetryPolicy
 
 	stats    Stats
 	tracer   Tracer
@@ -184,6 +235,14 @@ type Tracer interface {
 // SetTracer installs a tracer for subsequent Runs (nil disables tracing).
 func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
+// SetReferenceScheduler selects the original O(N)-scan scheduler instead of
+// the indexed ready queue for the next Run. The two schedulers make
+// identical decisions — the scheduler-equivalence property test holds them
+// to bit-identical traces and Stats — so this exists only for differential
+// testing and for benchmarking the indexed queue against its baseline.
+// Must be called before Run.
+func (e *Engine) SetReferenceScheduler(on bool) { e.refSched = on }
+
 func (e *Engine) trace(ev TraceEvent) {
 	if e.tracer != nil {
 		e.tracer.Record(ev)
@@ -193,9 +252,9 @@ func (e *Engine) trace(ev TraceEvent) {
 // errPoisoned unwinds node goroutines after the engine has failed.
 var errPoisoned = fmt.Errorf("simnet: engine poisoned")
 
-type linkKey struct {
-	from uint64
-	dim  int
+// linkIndex densely indexes the directed link (from, dim).
+func (e *Engine) linkIndex(from uint64, dim int) int {
+	return int(from)*e.n + dim
 }
 
 // New returns an engine for an n-dimensional cube under the given machine
@@ -207,13 +266,16 @@ func New(n int, params machine.Params) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	nodes := 1 << uint(n)
 	e := &Engine{
 		n:          n,
-		nodesCount: 1 << uint(n),
+		nodesCount: nodes,
 		params:     params,
-		linkFree:   make(map[linkKey]float64),
-		linkBytes:  make(map[linkKey]int64),
-		linkBusy:   make(map[linkKey]float64),
+		linkFree:   make([]float64, nodes*n),
+		linkBytes:  make([]int64, nodes*n),
+		linkBusy:   make([]float64, nodes*n),
+		linkUsed:   make([]bool, nodes*n),
+		sendDest:   -1,
 		debug:      debugMode(),
 	}
 	return e, nil
@@ -246,16 +308,19 @@ func (l LinkLoad) To() uint64 { return l.From ^ 1<<uint(l.Dim) }
 // LinkLoads returns the per-directed-link traffic of the last Run, sorted
 // by (From, Dim). Links that carried no traffic are omitted.
 func (e *Engine) LinkLoads() []LinkLoad {
-	out := make([]LinkLoad, 0, len(e.linkBytes))
-	for k, b := range e.linkBytes {
-		out = append(out, LinkLoad{From: k.from, Dim: k.dim, Bytes: b, Busy: e.linkBusy[k]})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
+	var out []LinkLoad
+	for li, used := range e.linkUsed {
+		if !used {
+			continue
 		}
-		return out[i].Dim < out[j].Dim
-	})
+		// Dense iteration order is ascending (From, Dim) by construction.
+		out = append(out, LinkLoad{
+			From:  uint64(li / e.n),
+			Dim:   li % e.n,
+			Bytes: e.linkBytes[li],
+			Busy:  e.linkBusy[li],
+		})
+	}
 	return out
 }
 
@@ -291,7 +356,7 @@ func (e *Engine) Run(prog func(*Node)) error {
 			eng:      e,
 			sendFree: make([]float64, e.ports()),
 			recvFree: make([]float64, e.ports()),
-			queues:   make([][]arrival, max(e.n, 1)),
+			queues:   make([]inQueue, max(e.n, 1)),
 			parked:   make(chan struct{}, 1),
 			resume:   make(chan Msg, 1),
 		}
@@ -326,14 +391,103 @@ func (e *Engine) Run(prog func(*Node)) error {
 	for _, nd := range e.nodes {
 		<-nd.parked
 	}
+	if e.refSched {
+		return e.runLinear()
+	}
+	return e.runIndexed()
+}
+
+// runIndexed is the production scheduling loop: executable nodes live in an
+// indexed min-heap keyed by (action time, node id), and after each executed
+// operation only the nodes whose scheduling inputs changed are re-keyed —
+// the executed node itself, plus the destination of a send. All other
+// action times are functions of state only those two operations touch
+// (clock, send ports, inbound queues), so the incremental refresh preserves
+// the exact decision sequence of the linear-scan reference.
+func (e *Engine) runIndexed() error {
+	// Surface prologue failures (panics before the first timed operation)
+	// in node-id order, matching the reference scheduler's scan.
+	for _, nd := range e.nodes {
+		if err := e.checkFailure(nd); err != nil {
+			return err
+		}
+	}
+	e.ready = newReadyHeap(e.nodesCount)
+	for i, nd := range e.nodes {
+		if t, ok := e.actionTime(nd); ok {
+			e.ready.update(i, t)
+		}
+	}
+	live := e.nodesCount
+	for live > 0 {
+		best := e.ready.min()
+		if best == -1 {
+			err := e.deadlockError()
+			e.drainAll()
+			return err
+		}
+		nd := e.nodes[best]
+		e.sendDest = -1
+		if e.execute(nd) {
+			nd.done = true
+			live--
+			e.ready.remove(best)
+			continue
+		}
+		<-nd.parked // wait for the resumed node to park again
+		if err := e.checkFailure(nd); err != nil {
+			return err
+		}
+		e.refreshNode(best)
+		if d := e.sendDest; d >= 0 && d != best {
+			e.refreshNode(d)
+		}
+	}
+	if e.stats.Time < e.maxResourceTime() {
+		e.stats.Time = e.maxResourceTime()
+	}
+	return e.fail
+}
+
+// checkFailure surfaces a node-program failure (panic, typed fault abort)
+// and unwinds the rest of the system.
+func (e *Engine) checkFailure(nd *Node) error {
+	if nd.done || nd.failure == nil {
+		return nil
+	}
+	nd.done = true
+	err := nd.failure
+	e.drainAll()
+	return err
+}
+
+// refreshNode re-keys one node in the ready queue after its scheduling
+// inputs changed: present with its new action time when executable, absent
+// otherwise (a receive with an empty queue).
+func (e *Engine) refreshNode(i int) {
+	nd := e.nodes[i]
+	if nd.done {
+		e.ready.remove(i)
+		return
+	}
+	if t, ok := e.actionTime(nd); ok {
+		e.ready.update(i, t)
+	} else {
+		e.ready.remove(i)
+	}
+}
+
+// runLinear is the retained reference scheduler: the seed's O(N) scan over
+// all nodes per operation. It makes exactly the same decisions as
+// runIndexed — the scheduler-equivalence property test pins the two to
+// bit-identical traces and Stats — and exists as the differential-testing
+// baseline and the benchmark yardstick for BENCH_engine.json.
+func (e *Engine) runLinear() error {
 	live := e.nodesCount
 	for live > 0 {
 		// Surface program failures (panics inside node programs).
 		for _, nd := range e.nodes {
-			if !nd.done && nd.failure != nil {
-				nd.done = true
-				err := nd.failure
-				e.drainAll()
+			if err := e.checkFailure(nd); err != nil {
 				return err
 			}
 		}
@@ -395,7 +549,7 @@ func (e *Engine) deadlockError() error {
 			stuck = append(stuck, nd.id)
 		}
 	}
-	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	slices.Sort(stuck)
 	return fmt.Errorf("simnet: deadlock: nodes %v blocked on receive with no inbound messages", stuck)
 }
 
@@ -406,17 +560,17 @@ func (e *Engine) actionTime(nd *Node) (float64, bool) {
 	case opSend:
 		return math.Max(nd.clock, nd.sendFree[e.portIndex(nd.pending.dim)]), true
 	case opRecv:
-		q := nd.queues[nd.pending.dim]
-		if len(q) == 0 {
+		q := &nd.queues[nd.pending.dim]
+		if q.empty() {
 			return 0, false
 		}
-		return math.Max(nd.clock, q[0].at), true
+		return math.Max(nd.clock, q.front().at), true
 	case opRecvAny:
 		bestT := math.Inf(1)
 		found := false
-		for _, q := range nd.queues {
-			if len(q) > 0 && q[0].at < bestT {
-				bestT = q[0].at
+		for d := range nd.queues {
+			if q := &nd.queues[d]; !q.empty() && q.front().at < bestT {
+				bestT = q.front().at
 				found = true
 			}
 		}
@@ -438,6 +592,7 @@ func (e *Engine) execute(nd *Node) bool {
 	switch nd.pending.kind {
 	case opSend:
 		nd.opErr = e.doSend(nd, nd.pending.dim, nd.pending.msg)
+		nd.pending.msg = Msg{} // ownership moved to the destination queue
 		nd.resume <- Msg{}
 	case opRecv:
 		m := e.doRecv(nd, nd.pending.dim)
@@ -474,28 +629,29 @@ func (e *Engine) doSend(nd *Node, dim int, m Msg) error {
 	bytes := len(m.Data) * e.params.ElemBytes
 	dur, startups := e.params.SendTime(bytes)
 	port := e.portIndex(dim)
-	lk := linkKey{from: nd.id, dim: dim}
+	li := e.linkIndex(nd.id, dim)
 	start := math.Max(nd.clock, nd.sendFree[port])
-	start = math.Max(start, e.linkFree[lk])
+	start = math.Max(start, e.linkFree[li])
 	if e.faults != nil {
 		var err error
-		if start, err = e.clearFaults(nd, dim, lk, port, bytes, dur, startups, start); err != nil {
+		if start, err = e.clearFaults(nd, dim, li, port, bytes, dur, startups, start); err != nil {
 			e.stats.FaultedSends++
 			nd.clock = math.Max(nd.clock, start)
 			e.bumpTime(nd.clock)
 			return err
 		}
 	}
-	end := e.chargeLink(nd, dim, lk, port, bytes, dur, startups, start)
+	end := e.chargeLink(nd, dim, li, port, bytes, dur, startups, start)
 	e.stats.Sends++
 	nd.clock = start
 	e.trace(TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
 
 	dest := e.nodes[nd.id^1<<uint(dim)]
 	e.seq++
-	dest.queues[dim] = append(dest.queues[dim], arrival{
+	dest.queues[dim].push(arrival{
 		msg: m, at: end, dur: dur, fromDim: dim, seq: e.seq,
 	})
+	e.sendDest = int(dest.id)
 	return nil
 }
 
@@ -504,7 +660,7 @@ func (e *Engine) doSend(nd *Node, dim int, m Msg) error {
 // each consuming one attempt of the retry budget and charging the backoff.
 // It returns the start time of the first clean attempt, or a *FaultError
 // once the budget is exhausted (immediately, for a permanent link failure).
-func (e *Engine) clearFaults(nd *Node, dim int, lk linkKey, port, bytes int, dur float64, startups int, start float64) (float64, error) {
+func (e *Engine) clearFaults(nd *Node, dim, li, port, bytes int, dur float64, startups int, start float64) (float64, error) {
 	attempts := 0
 	for {
 		attempts++
@@ -518,13 +674,13 @@ func (e *Engine) clearFaults(nd *Node, dim int, lk linkKey, port, bytes int, dur
 			start = math.Max(nextUp, start+e.retry.Backoff)
 			continue
 		}
-		e.linkAttempts[lk]++
-		if !e.faults.Drop(nd.id, dim, e.linkAttempts[lk]) {
+		e.linkAttempts[li]++
+		if !e.faults.Drop(nd.id, dim, e.linkAttempts[li]) {
 			return start, nil
 		}
 		// The dropped frame still occupied the wire: charge the port, the
 		// link and the volume statistics, then retransmit after backoff.
-		end := e.chargeLink(nd, dim, lk, port, bytes, dur, startups, start)
+		end := e.chargeLink(nd, dim, li, port, bytes, dur, startups, start)
 		e.stats.Drops++
 		e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end})
 		if attempts >= e.retry.Attempts {
@@ -539,7 +695,7 @@ func (e *Engine) clearFaults(nd *Node, dim int, lk linkKey, port, bytes int, dur
 // chargeLink books one transmission interval [start, start+dur) on the
 // sender's port and the directed link, updating occupancy and volume
 // statistics. Shared by delivered sends and dropped frames.
-func (e *Engine) chargeLink(nd *Node, dim int, lk linkKey, port, bytes int, dur float64, startups int, start float64) float64 {
+func (e *Engine) chargeLink(nd *Node, dim, li, port, bytes int, dur float64, startups int, start float64) float64 {
 	end := start + dur
 	if e.debug {
 		if prev := nd.lastSendEnd[port]; start < prev {
@@ -550,14 +706,15 @@ func (e *Engine) chargeLink(nd *Node, dim int, lk linkKey, port, bytes int, dur 
 		nd.lastSendStart[port], nd.lastSendEnd[port] = start, end
 	}
 	nd.sendFree[port] = end
-	e.linkFree[lk] = end
-	e.linkBytes[lk] += int64(bytes)
-	e.linkBusy[lk] += dur
-	if e.linkBytes[lk] > e.stats.MaxLinkBytes {
-		e.stats.MaxLinkBytes = e.linkBytes[lk]
+	e.linkFree[li] = end
+	e.linkUsed[li] = true
+	e.linkBytes[li] += int64(bytes)
+	e.linkBusy[li] += dur
+	if e.linkBytes[li] > e.stats.MaxLinkBytes {
+		e.stats.MaxLinkBytes = e.linkBytes[li]
 	}
-	if e.linkBusy[lk] > e.stats.MaxLinkBusy {
-		e.stats.MaxLinkBusy = e.linkBusy[lk]
+	if e.linkBusy[li] > e.stats.MaxLinkBusy {
+		e.stats.MaxLinkBusy = e.linkBusy[li]
 	}
 	e.stats.Startups += int64(startups)
 	e.stats.Bytes += int64(bytes)
@@ -566,25 +723,27 @@ func (e *Engine) chargeLink(nd *Node, dim int, lk linkKey, port, bytes int, dur 
 }
 
 func (e *Engine) doRecv(nd *Node, dim int) Msg {
-	q := nd.queues[dim]
-	a := q[0]
-	nd.queues[dim] = q[1:]
+	a := nd.queues[dim].pop()
 	return e.finishRecv(nd, a)
 }
 
 func (e *Engine) doRecvAny(nd *Node) Msg {
 	bestDim := -1
-	for d, q := range nd.queues {
-		if len(q) == 0 {
+	for d := range nd.queues {
+		q := &nd.queues[d]
+		if q.empty() {
 			continue
 		}
-		if bestDim == -1 || q[0].at < nd.queues[bestDim][0].at ||
-			(q[0].at == nd.queues[bestDim][0].at && q[0].seq < nd.queues[bestDim][0].seq) {
+		if bestDim == -1 {
+			bestDim = d
+			continue
+		}
+		best := nd.queues[bestDim].front()
+		if f := q.front(); f.at < best.at || (f.at == best.at && f.seq < best.seq) {
 			bestDim = d
 		}
 	}
-	a := nd.queues[bestDim][0]
-	nd.queues[bestDim] = nd.queues[bestDim][1:]
+	a := nd.queues[bestDim].pop()
 	return e.finishRecv(nd, a)
 }
 

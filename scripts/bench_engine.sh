@@ -1,0 +1,52 @@
+#!/bin/sh
+# Benchmark the simnet engine hot path: the indexed ready-queue scheduler
+# against the retained linear-scan reference on the repeated 8-cube exchange
+# transpose (pooled payloads, -benchmem), plus the wall-clock of the full
+# experiment sweep (`go run ./cmd/experiments -all`). Emits BENCH_engine.json
+# in the repository root.
+#
+# sweep_baseline_s is the measured wall-clock of the serial sweep at the
+# scheduler's introduction (linear scan, no pooling, serial harness) on the
+# reference machine; regenerating the file re-times only the current sweep.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-10x}"
+OUT=BENCH_engine.json
+BASELINE_S=61.4
+
+raw=$(go test -run '^$' -bench 'BenchmarkEngineTransposeIndexed$|BenchmarkEngineTransposeReference$' \
+	-benchmem -benchtime "$COUNT" ./internal/simnet/)
+echo "$raw"
+
+echo "==> timing cmd/experiments -all"
+t0=$(date +%s.%N)
+go run ./cmd/experiments -all >/dev/null
+t1=$(date +%s.%N)
+sweep=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1f", b - a }')
+echo "sweep wall-clock: ${sweep}s (baseline ${BASELINE_S}s)"
+
+echo "$raw" | awk -v out="$OUT" -v sweep="$sweep" -v base="$BASELINE_S" '
+	/^BenchmarkEngineTransposeIndexed/   { idx = $3; idx_allocs = $7 }
+	/^BenchmarkEngineTransposeReference/ { ref = $3; ref_allocs = $7 }
+	END {
+		if (idx == "" || ref == "") {
+			print "bench_engine: missing benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"repeated 8-cube exchange transpose (256 nodes, 4 passes, pooled payloads, iPSC)\",\n" >> out
+		printf "  \"indexed_ns_per_op\": %s,\n", idx >> out
+		printf "  \"indexed_allocs_per_op\": %s,\n", idx_allocs >> out
+		printf "  \"reference_ns_per_op\": %s,\n", ref >> out
+		printf "  \"reference_allocs_per_op\": %s,\n", ref_allocs >> out
+		printf "  \"scheduler_speedup\": %.2f,\n", ref / idx >> out
+		printf "  \"sweep_wallclock_s\": %s,\n", sweep >> out
+		printf "  \"sweep_baseline_s\": %s,\n", base >> out
+		printf "  \"sweep_speedup\": %.2f\n", base / sweep >> out
+		printf "}\n" >> out
+	}
+'
+echo "wrote $OUT:"
+cat "$OUT"

@@ -10,12 +10,12 @@ COUNT="${BENCH_COUNT:-10x}"
 OUT=BENCH_plan.json
 
 raw=$(go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' \
-	-benchtime "$COUNT" .)
+	-benchmem -benchtime "$COUNT" .)
 echo "$raw"
 
 echo "$raw" | awk -v out="$OUT" '
-	/^BenchmarkTransposeOneShot/  { oneshot = $3 }
-	/^BenchmarkTransposeCompiled/ { compiled = $3 }
+	/^BenchmarkTransposeOneShot/  { oneshot = $3; oneshot_allocs = $7 }
+	/^BenchmarkTransposeCompiled/ { compiled = $3; compiled_allocs = $7 }
 	END {
 		if (oneshot == "" || compiled == "") {
 			print "bench_plan: missing benchmark output" > "/dev/stderr"
@@ -24,7 +24,9 @@ echo "$raw" | awk -v out="$OUT" '
 		printf "{\n" > out
 		printf "  \"benchmark\": \"repeated 8-cube transpose (p=q=9, exchange, iPSC)\",\n" >> out
 		printf "  \"oneshot_ns_per_op\": %s,\n", oneshot >> out
+		printf "  \"oneshot_allocs_per_op\": %s,\n", oneshot_allocs >> out
 		printf "  \"compiled_ns_per_op\": %s,\n", compiled >> out
+		printf "  \"compiled_allocs_per_op\": %s,\n", compiled_allocs >> out
 		printf "  \"speedup\": %.2f\n", oneshot / compiled >> out
 		printf "}\n" >> out
 	}

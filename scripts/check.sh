@@ -35,6 +35,19 @@ go test -run 'TestSoakFaultedTranspose' .
 echo "==> go test -bench plan split -benchtime=1x"
 go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' -benchtime=1x .
 
+# Engine bench smoke: regenerate BENCH_engine.json (scheduler pair + sweep
+# wall-clock) and gate on the indexed scheduler not regressing below the
+# linear-scan reference.
+echo "==> scripts/bench_engine.sh (BENCH_COUNT=1x smoke)"
+BENCH_COUNT=1x ./scripts/bench_engine.sh
+awk -F'[:,]' '/"scheduler_speedup"/ {
+	if ($2 + 0 < 1.0) {
+		printf "check: scheduler speedup %.2f below 1.0x — indexed scheduler regressed\n", $2 > "/dev/stderr"
+		exit 1
+	}
+	printf "check: scheduler speedup %.2fx (>= 1.0x gate)\n", $2
+}' BENCH_engine.json
+
 # -short skips the exper figure sweeps, which exceed the per-package test
 # timeout under the race detector; they exercise no concurrency the short
 # suite doesn't. `make race` runs the full sweep with a raised timeout.
