@@ -238,6 +238,9 @@ type Options struct {
 	// Retry bounds the per-transmission retry/backoff loop under faults;
 	// zero fields default to 3 attempts with the machine's τ as backoff.
 	Retry RetryPolicy
+	// Deadline, when positive, aborts the run before any operation would
+	// start past this virtual time (µs), with a typed, resumable checkpoint.
+	Deadline float64
 }
 
 func (o Options) core() core.Options {
@@ -253,6 +256,7 @@ func (o Options) core() core.Options {
 		Faults:      o.Faults,
 		Failover:    o.Failover,
 		Retry:       o.Retry,
+		Deadline:    o.Deadline,
 	}
 	if o.Trace != nil {
 		co.Tracer = o.Trace
@@ -314,6 +318,51 @@ type ExecOptions = core.ExecOptions
 // route slices, so the shared compiled plan is never mutated.
 func (c *CompiledTranspose) ExecuteWith(d *Dist, xo ExecOptions) (*Result, error) {
 	return core.ExecuteWith(c.plan, d, xo)
+}
+
+// Checkpointed execution: any mid-run failure — fault injection past the
+// retry budget, a missed Deadline, a delivery-audit mismatch — surfaces as a
+// typed *ExecError carrying a Checkpoint of everything already delivered.
+// Resume recompiles the residual move-set against the post-failure fault
+// state and finishes into the same distribution an uninterrupted run would
+// have produced, bit for bit, at a fraction of a full restart's traffic.
+type (
+	// Checkpoint is the durable progress record of a failed execution.
+	Checkpoint = core.Checkpoint
+	// ExecError is the typed mid-run failure: the cause plus a Checkpoint.
+	ExecError = core.ExecError
+	// InfeasibleError is the typed pre-flight refusal: the fault schedule
+	// permanently severs every path the plan needs, so the run is rejected
+	// before any traffic moves.
+	InfeasibleError = core.InfeasibleError
+	// DeadlineError reports a run aborted at its virtual-time deadline.
+	DeadlineError = simnet.DeadlineError
+	// AuditError reports a payload that arrived different from what was
+	// sent (every block and packet carries an always-on checksum; under
+	// SIMNET_DEBUG every element also carries an address tag).
+	AuditError = simnet.AuditError
+)
+
+// Sentinels for errors.Is against checkpointed-execution failures.
+var (
+	// ErrInfeasible marks plans refused by the pre-flight feasibility check.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrDeadline marks runs aborted at a virtual-time deadline.
+	ErrDeadline = simnet.ErrDeadline
+	// ErrAudit marks delivery-audit mismatches.
+	ErrAudit = simnet.ErrAudit
+)
+
+// Resume finishes a checkpointed execution: local residuals replay
+// host-side, network residuals run as direct dimension-order flows against
+// the checkpoint's fault schedule shifted to the failure instant — links
+// that failed mid-run are permanently down in the shifted view, so the
+// default reroute policy routes around them on disjoint-path alternatives.
+// The Result's Stats fold the resumed run's cost on top of the checkpoint's
+// sunk cost; if the resumed run fails in turn, the returned *ExecError
+// carries an updated checkpoint and Resume can be called again.
+func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
+	return core.Resume(cp, xo)
 }
 
 // Algorithm returns the concrete algorithm the plan uses — the resolved

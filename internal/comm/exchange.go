@@ -69,6 +69,27 @@ func (s Strategy) String() string {
 type Block struct {
 	Src, Dst uint64
 	Data     []float64
+	// Sum is the block's delivery-audit checksum (simnet.Checksum over
+	// Data, computed where the block was gathered); 0 means unaudited.
+	// Audited blocks are verified when ExchangeBlocksHooked delivers them.
+	Sum uint64
+	// Tags carries one address tag per element under SIMNET_DEBUG (nil
+	// otherwise); tags travel with the data through every forwarding hop.
+	Tags []uint64
+}
+
+// ExchangeHooks observes an exchange from inside the node program, enabling
+// checkpointed execution: OnFinal fires the moment a block reaches its home
+// node — step is the exchange step that delivered it (-1 for blocks already
+// home before the first step) — instead of the block being retained until
+// the algorithm completes. OnStep fires after each step's receives have been
+// placed and delivered, marking a step boundary. Hooks run inside the node
+// program between timed operations; OnFinal must copy out any data it wants
+// to keep, because the block may alias a pooled receive buffer that is
+// recycled as soon as the hook returns.
+type ExchangeHooks struct {
+	OnFinal func(step int, b Block)
+	OnStep  func(step, dim int)
 }
 
 // slotBlock is a Block inside the exchange slot table, tagged with the
@@ -107,8 +128,20 @@ type rxBuf struct {
 // buffers — the caller owns those and they are simply retained. Callers
 // retain ownership of the Data slices in the input blocks.
 func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block) []Block {
+	return ExchangeBlocksHooked(nd, dims, strat, blocks, ExchangeHooks{})
+}
+
+// ExchangeBlocksHooked is ExchangeBlocks with delivery observation. With a
+// zero ExchangeHooks it is ExchangeBlocks exactly — same messages, same
+// copies, same Stats. With OnFinal set, every block is handed to the hook as
+// soon as it reaches this node (audited against Block.Sum first) and the
+// function returns nil; the Shuffled strategy still charges its inter-step
+// shuffle over the full modeled array, early deliveries included, so hooked
+// and unhooked runs remain bit-identical in time and traffic.
+func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []Block, hooks ExchangeHooks) []Block {
 	id := nd.ID()
 	l := len(dims)
+	hooked := hooks.OnFinal != nil
 	slotOf := func(src, dst uint64, step int) int {
 		s := 0
 		for j, d := range dims {
@@ -124,15 +157,6 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 	}
 	nslots := 1 << uint(l)
 	slots := make([][]slotBlock, nslots)
-	for _, b := range blocks {
-		for _, d := range dims {
-			if bits.Bit(b.Src, d) != bits.Bit(id, d) {
-				panic(fmt.Sprintf("comm: node %d holds block with foreign source %d", id, b.Src))
-			}
-		}
-		s := slotOf(b.Src, b.Dst, 0)
-		slots[s] = append(slots[s], slotBlock{Block: b, buf: -1})
-	}
 	var rx []rxBuf
 
 	// retire drops one reference to a receive buffer, recycling it once no
@@ -148,14 +172,74 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 		}
 	}
 
+	// isHome reports whether a destination address matches this node on
+	// every exchange dimension — i.e. the block has arrived.
+	isHome := func(dst uint64) bool {
+		for _, d := range dims {
+			if bits.Bit(dst, d) != bits.Bit(id, d) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// deliveredElems counts elements handed to OnFinal so far; the Shuffled
+	// strategy adds it back into its inter-step copy so early delivery does
+	// not change the modeled local-array size.
+	deliveredElems := 0
+
+	// deliver audits a home block and hands it to the hook, then releases
+	// its receive buffer — the hook must have copied out what it keeps.
+	deliver := func(step int, sb slotBlock) {
+		if sb.Sum != 0 {
+			if got := simnet.Checksum(sb.Data); got != sb.Sum {
+				nd.Fail(&simnet.AuditError{Node: id, Src: sb.Src, Dst: sb.Dst, What: "block", Want: sb.Sum, Got: got})
+			}
+		}
+		hooks.OnFinal(step, sb.Block)
+		deliveredElems += len(sb.Data)
+		retire(sb.buf)
+	}
+
+	tagged := false
+	for _, b := range blocks {
+		for _, d := range dims {
+			if bits.Bit(b.Src, d) != bits.Bit(id, d) {
+				panic(fmt.Sprintf("comm: node %d holds block with foreign source %d", id, b.Src))
+			}
+		}
+		if b.Tags != nil {
+			tagged = true
+		}
+		if hooked && isHome(b.Dst) {
+			deliver(-1, slotBlock{Block: b, buf: -1})
+			continue
+		}
+		s := slotOf(b.Src, b.Dst, 0)
+		slots[s] = append(slots[s], slotBlock{Block: b, buf: -1})
+	}
+
+	// newMsg allocates one outgoing message at its exact final size, with a
+	// parallel tag array when address tags are in flight.
+	newMsg := func(nb, ne int) simnet.Msg {
+		m := simnet.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
+		if tagged {
+			m.Tags = make([]uint64, ne)
+		}
+		return m
+	}
+
 	// packRun copies one run of slots into m starting at offsets (po, do),
 	// clears the slots (keeping their backing for the placement pass), and
 	// retires the forwarded blocks' receive buffers.
 	packRun := func(m *simnet.Msg, po, do, start, runLen int) (int, int) {
 		for s := start; s < start+runLen; s++ {
 			for _, b := range slots[s] {
-				m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+				m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data), Sum: b.Sum}
 				po++
+				if m.Tags != nil && b.Tags != nil {
+					copy(m.Tags[do:], b.Tags)
+				}
 				do += copy(m.Data[do:], b.Data)
 				retire(b.buf)
 			}
@@ -213,7 +297,7 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 				te += runElems[r]
 			}
 			if tb > 0 {
-				m := simnet.Msg{Parts: nd.AllocParts(tb), Data: nd.AllocData(te)}
+				m := newMsg(tb, te)
 				po, do := 0, 0
 				for r := 0; r < numRuns; r++ {
 					po, do = packRun(&m, po, do, runStart(r), runLen)
@@ -226,7 +310,7 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 			for r := 0; r < numRuns; r++ {
 				var m simnet.Msg
 				if runBlocks[r] > 0 {
-					m = simnet.Msg{Parts: nd.AllocParts(runBlocks[r]), Data: nd.AllocData(runElems[r])}
+					m = newMsg(runBlocks[r], runElems[r])
 					packRun(&m, 0, 0, runStart(r), runLen)
 				}
 				msgs = append(msgs, m)
@@ -248,14 +332,14 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 			var buffered simnet.Msg
 			po, do := 0, 0
 			if tb > 0 {
-				buffered = simnet.Msg{Parts: nd.AllocParts(tb), Data: nd.AllocData(te)}
+				buffered = newMsg(tb, te)
 			}
 			for r := 0; r < numRuns; r++ {
 				if runBlocks[r] == 0 {
 					continue
 				}
 				if direct(r) {
-					m := simnet.Msg{Parts: nd.AllocParts(runBlocks[r]), Data: nd.AllocData(runElems[r])}
+					m := newMsg(runBlocks[r], runElems[r])
 					packRun(&m, 0, 0, runStart(r), runLen)
 					msgs = append(msgs, m)
 					continue
@@ -296,22 +380,35 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 			}
 			bi := int32(len(rx))
 			rx = append(rx, rxBuf{data: in.Data, live: int32(len(in.Parts))})
+			if in.Tags != nil {
+				tagged = true
+			}
 			off := 0
 			for _, p := range in.Parts {
-				s := slotOf(p.Src, p.Dst, step+1)
-				slots[s] = append(slots[s], slotBlock{
-					Block: Block{Src: p.Src, Dst: p.Dst, Data: in.Data[off : off+p.N : off+p.N]},
-					buf:   bi,
-				})
+				b := Block{Src: p.Src, Dst: p.Dst, Sum: p.Sum, Data: in.Data[off : off+p.N : off+p.N]}
+				if in.Tags != nil {
+					b.Tags = in.Tags[off : off+p.N : off+p.N]
+				}
 				off += p.N
+				if hooked && isHome(p.Dst) {
+					deliver(step, slotBlock{Block: b, buf: bi})
+					continue
+				}
+				s := slotOf(p.Src, p.Dst, step+1)
+				slots[s] = append(slots[s], slotBlock{Block: b, buf: bi})
 			}
 			nd.Recycle(simnet.Msg{Parts: in.Parts})
 		}
 
+		if hooks.OnStep != nil {
+			hooks.OnStep(step, d)
+		}
+
 		if strat == Shuffled && step < l-1 {
 			// Local shuffle so the next step's half is contiguous: full
-			// local data movement.
-			total := 0
+			// local data movement. Early-delivered blocks still occupy the
+			// modeled array, so they stay in the charge.
+			total := deliveredElems
 			for _, sl := range slots {
 				for _, b := range sl {
 					total += len(b.Data)
@@ -319,6 +416,15 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 			}
 			nd.Copy(total * nd.Params().ElemBytes)
 		}
+	}
+
+	if hooked {
+		for s, sl := range slots {
+			if len(sl) > 0 {
+				panic(fmt.Sprintf("comm: node %d: %d undelivered block(s) left in slot %d", id, len(sl), s))
+			}
+		}
+		return nil
 	}
 
 	total := 0

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"boolcube/internal/comm"
+	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
+	"boolcube/internal/simnet"
+)
+
+// execExchangeBaseline is the pre-checkpointing exchange executor, retained
+// verbatim as the control arm of the checkpoint-overhead benchmark
+// (BenchmarkExchangeBaseline vs BenchmarkExchangeCheckpointed): blocks are
+// held until the exchange completes and scattered in bulk, with no
+// per-delivery progress recording, no checksums stamped, and no failure
+// checkpoint. It must stay behaviorally identical to execExchange on the
+// success path — the bench harness asserts equal Stats before timing.
+func execExchangeBaseline(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
+	e, err := planEngine(p, xo)
+	if err != nil {
+		return nil, err
+	}
+	mv := p.Moves()
+	cfg := p.Config()
+	dims := p.Dims()
+	after := p.After()
+	loc := newLocal(after, e.Nodes())
+	hint := p.MsgElemsHint()
+	err = e.Run(func(nd *simnet.Node) {
+		id := nd.ID()
+		local := srcLocal(d, id)
+		if cfg.LocalCopies && len(local) > 0 {
+			nd.Copy(len(local) * cfg.Machine.ElemBytes)
+		}
+		var blocks []comm.Block
+		if local != nil {
+			dests := mv.Destinations(id)
+			arena := nd.AllocData(hint)
+			blocks = make([]comm.Block, 0, len(dests))
+			off := 0
+			for _, dp := range dests {
+				n := mv.PayloadLen(id, dp)
+				buf := arena[off : off+n : off+n]
+				off += n
+				mv.GatherInto(id, local, dp, buf)
+				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: buf})
+			}
+		}
+		got := comm.ExchangeBlocks(nd, dims, cfg.Strategy, blocks)
+		out := loc[id]
+		if out != nil {
+			if local != nil {
+				mv.Scatter(id, out, id, mv.Gather(id, local, id))
+			}
+			for _, b := range got {
+				mv.Scatter(id, out, b.Src, b.Data)
+			}
+			if cfg.LocalCopies {
+				nd.Copy(len(out) * cfg.Machine.ElemBytes)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
+}

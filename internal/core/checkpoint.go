@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
+	"boolcube/internal/simnet"
+)
+
+// Checkpoint is the durable progress record of a failed execution: the
+// partially filled destination arrays, the span-set of canonical payloads
+// already placed in them, the cost accrued so far, and everything needed to
+// recompile the residual move-set (the plan, the source distribution, and
+// the options in force). Resume finishes a checkpoint into the same
+// matrix.Dist an uninterrupted run would have produced, bit for bit.
+type Checkpoint struct {
+	Plan *plan.Plan
+	// Src is the input distribution, still needed to gather the residual
+	// payloads; it is read-only throughout.
+	Src *matrix.Dist
+	// Loc holds the after-side local arrays as far as the failed run filled
+	// them; Resume completes them in place.
+	Loc [][]float64
+	// Delivered records which canonical payload spans are already in Loc.
+	// Nil means no fine-grained progress was tracked (mixed-program plans):
+	// Resume re-executes the full move-set into fresh arrays.
+	Delivered *plan.Delivered
+	// Stats is the cost accrued across the failed attempt(s) so far; a
+	// successful Resume folds its own cost on top (counters add, makespans
+	// add, per-link maxima take the max).
+	Stats simnet.Stats
+	// At is the virtual time the run had reached when it stopped. Resume
+	// shifts the fault schedule by it (fault.Plan.After), so a link that
+	// failed mid-run is permanently down from the resumed run's time zero.
+	At float64
+	// Opts are the exec options of the failed run. Resume reuses the
+	// tracer/retry/failover policy and derives its fault view from Faults.
+	Opts ExecOptions
+}
+
+// Remaining derives the residual move-set still to be transported.
+func (cp *Checkpoint) Remaining() []plan.Residual {
+	return cp.Plan.Remaining(cp.Delivered)
+}
+
+// DeliveredElems returns how many canonical payload elements the failed run
+// had already placed.
+func (cp *Checkpoint) DeliveredElems() int {
+	if cp.Delivered == nil {
+		return 0
+	}
+	return cp.Delivered.Elems()
+}
+
+// ExecError is the typed error a checkpointed execution returns on any
+// mid-run failure (fault injection, deadline, deadlock, audit mismatch): the
+// underlying cause plus the Checkpoint to hand to Resume. It unwraps to the
+// cause, so errors.Is against the fault/deadline/audit sentinels keeps
+// working through it.
+type ExecError struct {
+	Checkpoint *Checkpoint
+	Err        error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("core: execution stopped at t=%g with %d element(s) delivered: %v",
+		e.Checkpoint.At, e.Checkpoint.DeliveredElems(), e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// ErrInfeasible is the sentinel a pre-flight feasibility check wraps when
+// the fault schedule permanently severs every path a plan needs — the run
+// is refused before any traffic moves, instead of failing mid-flight.
+var ErrInfeasible = errors.New("plan infeasible under fault schedule")
+
+// InfeasibleError reports a plan that cannot complete under its fault
+// schedule, detected before the run starts. It unwraps to ErrInfeasible and
+// to simnet.ErrLinkDown — the sentinel the doomed run would have surfaced —
+// so callers classifying fault outcomes see the same type either way.
+type InfeasibleError struct {
+	Plan   string // plan description
+	Detail string // deterministic description of the severed resource
+	Cause  error  // optional typed detail (e.g. *router.RouteError), may be nil
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("core: %s infeasible under fault schedule: %s", e.Plan, e.Detail)
+}
+
+func (e *InfeasibleError) Unwrap() []error {
+	out := []error{ErrInfeasible, simnet.ErrLinkDown}
+	if e.Cause != nil {
+		out = append(out, e.Cause)
+	}
+	return out
+}
+
+// mergeStats folds the cost of a resumed run on top of a checkpoint's
+// accrued cost: counters and makespans add (the resumed run happens after
+// the failed one), per-link maxima take the max.
+func mergeStats(a, b simnet.Stats) simnet.Stats {
+	out := a
+	out.Time += b.Time
+	out.Startups += b.Startups
+	out.Sends += b.Sends
+	out.Bytes += b.Bytes
+	out.CopyBytes += b.CopyBytes
+	out.CopyTime += b.CopyTime
+	if b.MaxLinkBytes > out.MaxLinkBytes {
+		out.MaxLinkBytes = b.MaxLinkBytes
+	}
+	if b.MaxLinkBusy > out.MaxLinkBusy {
+		out.MaxLinkBusy = b.MaxLinkBusy
+	}
+	out.Retries += b.Retries
+	out.Drops += b.Drops
+	out.FaultedSends += b.FaultedSends
+	out.Rerouted += b.Rerouted
+	out.ExtraHops += b.ExtraHops
+	out.Abandoned += b.Abandoned
+	return out
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"boolcube/internal/fault"
 	"boolcube/internal/plan"
+	"boolcube/internal/router"
 	"boolcube/internal/simnet"
 )
 
@@ -57,6 +59,11 @@ type ExecOptions struct {
 	// Retry bounds the engine's per-transmission retry/backoff loop; zero
 	// fields take the simnet defaults (3 attempts, backoff τ).
 	Retry simnet.RetryPolicy
+	// Deadline, when positive, aborts the run before any operation would
+	// start past this virtual time (µs). The abort is clean and typed
+	// (simnet.ErrDeadline) and — like every mid-run failure — carries a
+	// Checkpoint, so a deadline-hit run can be resumed.
+	Deadline float64
 }
 
 // checkFaults validates the fault plan against the plan's cube.
@@ -64,6 +71,61 @@ func (xo ExecOptions) checkFaults(p *plan.Plan) error {
 	if xo.Faults != nil && xo.Faults.Dims() != p.NDims() {
 		return fmt.Errorf("core: fault plan compiled for a %d-cube, plan executes on a %d-cube",
 			xo.Faults.Dims(), p.NDims())
+	}
+	return nil
+}
+
+// checkFeasible is the pre-flight feasibility check: when the fault schedule
+// permanently severs every path the plan needs, the run is refused with a
+// typed *InfeasibleError before any traffic moves, instead of burning the
+// doomed run and failing mid-flight. Exchange plans have a fixed dimension
+// schedule with no alternative routes, so any permanently-down link on an
+// exchange dimension is fatal (every node transmits on every dimension).
+// Flow plans are checked route by route, but only with failover disabled —
+// the reroute policies do their own feasibility analysis against the
+// disjoint-path alternatives. Mixed-program plans exchange along fixed
+// dimensions too, but their per-node case table makes static link usage
+// address-dependent, so they keep the runtime diagnosis.
+func (xo ExecOptions) checkFeasible(p *plan.Plan) error {
+	if xo.Faults == nil {
+		return nil
+	}
+	switch p.Kind() {
+	case plan.KindExchange:
+		for _, l := range xo.Faults.DownLinks() {
+			if !xo.Faults.PermanentlyDown(l.From, l.Dim) {
+				continue
+			}
+			for _, d := range p.Dims() {
+				if d == l.Dim {
+					return &InfeasibleError{
+						Plan:   p.Describe(),
+						Detail: fmt.Sprintf("%v permanently down severs exchange dimension %d", l, d),
+					}
+				}
+			}
+		}
+	case plan.KindFlow:
+		if xo.Failover != FailoverNone {
+			return nil
+		}
+		pf := p.Flows()
+		flows := make([]router.Flow, len(pf))
+		for i, f := range pf {
+			flows[i] = router.Flow{Src: f.Src, Dst: f.Dst, Dims: f.Dims}
+		}
+		if err := router.CheckRoutes(flows, xo.Faults.PermanentlyDown); err != nil {
+			var re *router.RouteError
+			if errors.As(err, &re) {
+				return &InfeasibleError{
+					Plan: p.Describe(),
+					Detail: fmt.Sprintf("flow %d (%d -> %d) crosses a permanently down link with failover disabled",
+						re.Flow, re.Src, re.Dst),
+					Cause: re,
+				}
+			}
+			return err
+		}
 	}
 	return nil
 }

@@ -108,7 +108,19 @@ func execMixedProgram(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, er
 		mv.Scatter(id, loc[id], buf.Src, buf.Data)
 	})
 	if err != nil {
-		return nil, err
+		// The per-node case program circulates whole blocks through
+		// intermediate nodes without a canonical per-span protocol, so no
+		// fine-grained progress survives a failure: the checkpoint carries
+		// an empty delivery record and fresh arrays, and Resume replays the
+		// full move-set over fault-free routes.
+		st := e.Stats()
+		return nil, &ExecError{
+			Checkpoint: &Checkpoint{
+				Plan: p, Src: d, Loc: newLocal(after, e.Nodes()),
+				Delivered: plan.NewDelivered(), Stats: st, At: st.Time, Opts: xo,
+			},
+			Err: err,
+		}
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"boolcube/internal/plan"
+	"boolcube/internal/router"
+	"boolcube/internal/simnet"
+)
+
+// Resume finishes a checkpointed execution: it derives the residual move-set
+// (plan.Plan.Remaining against the checkpoint's delivery record), recompiles
+// it as direct flows, and runs them against the post-failure fault state —
+// by default the checkpoint's own fault schedule shifted to the failure
+// instant (fault.Plan.After), under which every link that failed mid-run is
+// permanently down and the default reroute policy routes around it on
+// disjoint-path alternatives. The residuals finish into the checkpoint's own
+// destination arrays, so the Result's Dist is bit-identical to what an
+// uninterrupted run would have produced, and its Stats fold the resumed
+// run's cost on top of the cost already sunk (so resume cost is
+// Stats.Bytes - cp.Stats.Bytes, directly comparable to a full restart).
+//
+// xo configures the resumed run. A nil xo.Faults means "inherit": the
+// checkpoint's schedule shifted by cp.At. Tracer and Retry also default to
+// the checkpoint's when unset; Failover's zero value is FailoverReroute,
+// which is almost always what a resume wants.
+//
+// If the resumed run fails in turn, Resume returns a new *ExecError whose
+// Checkpoint has absorbed this attempt's deliveries, cost and fault view —
+// resuming is idempotent-in-the-limit: each attempt only shrinks the
+// residual, and calling Resume on the new checkpoint continues from there.
+func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
+	p := cp.Plan
+	mv := p.Moves()
+	if xo.Faults == nil && cp.Opts.Faults != nil {
+		xo.Faults = cp.Opts.Faults.After(cp.At)
+	}
+	if xo.Tracer == nil {
+		xo.Tracer = cp.Opts.Tracer
+	}
+	if xo.Retry == (simnet.RetryPolicy{}) {
+		xo.Retry = cp.Opts.Retry
+	}
+	if cp.Delivered == nil {
+		cp.Delivered = plan.NewDelivered()
+	}
+
+	residual := cp.Remaining()
+	if len(residual) == 0 {
+		return &Result{Dist: finishDist(p.After(), cp.Loc), Stats: cp.Stats}, nil
+	}
+
+	// Local residuals (self pairs) are replayed host-side; network residuals
+	// become direct flows below.
+	netRes := residual[:0:0]
+	for _, r := range residual {
+		if r.Src != r.Dst {
+			netRes = append(netRes, r)
+			continue
+		}
+		id := r.Src
+		if id < uint64(len(cp.Src.Local)) && cp.Loc[id] != nil {
+			data := mv.GatherRange(id, cp.Src.Local[id], id, r.Off, r.Len)
+			mv.ScatterRange(id, cp.Loc[id], id, r.Off, data)
+		}
+		cp.Delivered.Add(id, id, r.Off, r.Len)
+	}
+	if len(netRes) == 0 {
+		return &Result{Dist: finishDist(p.After(), cp.Loc), Stats: cp.Stats}, nil
+	}
+
+	e, err := planEngine(p, xo)
+	if err != nil {
+		return nil, err
+	}
+	debug := e.DebugChecks()
+
+	// One direct flow per residual span, dimension-order routed. Ecube
+	// routes are shortest paths, so resume traffic is bounded by the
+	// residual volume times the pair distance — never more than what a full
+	// restart would move for the same pairs, and usually far less.
+	pk := p.Config().Packets
+	flows := make([]router.Flow, len(netRes))
+	for i, r := range netRes {
+		flows[i] = router.Flow{
+			Src: r.Src, Dst: r.Dst, Dims: router.Ecube(r.Src, r.Dst, p.NDims()), Packets: pk,
+			Data: mv.GatherRange(r.Src, cp.Src.Local[r.Src], r.Dst, r.Off, r.Len),
+		}
+		if debug {
+			flows[i].Tags = addrTags(r.Src, r.Off, r.Len)
+		}
+	}
+	keptIdx := make([]int, len(flows))
+	for i := range keptIdx {
+		keptIdx[i] = i
+	}
+	var rep router.FailoverReport
+	if xo.Faults != nil && xo.Failover != FailoverNone {
+		flows, keptIdx, rep, err = router.Failover(
+			flows, p.NDims(), xo.Faults.PermanentlyDown, xo.Failover == FailoverAbandon)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	deliveries, part, err := router.RunRecover(e, flows)
+	if err != nil {
+		// Fold this attempt's completed flows into the checkpoint and hand
+		// back a new one: Opts/At describe the just-failed attempt (its
+		// fault view and how far it got), Stats the cumulative cost.
+		for k, fi := range part.FlowIdx {
+			r := netRes[keptIdx[fi]]
+			if debug && part.Tags[k] != nil {
+				verifyTagsHost(r.Src, r.Dst, r.Off, part.Tags[k])
+			}
+			mv.ScatterRange(r.Dst, cp.Loc[r.Dst], r.Src, r.Off, part.Data[k])
+			cp.Delivered.Add(r.Src, r.Dst, r.Off, len(part.Data[k]))
+		}
+		st := e.Stats()
+		st.Rerouted = rep.Rerouted
+		st.ExtraHops = rep.ExtraHops
+		st.Abandoned = rep.Abandoned
+		cp.Stats = mergeStats(cp.Stats, st)
+		cp.At = st.Time
+		cp.Opts = xo
+		return nil, &ExecError{Checkpoint: cp, Err: err}
+	}
+
+	for dst, ds := range deliveries {
+		// Zip deliveries with residual offsets per (dst, src), in kept-flow
+		// order — the same pairing discipline execFlow uses.
+		offs := make(map[uint64][]int)
+		for k, f := range flows {
+			if f.Dst == dst {
+				offs[f.Src] = append(offs[f.Src], netRes[keptIdx[k]].Off)
+			}
+		}
+		next := make(map[uint64]int)
+		for _, dl := range ds {
+			o := offs[dl.Src][next[dl.Src]]
+			next[dl.Src]++
+			if debug && dl.Tags != nil {
+				verifyTagsHost(dl.Src, dst, o, dl.Tags)
+			}
+			mv.ScatterRange(dst, cp.Loc[dst], dl.Src, o, dl.Data)
+			cp.Delivered.Add(dl.Src, dst, o, len(dl.Data))
+		}
+	}
+	st := e.Stats()
+	st.Rerouted = rep.Rerouted
+	st.ExtraHops = rep.ExtraHops
+	st.Abandoned = rep.Abandoned
+	return &Result{Dist: finishDist(p.After(), cp.Loc), Stats: mergeStats(cp.Stats, st)}, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"boolcube/internal/simnet"
+)
+
+// Per-element address tags, the SIMNET_DEBUG half of delivery auditing: each
+// element of a (src, dst) canonical payload is stamped src<<32 | canonical
+// index at gather time, travels with the data through every forwarding hop
+// and repacking, and is checked against its landing position at delivery.
+// The always-on checksum catches corrupted payloads; tags additionally catch
+// correctly-checksummed payloads scattered to the wrong place.
+
+// addrTags builds the tag array of the canonical payload range
+// [off, off+n) originating at src.
+func addrTags(src uint64, off, n int) []uint64 {
+	tags := make([]uint64, n)
+	for i := range tags {
+		tags[i] = src<<32 | uint64(off+i)
+	}
+	return tags
+}
+
+// verifyTags checks a delivered tag array inside a node program, aborting
+// the run with a typed *simnet.AuditError on the first mismatch.
+func verifyTags(nd *simnet.Node, src, dst uint64, off int, tags []uint64) {
+	for i, tag := range tags {
+		if want := src<<32 | uint64(off+i); tag != want {
+			nd.Fail(&simnet.AuditError{Node: nd.ID(), Src: src, Dst: dst, What: "tag", Want: want, Got: tag})
+		}
+	}
+}
+
+// verifyTagsHost is verifyTags for host-side reassembly (flow deliveries are
+// scattered outside node programs). Tag checking only runs under
+// SIMNET_DEBUG, so a mismatch is a simulator bug and panics loudly.
+func verifyTagsHost(src, dst uint64, off int, tags []uint64) {
+	for i, tag := range tags {
+		if want := src<<32 | uint64(off+i); tag != want {
+			panic((&simnet.AuditError{Src: src, Dst: dst, What: "tag", Want: want, Got: tag}).Error())
+		}
+	}
+}

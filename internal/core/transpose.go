@@ -54,12 +54,15 @@ type Options struct {
 	Faults   *fault.Plan
 	Failover FailoverPolicy
 	Retry    simnet.RetryPolicy
+	// Deadline, when positive, aborts the run past this virtual time (µs)
+	// with a resumable checkpoint (see ExecOptions.Deadline).
+	Deadline float64
 }
 
 // ExecConfig extracts the per-run half of the options (the complement of
 // PlanConfig).
 func (o Options) ExecConfig() ExecOptions {
-	return ExecOptions{Tracer: o.Tracer, Faults: o.Faults, Failover: o.Failover, Retry: o.Retry}
+	return ExecOptions{Tracer: o.Tracer, Faults: o.Faults, Failover: o.Failover, Retry: o.Retry, Deadline: o.Deadline}
 }
 
 // PlanConfig extracts the part of the options that shapes a compiled plan
@@ -111,6 +114,9 @@ func ExecuteWith(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) 
 		return nil, fmt.Errorf("core: distribution layout %s does not match plan layout %s", got, want)
 	}
 	if err := xo.checkFaults(p); err != nil {
+		return nil, err
+	}
+	if err := xo.checkFeasible(p); err != nil {
 		return nil, err
 	}
 	switch p.Kind() {
@@ -166,6 +172,9 @@ func planEngine(p *plan.Plan, xo ExecOptions) (*simnet.Engine, error) {
 	if xo.Faults != nil {
 		e.SetFaults(xo.Faults, xo.Retry)
 	}
+	if xo.Deadline > 0 {
+		e.SetDeadline(xo.Deadline)
+	}
 	return e, nil
 }
 
@@ -198,7 +207,14 @@ func finishDist(after field.Layout, loc [][]float64) *matrix.Dist {
 
 // execExchange replays a KindExchange plan: every node gathers its
 // per-destination blocks, runs the dimension-scan exchange over the plan's
-// dimension order with the configured strategy, and scatters what arrived.
+// dimension order with the configured strategy, and scatters each block into
+// the destination array the moment it arrives (the exchange delivery hook).
+// Early scattering is what makes the execution checkpointable: when the run
+// fails mid-flight, everything already scattered is durable, the per-node
+// delivery records turn into a plan.Delivered span-set, and the typed
+// *ExecError hands the Checkpoint to Resume. The hook changes no timed
+// operation, so Stats are bit-identical to the pre-checkpoint executor
+// (execExchangeBaseline pins this in the overhead benchmark).
 func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 	e, err := planEngine(p, xo)
 	if err != nil {
@@ -210,11 +226,29 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 	after := p.After()
 	loc := newLocal(after, e.Nodes())
 	hint := p.MsgElemsHint()
+	debug := e.DebugChecks()
+
+	// Per-node delivery records: each cell is written only by its owning
+	// node's program (partitioned state under the simnet concurrency
+	// contract) and read host-side only after the run has fully unwound.
+	type exchProgress struct {
+		srcs     []uint64
+		selfDone bool
+	}
+	prog := make([]exchProgress, e.Nodes())
+
 	err = e.Run(func(nd *simnet.Node) {
 		id := nd.ID()
 		local := srcLocal(d, id)
 		if cfg.LocalCopies && len(local) > 0 {
 			nd.Copy(len(local) * cfg.Machine.ElemBytes)
+		}
+		out := loc[id]
+		if local != nil && out != nil {
+			// The self payload never crosses a link: place it up front so it
+			// is durable from the run's first instant.
+			mv.Scatter(id, out, id, mv.Gather(id, local, id))
+			prog[id].selfDone = true
 		}
 		var blocks []comm.Block
 		if local != nil {
@@ -231,25 +265,45 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 				buf := arena[off : off+n : off+n]
 				off += n
 				mv.GatherInto(id, local, dp, buf)
-				blocks = append(blocks, comm.Block{Src: id, Dst: dp, Data: buf})
+				b := comm.Block{Src: id, Dst: dp, Data: buf, Sum: simnet.Checksum(buf)}
+				if debug {
+					b.Tags = addrTags(id, 0, n)
+				}
+				blocks = append(blocks, b)
 			}
 		}
-		got := comm.ExchangeBlocks(nd, dims, cfg.Strategy, blocks)
-		out := loc[id]
-		if out != nil {
-			if local != nil {
-				mv.Scatter(id, out, id, mv.Gather(id, local, id))
-			}
-			for _, b := range got {
+		comm.ExchangeBlocksHooked(nd, dims, cfg.Strategy, blocks, comm.ExchangeHooks{
+			OnFinal: func(step int, b comm.Block) {
+				if out == nil {
+					return
+				}
+				if b.Tags != nil {
+					verifyTags(nd, b.Src, b.Dst, 0, b.Tags)
+				}
 				mv.Scatter(id, out, b.Src, b.Data)
-			}
-			if cfg.LocalCopies {
-				nd.Copy(len(out) * cfg.Machine.ElemBytes)
-			}
+				prog[id].srcs = append(prog[id].srcs, b.Src)
+			},
+		})
+		if out != nil && cfg.LocalCopies {
+			nd.Copy(len(out) * cfg.Machine.ElemBytes)
 		}
 	})
 	if err != nil {
-		return nil, err
+		del := plan.NewDelivered()
+		for i := range prog {
+			id := uint64(i)
+			if prog[i].selfDone {
+				del.Add(id, id, 0, mv.PayloadLen(id, id))
+			}
+			for _, src := range prog[i].srcs {
+				del.Add(src, id, 0, mv.PayloadLen(src, id))
+			}
+		}
+		st := e.Stats()
+		return nil, &ExecError{
+			Checkpoint: &Checkpoint{Plan: p, Src: d, Loc: loc, Delivered: del, Stats: st, At: st.Time, Opts: xo},
+			Err:        err,
+		}
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }
@@ -269,11 +323,15 @@ func execFlow(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 	cfg := p.Config()
 	after := p.After()
 	pf := p.Flows()
+	debug := e.DebugChecks()
 	flows := make([]router.Flow, len(pf))
 	for i, f := range pf {
 		flows[i] = router.Flow{
 			Src: f.Src, Dst: f.Dst, Dims: f.Dims, Packets: f.Packets,
 			Data: mv.GatherRange(f.Src, d.Local[f.Src], f.Dst, f.Off, f.Len),
+		}
+		if debug {
+			flows[i].Tags = addrTags(f.Src, f.Off, f.Len)
 		}
 	}
 	// keptIdx maps the flows actually injected back to plan flow indices,
@@ -291,9 +349,39 @@ func execFlow(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 			return nil, err
 		}
 	}
-	deliveries, err := router.Run(e, flows)
+	// Self pairs never cross a link: place them before the run, so even a
+	// failed run checkpoints with them durable.
+	loc := newLocal(after, e.Nodes())
+	del := plan.NewDelivered()
+	for dp := 0; dp < after.N(); dp++ {
+		if uint64(dp) < uint64(d.Layout.N()) {
+			self := mv.Gather(uint64(dp), d.Local[dp], uint64(dp))
+			mv.Scatter(uint64(dp), loc[dp], uint64(dp), self)
+			del.Add(uint64(dp), uint64(dp), 0, len(self))
+		}
+	}
+	deliveries, part, err := router.RunRecover(e, flows)
 	if err != nil {
-		return nil, err
+		// Salvage: every completely delivered flow is scattered at its
+		// canonical offset and recorded, so the checkpoint resumes with only
+		// the flows that were still in flight.
+		for k, fi := range part.FlowIdx {
+			f := flows[fi]
+			o := pf[keptIdx[fi]].Off
+			if debug && part.Tags[k] != nil {
+				verifyTagsHost(f.Src, f.Dst, o, part.Tags[k])
+			}
+			mv.ScatterRange(f.Dst, loc[f.Dst], f.Src, o, part.Data[k])
+			del.Add(f.Src, f.Dst, o, len(part.Data[k]))
+		}
+		st := e.Stats()
+		st.Rerouted = rep.Rerouted
+		st.ExtraHops = rep.ExtraHops
+		st.Abandoned = rep.Abandoned
+		return nil, &ExecError{
+			Checkpoint: &Checkpoint{Plan: p, Src: d, Loc: loc, Delivered: del, Stats: st, At: st.Time, Opts: xo},
+			Err:        err,
+		}
 	}
 	// offs[dst][src] lists each kept flow's canonical payload offset, in
 	// injection order. Deliveries from one source arrive at a destination in
@@ -308,18 +396,16 @@ func execFlow(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 		}
 		m[f.Src] = append(m[f.Src], pf[keptIdx[k]].Off)
 	}
-	loc := newLocal(after, e.Nodes())
 	for dp := 0; dp < after.N(); dp++ {
 		out := loc[dp]
 		next := make(map[uint64]int)
-		for _, del := range deliveries[uint64(dp)] {
-			o := offs[uint64(dp)][del.Src][next[del.Src]]
-			next[del.Src]++
-			mv.ScatterRange(uint64(dp), out, del.Src, o, del.Data)
-		}
-		if uint64(dp) < uint64(d.Layout.N()) {
-			self := mv.Gather(uint64(dp), d.Local[dp], uint64(dp))
-			mv.Scatter(uint64(dp), out, uint64(dp), self)
+		for _, dl := range deliveries[uint64(dp)] {
+			o := offs[uint64(dp)][dl.Src][next[dl.Src]]
+			next[dl.Src]++
+			if debug && dl.Tags != nil {
+				verifyTagsHost(dl.Src, uint64(dp), o, dl.Tags)
+			}
+			mv.ScatterRange(uint64(dp), out, dl.Src, o, dl.Data)
 		}
 	}
 	st := e.Stats()

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// After shifts the schedule to a mid-run instant: a window that had not yet
+// opened moves earlier, an open window becomes permanent-from-zero if it
+// never closes, and an expired window disappears.
+func TestAfterShiftsWindows(t *testing.T) {
+	p := MustCompile(Spec{Rules: []Rule{
+		{Kind: LinkDown, Link: Link{From: 0, Dim: 0}, Start: 5, End: 9},  // expires before the view
+		{Kind: LinkDown, Link: Link{From: 1, Dim: 1}, Start: 8, End: 20}, // open at t=10
+		{Kind: LinkDown, Link: Link{From: 2, Dim: 0}, Start: 15},         // permanent, opens later
+		{Kind: LinkDown, Link: Link{From: 3, Dim: 0}, Start: 4},          // permanent, already open
+		{Kind: LinkFlaky, Link: Link{From: 3, Dim: 1}, Prob: 0.25},
+	}}, 2)
+	q := p.After(10)
+
+	if up, _ := q.LinkState(0, 0, 0); !up {
+		t.Fatal("expired window survived the shift")
+	}
+	up, nextUp := q.LinkState(1, 1, 0)
+	if up || nextUp != 10 {
+		t.Fatalf("open window: LinkState = (%v, %v), want (false, 10)", up, nextUp)
+	}
+	up, nextUp = q.LinkState(2, 0, 5)
+	if up || !math.IsInf(nextUp, 1) {
+		t.Fatalf("future permanent window at shifted t=5: (%v, %v), want (false, +Inf)", up, nextUp)
+	}
+	// A kill scheduled after the view instant is still in the future there;
+	// one that fired before it becomes permanent-from-zero — the property
+	// Resume's failover relies on to route around mid-run-failed links.
+	if q.PermanentlyDown(2, 0) {
+		t.Fatal("kill at original t=15 reported PermanentlyDown in the t=10 view")
+	}
+	if !q.PermanentlyDown(3, 0) {
+		t.Fatal("kill at original t=4 not PermanentlyDown in the t=10 view")
+	}
+	if p.PermanentlyDown(3, 0) {
+		t.Fatal("original plan reports a t=4 kill as down at time zero")
+	}
+	// Drop probabilities carry over untouched: the shifted view makes the
+	// same per-attempt decisions as the original (same seed, same hash).
+	for attempt := int64(1); attempt <= 8; attempt++ {
+		if q.Drop(3, 1, attempt) != p.Drop(3, 1, attempt) {
+			t.Fatalf("drop decision diverges at attempt %d", attempt)
+		}
+	}
+}
+
+func TestAfterNonPositiveIsIdentity(t *testing.T) {
+	p := MustCompile(SingleLinkDown(0, 0), 2)
+	if p.After(0) != p || p.After(-3) != p {
+		t.Fatal("After(t<=0) must return the same plan")
+	}
+}
+
+// The shifted view is itself shiftable: After composes.
+func TestAfterComposes(t *testing.T) {
+	p := MustCompile(Spec{Rules: []Rule{
+		{Kind: LinkDown, Link: Link{From: 0, Dim: 1}, Start: 4, End: 30},
+	}}, 2)
+	a := p.After(10).After(10)
+	b := p.After(20)
+	upA, nextA := a.LinkState(0, 1, 0)
+	upB, nextB := b.LinkState(0, 1, 0)
+	if upA != upB || nextA != nextB {
+		t.Fatalf("After(10).After(10) = (%v,%v), After(20) = (%v,%v)", upA, nextA, upB, nextB)
+	}
+}

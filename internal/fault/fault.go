@@ -262,6 +262,55 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// After returns the fault plan as seen from virtual time t onward: every
+// down window is shifted earlier by t and clipped at zero, windows that
+// have fully expired by t are dropped, and flaky-link probabilities (whose
+// drop decisions are per-attempt, not per-time) carry over unchanged along
+// with the seed. This is the post-failure fault state a resumed execution
+// runs against — its engine restarts the virtual clock at zero, so a link
+// that failed permanently at t'<t becomes permanently down from time zero
+// in the view, which is exactly what lets the resume's failover pass route
+// around it (PermanentlyDown holds in the view even when it did not in the
+// original plan).
+//
+// t <= 0 returns the receiver itself (the view would be identical).
+func (p *Plan) After(t float64) *Plan {
+	if t <= 0 {
+		return p
+	}
+	q := &Plan{
+		n:     p.n,
+		seed:  p.seed,
+		downs: make(map[Link][]window, len(p.downs)),
+		flaky: make(map[Link]float64, len(p.flaky)),
+	}
+	for l, ws := range p.downs {
+		var shifted []window
+		for _, w := range ws {
+			if w.end <= t {
+				continue // expired before the view starts
+			}
+			s := w.start - t
+			if s < 0 {
+				s = 0
+			}
+			e := w.end
+			if !math.IsInf(e, 1) {
+				e -= t
+			}
+			shifted = append(shifted, window{start: s, end: e})
+		}
+		if len(shifted) > 0 {
+			q.downs[l] = shifted
+		}
+	}
+	for l, prob := range p.flaky {
+		q.flaky[l] = prob
+	}
+	q.desc = q.describe()
+	return q
+}
+
 // PermanentlyDown reports whether the link is down at time zero and never
 // recovers — the condition under which the flow executor reroutes before
 // injection (a transient window is instead waited out by the engine's

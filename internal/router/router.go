@@ -23,13 +23,41 @@ type Flow struct {
 	Dims     []int     // route; PathEnd(Src, Dims) must equal Dst
 	Data     []float64 // payload (matrix elements)
 	Packets  int       // number of packets the payload is split into (min 1)
+	// Tags carries one address tag per payload element under SIMNET_DEBUG
+	// (nil otherwise). When non-nil it must be the same length as Data; it
+	// is split and reassembled packet-for-packet alongside the payload.
+	Tags []uint64
 }
 
 // Delivery is a completed flow at its destination, payload reassembled in
-// packet order.
+// packet order. Tags is the reassembled address-tag array when the flow
+// carried one, nil otherwise.
 type Delivery struct {
 	Src  uint64
 	Data []float64
+	Tags []uint64
+}
+
+// Partial is what RunRecover salvages from a failed run: the flows whose
+// every packet had reached its destination when the engine stopped, with
+// payloads reassembled exactly as a successful run would have. FlowIdx
+// indexes into the submitted flow slice, ascending; Data and Tags are
+// parallel to it (Tags entries nil for untagged flows). Flows with any
+// packet still in flight are simply absent — partial payloads are never
+// exposed.
+type Partial struct {
+	FlowIdx []int
+	Data    [][]float64
+	Tags    [][]uint64
+}
+
+// Elems returns the total number of salvaged payload elements.
+func (p *Partial) Elems() int {
+	total := 0
+	for _, d := range p.Data {
+		total += len(d)
+	}
+	return total
 }
 
 // Run executes all flows on the engine. It returns the deliveries grouped
@@ -38,21 +66,42 @@ type Delivery struct {
 // first — which realizes the paper's MPT schedule of sending one packet per
 // path per cycle.
 func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
+	out, _, err := RunRecover(e, flows)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunRecover is Run with checkpoint salvage: when the engine run fails
+// (fault injection, deadline, deadlock), the completely delivered flows are
+// recovered from the destination nodes' final buffers — safe to read
+// host-side because a failed Run parks every node before returning — and
+// returned as a Partial alongside the error. On success the Partial is nil
+// and the delivery map is identical to Run's.
+//
+// Every packet is stamped with a delivery-audit checksum at injection and
+// verified at its destination; a mismatch aborts the run with a typed
+// *simnet.AuditError.
+func RunRecover(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, *Partial, error) {
 	n := e.Dims()
 	N := uint64(e.Nodes())
 	for i, f := range flows {
 		if f.Src >= N || f.Dst >= N {
-			return nil, fmt.Errorf("router: flow %d endpoints out of range", i)
+			return nil, nil, fmt.Errorf("router: flow %d endpoints out of range", i)
+		}
+		if f.Tags != nil && len(f.Tags) != len(f.Data) {
+			return nil, nil, fmt.Errorf("router: flow %d has %d tags for %d elements", i, len(f.Tags), len(f.Data))
 		}
 		end := f.Src
 		for _, d := range f.Dims {
 			if d < 0 || d >= n {
-				return nil, fmt.Errorf("router: flow %d has dimension %d out of range", i, d)
+				return nil, nil, fmt.Errorf("router: flow %d has dimension %d out of range", i, d)
 			}
 			end ^= 1 << uint(d)
 		}
 		if end != f.Dst {
-			return nil, fmt.Errorf("router: flow %d route ends at %d, not %d", i, end, f.Dst)
+			return nil, nil, fmt.Errorf("router: flow %d route ends at %d, not %d", i, end, f.Dst)
 		}
 	}
 
@@ -63,16 +112,10 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 	expect := make([]int, N)
 	finalCount := make([]int, N)
 	for i, f := range flows {
-		pk := f.Packets
-		if pk < 1 {
-			pk = 1
-		}
-		if pk > len(f.Data) && len(f.Data) > 0 {
-			pk = len(f.Data)
-		}
 		if len(f.Dims) == 0 {
 			continue // local; no traffic
 		}
+		pk := packetsOf(f)
 		bySrc[f.Src] = append(bySrc[f.Src], i)
 		x := f.Src
 		for _, d := range f.Dims {
@@ -85,6 +128,7 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 	type pkt struct {
 		flow, idx int
 		data      []float64
+		tags      []uint64
 	}
 	// finals[node] accumulates (flow, packet, data) at destinations,
 	// presized to the known arrival totals.
@@ -102,19 +146,19 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 		type cursor struct {
 			flow   int
 			chunks [][]float64
+			tags   [][]uint64
 			next   int
 		}
 		cursors := make([]cursor, 0, len(myFlows))
 		for _, fi := range myFlows {
 			f := flows[fi]
-			pk := f.Packets
-			if pk < 1 {
-				pk = 1
+			pk := packetsOf(f)
+			c := cursor{flow: fi, chunks: splitChunks(f.Data, pk)}
+			if f.Tags != nil {
+				// Same length as Data, so the chunk boundaries line up.
+				c.tags = splitTags(f.Tags, pk)
 			}
-			if pk > len(f.Data) && len(f.Data) > 0 {
-				pk = len(f.Data)
-			}
-			cursors = append(cursors, cursor{flow: fi, chunks: splitChunks(f.Data, pk)})
+			cursors = append(cursors, c)
 		}
 		for remaining := true; remaining; {
 			remaining = false
@@ -124,10 +168,15 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 					continue
 				}
 				f := flows[c.flow]
-				nd.Send(f.Dims[0], simnet.Msg{
+				m := simnet.Msg{
 					Src: f.Src, Dst: f.Dst, Tag: c.flow, Rel: uint64(c.next),
 					Path: f.Dims[1:], Data: c.chunks[c.next],
-				})
+					Sum: simnet.Checksum(c.chunks[c.next]),
+				}
+				if c.tags != nil {
+					m.Tags = c.tags[c.next]
+				}
+				nd.Send(f.Dims[0], m)
 				c.next++
 				if c.next < len(c.chunks) {
 					remaining = true
@@ -138,7 +187,12 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 		for i := 0; i < expect[id]; i++ {
 			m := nd.RecvAny()
 			if len(m.Path) == 0 {
-				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data})
+				if m.Sum != 0 {
+					if got := simnet.Checksum(m.Data); got != m.Sum {
+						nd.Fail(&simnet.AuditError{Node: id, Src: m.Src, Dst: m.Dst, What: "packet", Want: m.Sum, Got: got})
+					}
+				}
+				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data, tags: m.Tags})
 				continue
 			}
 			next := m.Path[0]
@@ -146,31 +200,58 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 			nd.Send(next, m)
 		}
 	})
-	if err != nil {
-		return nil, err
-	}
 
-	// Reassemble deliveries: local flows first, then received packets.
-	out := make(map[uint64][]Delivery)
+	// Reassemble per flow. After a failed Run every node goroutine has
+	// parked, so finals is safe to read here even on the error path.
 	byFlow := make(map[int][]pkt)
 	for _, ps := range finals {
 		for _, p := range ps {
 			byFlow[p.flow] = append(byFlow[p.flow], p)
 		}
 	}
-	for i, f := range flows {
-		var data []float64
+	assemble := func(i int) ([]float64, []uint64) {
+		f := flows[i]
 		if len(f.Dims) == 0 {
-			data = append([]float64(nil), f.Data...)
-		} else {
-			ps := byFlow[i]
-			slices.SortFunc(ps, func(a, b pkt) int { return a.idx - b.idx })
-			data = make([]float64, 0, len(f.Data))
-			for _, p := range ps {
-				data = append(data, p.data...)
+			var tags []uint64
+			if f.Tags != nil {
+				tags = append([]uint64(nil), f.Tags...)
+			}
+			return append([]float64(nil), f.Data...), tags
+		}
+		ps := byFlow[i]
+		slices.SortFunc(ps, func(a, b pkt) int { return a.idx - b.idx })
+		data := make([]float64, 0, len(f.Data))
+		var tags []uint64
+		if f.Tags != nil {
+			tags = make([]uint64, 0, len(f.Tags))
+		}
+		for _, p := range ps {
+			data = append(data, p.data...)
+			if tags != nil {
+				tags = append(tags, p.tags...)
 			}
 		}
-		out[f.Dst] = append(out[f.Dst], Delivery{Src: f.Src, Data: data})
+		return data, tags
+	}
+
+	if err != nil {
+		part := &Partial{}
+		for i, f := range flows {
+			if len(f.Dims) > 0 && len(byFlow[i]) != packetsOf(f) {
+				continue // packets still in flight; never expose partial payloads
+			}
+			data, tags := assemble(i)
+			part.FlowIdx = append(part.FlowIdx, i)
+			part.Data = append(part.Data, data)
+			part.Tags = append(part.Tags, tags)
+		}
+		return nil, part, err
+	}
+
+	out := make(map[uint64][]Delivery)
+	for i, f := range flows {
+		data, tags := assemble(i)
+		out[f.Dst] = append(out[f.Dst], Delivery{Src: f.Src, Data: data, Tags: tags})
 	}
 	for _, ds := range out {
 		// Stable: deliveries from the same source keep flow order, so
@@ -185,7 +266,20 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 			return 0
 		})
 	}
-	return out, nil
+	return out, nil, nil
+}
+
+// packetsOf returns the effective packet count of a flow: at least 1, and
+// never more than the payload has elements.
+func packetsOf(f Flow) int {
+	pk := f.Packets
+	if pk < 1 {
+		pk = 1
+	}
+	if pk > len(f.Data) && len(f.Data) > 0 {
+		pk = len(f.Data)
+	}
+	return pk
 }
 
 // splitChunks splits data into pk nearly equal chunks (earlier chunks get
@@ -203,6 +297,24 @@ func splitChunks(data []float64, pk int) [][]float64 {
 			sz++
 		}
 		chunks[i] = data[off : off+sz]
+		off += sz
+	}
+	return chunks
+}
+
+// splitTags splits a tag array with the same boundaries splitChunks uses for
+// an equal-length payload.
+func splitTags(tags []uint64, pk int) [][]uint64 {
+	chunks := make([][]uint64, pk)
+	base := len(tags) / pk
+	rem := len(tags) % pk
+	off := 0
+	for i := 0; i < pk; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		chunks[i] = tags[off : off+sz]
 		off += sz
 	}
 	return chunks

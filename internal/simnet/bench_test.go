@@ -67,3 +67,18 @@ func BenchmarkEngineSpawn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChecksum measures the always-on delivery-audit pass; the
+// checkpoint-overhead gate depends on this staying near memory speed.
+func BenchmarkChecksum(b *testing.B) {
+	data := make([]float64, 1024)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	for i := 0; i < b.N; i++ {
+		benchSum = Checksum(data)
+	}
+}
+
+var benchSum uint64

@@ -1,0 +1,54 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDeadline is the sentinel a deadline abort unwraps to (errors.Is).
+var ErrDeadline = errors.New("deadline exceeded")
+
+// DeadlineError is the typed error Run returns when the virtual-time
+// deadline set with SetDeadline expires. The abort is clean and
+// deterministic: no operation scheduled to start after the deadline
+// executes, every node goroutine is unwound, and the engine's Stats (and
+// any per-node partitioned state the program wrote before the abort) remain
+// readable — which is what lets executors turn a deadline into a checkpoint.
+type DeadlineError struct {
+	Deadline float64 // the virtual-time budget that expired
+	Node     uint64  // node whose next operation overran the deadline
+	NextAt   float64 // virtual action time of that operation
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("simnet: deadline t=%g exceeded: next operation (node %d) would start at t=%g",
+		e.Deadline, e.Node, e.NextAt)
+}
+
+func (e *DeadlineError) Unwrap() error { return ErrDeadline }
+
+// SetDeadline bounds the next Run to virtual time t (µs): the run aborts
+// with a typed *DeadlineError as soon as the operation the scheduler would
+// execute next has an action time past t (strictly — an operation acting
+// exactly at the deadline is admitted). Action time is a send's start or a
+// receive's arrival; an admitted send completes its transmission even if it
+// lands after t, and node-program termination is always allowed.
+//
+// t <= 0 or +Inf disables the deadline (the default). Must be called before
+// Run. Both schedulers apply the check to the same chosen operation, so a
+// deadline abort is as deterministic and replayable as any other outcome.
+func (e *Engine) SetDeadline(t float64) {
+	if t <= 0 {
+		t = math.Inf(1)
+	}
+	e.deadline = t
+}
+
+// Deadline returns the configured virtual-time budget (+Inf when unset).
+func (e *Engine) Deadline() float64 { return e.deadline }
+
+// deadlineError builds the typed abort for the operation that overran.
+func (e *Engine) deadlineError(nd *Node, at float64) error {
+	return &DeadlineError{Deadline: e.deadline, Node: nd.id, NextAt: at}
+}

@@ -19,3 +19,9 @@ import "os"
 func debugMode() bool {
 	return os.Getenv("SIMNET_DEBUG") != ""
 }
+
+// DebugChecks reports whether this engine was constructed with SIMNET_DEBUG
+// assertions armed. Executors consult it to decide whether to carry
+// per-element address tags (Msg.Tags) alongside payloads, keeping the
+// always-on path free of the heavier debug plumbing.
+func (e *Engine) DebugChecks() bool { return e.debug }

@@ -45,6 +45,18 @@ func (nd *Node) submit(o op) (Msg, error) {
 // program's failure, so Run returns the typed *FaultError.
 type nodeAbort struct{ err error }
 
+// Fail aborts the node's program with a typed error: the engine unwinds
+// every node and Run returns err as-is (so callers can errors.Is/As against
+// it). This is how node programs surface protocol-level failures the engine
+// cannot see — a delivery-audit mismatch, a malformed message — with the
+// same clean, deterministic unwind a failed Send gets.
+func (nd *Node) Fail(err error) {
+	if err == nil {
+		panic("simnet: Fail(nil)")
+	}
+	panic(&nodeAbort{err: err}) //cubevet:ignore liberrors -- typed unwind, recovered by the engine wrapper
+}
+
 // Send transmits m to the neighbor across dimension dim. The call returns
 // when the transmission has been scheduled; the node's send port stays busy
 // for the transmission duration, so consecutive sends serialize according

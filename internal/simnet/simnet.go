@@ -41,7 +41,7 @@ package simnet
 import (
 	"fmt"
 	"math"
-	"slices"
+	"strings"
 
 	"boolcube/internal/machine"
 )
@@ -53,6 +53,9 @@ import (
 type Part struct {
 	Src, Dst uint64
 	N        int
+	// Sum is the block's delivery-audit checksum (Checksum over its N
+	// elements, computed where the block was gathered); 0 means unaudited.
+	Sum uint64
 }
 
 // Msg is a message traveling over one cube link. Src and Dst identify the
@@ -72,6 +75,14 @@ type Msg struct {
 	Path     []int
 	Parts    []Part
 	Data     []float64
+	// Sum is the whole-payload delivery-audit checksum (Checksum over Data,
+	// computed at injection); 0 means unaudited. Multi-block messages audit
+	// per Part instead.
+	Sum uint64
+	// Tags carries one address tag per Data element under SIMNET_DEBUG
+	// (nil otherwise), so receivers can verify each element's provenance
+	// without materializing the expected result.
+	Tags []uint64
 }
 
 // Clone returns a deep copy of the message (fresh Data, Path and Parts).
@@ -82,6 +93,7 @@ func (m Msg) Clone() Msg {
 	c.Data = append([]float64(nil), m.Data...)
 	c.Path = append([]int(nil), m.Path...)
 	c.Parts = append([]Part(nil), m.Parts...)
+	c.Tags = append([]uint64(nil), m.Tags...)
 	return c
 }
 
@@ -206,8 +218,9 @@ type Engine struct {
 
 	pool bufPool
 
-	faults FaultModel
-	retry  RetryPolicy
+	faults   FaultModel
+	retry    RetryPolicy
+	deadline float64 // virtual-time budget; +Inf when unset (see SetDeadline)
 
 	stats    Stats
 	tracer   Tracer
@@ -220,10 +233,19 @@ type Engine struct {
 // TraceEvent is one timed operation of one node, reported to a Tracer.
 type TraceEvent struct {
 	Node       uint64
-	Kind       string // "send", "recv", "copy", "compute", "drop" (faulted frame)
+	Kind       string // "send", "recv", "copy", "compute", "drop" (faulted attempt)
 	Dim        int    // cube dimension for send/recv; -1 otherwise
 	Bytes      int
 	Start, End float64
+
+	// Fault detail, filled only on "drop" events so a faulted trace is
+	// debuggable without cross-referencing the fault plan. Attempt is the
+	// 1-based retry attempt that failed. DownUntil is the end of the
+	// failing link's down-window ([Start, DownUntil), +Inf for a permanent
+	// failure); it is 0 when the link was up and the frame was dropped in
+	// flight by a flaky link.
+	Attempt   int
+	DownUntil float64
 }
 
 // Tracer receives every timed operation as it executes, in deterministic
@@ -276,6 +298,7 @@ func New(n int, params machine.Params) (*Engine, error) {
 		linkBusy:   make([]float64, nodes*n),
 		linkUsed:   make([]bool, nodes*n),
 		sendDest:   -1,
+		deadline:   math.Inf(1),
 		debug:      debugMode(),
 	}
 	return e, nil
@@ -427,6 +450,13 @@ func (e *Engine) runIndexed() error {
 			return err
 		}
 		nd := e.nodes[best]
+		if nd.pending.kind != opDone {
+			if t, _ := e.actionTime(nd); t > e.deadline {
+				err := e.deadlineError(nd, t)
+				e.drainAll()
+				return err
+			}
+		}
 		e.sendDest = -1
 		if e.execute(nd) {
 			nd.done = true
@@ -510,6 +540,11 @@ func (e *Engine) runLinear() error {
 			return err
 		}
 		nd := e.nodes[best]
+		if nd.pending.kind != opDone && bestT > e.deadline {
+			err := e.deadlineError(nd, bestT)
+			e.drainAll()
+			return err
+		}
 		if e.execute(nd) {
 			nd.done = true
 			live--
@@ -542,15 +577,39 @@ func (e *Engine) drainAll() {
 	}
 }
 
+// deadlockError reports every stuck node with the dimension/port it is
+// blocked receiving on and the virtual time of its last progress (its local
+// clock — the completion time of its last executed operation), so a hung
+// program can be diagnosed from the error alone. At most maxDeadlockDetail
+// nodes are itemized; the total count is always reported.
 func (e *Engine) deadlockError() error {
-	var stuck []uint64
-	for _, nd := range e.nodes {
-		if !nd.done {
-			stuck = append(stuck, nd.id)
+	const maxDeadlockDetail = 8
+	var parts []string
+	stuck := 0
+	for _, nd := range e.nodes { // ascending node id
+		if nd.done {
+			continue
 		}
+		stuck++
+		if len(parts) >= maxDeadlockDetail {
+			continue
+		}
+		var where string
+		switch nd.pending.kind {
+		case opRecv:
+			where = fmt.Sprintf("recv(dim %d, port %d)", nd.pending.dim, e.portIndex(nd.pending.dim))
+		case opRecvAny:
+			where = "recv(any dim)"
+		default:
+			where = fmt.Sprintf("op %d", int(nd.pending.kind))
+		}
+		parts = append(parts, fmt.Sprintf("node %d blocked on %s, last progress t=%g", nd.id, where, nd.clock))
 	}
-	slices.Sort(stuck)
-	return fmt.Errorf("simnet: deadlock: nodes %v blocked on receive with no inbound messages", stuck)
+	detail := strings.Join(parts, "; ")
+	if stuck > maxDeadlockDetail {
+		detail += fmt.Sprintf("; ... and %d more", stuck-maxDeadlockDetail)
+	}
+	return fmt.Errorf("simnet: deadlock: %d node(s) blocked on receive with no inbound messages: %s", stuck, detail)
 }
 
 // actionTime returns the virtual time at which the node's pending op can
@@ -666,6 +725,10 @@ func (e *Engine) clearFaults(nd *Node, dim, li, port, bytes int, dur float64, st
 		attempts++
 		up, nextUp := e.faults.LinkState(nd.id, dim, start)
 		if !up {
+			// A zero-length drop event records the attempt that found the
+			// link down and the remaining down-window [Start, DownUntil).
+			e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Start: start, End: start,
+				Attempt: attempts, DownUntil: nextUp})
 			if math.IsInf(nextUp, 1) || attempts >= e.retry.Attempts {
 				return start, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
 					At: start, Attempts: attempts, Err: ErrLinkDown}
@@ -680,9 +743,11 @@ func (e *Engine) clearFaults(nd *Node, dim, li, port, bytes int, dur float64, st
 		}
 		// The dropped frame still occupied the wire: charge the port, the
 		// link and the volume statistics, then retransmit after backoff.
+		// DownUntil stays 0: the link was up, the frame was lost in flight.
 		end := e.chargeLink(nd, dim, li, port, bytes, dur, startups, start)
 		e.stats.Drops++
-		e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end})
+		e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end,
+			Attempt: attempts})
 		if attempts >= e.retry.Attempts {
 			return end, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
 				At: start, Attempts: attempts, Err: ErrRetryBudget}

@@ -20,6 +20,18 @@ raw=$(go test -run '^$' -bench 'BenchmarkEngineTransposeIndexed$|BenchmarkEngine
 	-benchmem -benchtime "$COUNT" ./internal/simnet/)
 echo "$raw"
 
+# Checkpoint overhead: the production (checkpointed, checksummed) exchange
+# executor against the retained pre-checkpointing baseline on the unfaulted
+# repeated 8-cube exchange. BenchmarkExchangePair times the two arms as
+# back-to-back pairs inside one loop and reports the median per-pair ratio
+# as overhead-pct — adjacent-in-time pairs cancel scheduler/turbo/GC drift
+# that phase-ordered separate runs cannot, so the few-percent delta is
+# measurable.
+echo "==> checkpoint-overhead pair (alternating, median of ${OVERHEAD_COUNT:-40x})"
+ovraw=$(go test -run '^$' -bench 'BenchmarkExchangePair$' \
+	-benchtime "${OVERHEAD_COUNT:-40x}" ./internal/core/)
+echo "$ovraw"
+
 echo "==> timing cmd/experiments -all"
 t0=$(date +%s.%N)
 go run ./cmd/experiments -all >/dev/null
@@ -27,11 +39,18 @@ t1=$(date +%s.%N)
 sweep=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1f", b - a }')
 echo "sweep wall-clock: ${sweep}s (baseline ${BASELINE_S}s)"
 
-echo "$raw" | awk -v out="$OUT" -v sweep="$sweep" -v base="$BASELINE_S" '
+printf '%s\n%s\n' "$raw" "$ovraw" | awk -v out="$OUT" -v sweep="$sweep" -v base="$BASELINE_S" '
 	/^BenchmarkEngineTransposeIndexed/   { idx = $3; idx_allocs = $7 }
 	/^BenchmarkEngineTransposeReference/ { ref = $3; ref_allocs = $7 }
+	/^BenchmarkExchangePair/ {
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ckpt-ns") ckpt = $(i - 1)
+			if ($i == "base-ns") bl = $(i - 1)
+			if ($i == "overhead-pct") ov = $(i - 1)
+		}
+	}
 	END {
-		if (idx == "" || ref == "") {
+		if (idx == "" || ref == "" || ckpt == "" || bl == "" || ov == "") {
 			print "bench_engine: missing benchmark output" > "/dev/stderr"
 			exit 1
 		}
@@ -42,6 +61,9 @@ echo "$raw" | awk -v out="$OUT" -v sweep="$sweep" -v base="$BASELINE_S" '
 		printf "  \"reference_ns_per_op\": %s,\n", ref >> out
 		printf "  \"reference_allocs_per_op\": %s,\n", ref_allocs >> out
 		printf "  \"scheduler_speedup\": %.2f,\n", ref / idx >> out
+		printf "  \"checkpointed_ns_per_op\": %d,\n", ckpt >> out
+		printf "  \"baseline_ns_per_op\": %d,\n", bl >> out
+		printf "  \"checkpoint_overhead_pct\": %.2f,\n", ov >> out
 		printf "  \"sweep_wallclock_s\": %s,\n", sweep >> out
 		printf "  \"sweep_baseline_s\": %s,\n", base >> out
 		printf "  \"sweep_speedup\": %.2f\n", base / sweep >> out

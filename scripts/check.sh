@@ -19,12 +19,23 @@ go test ./...
 
 # Fuzz corpora in regression mode: replay the checked-in seeds (no fuzzing).
 echo "==> go test -run '^Fuzz' (fuzz seed regression)"
-go test -run '^Fuzz' ./internal/plan/ ./internal/cube/
+go test -run '^Fuzz' ./internal/plan/ ./internal/cube/ .
 
 # Smoke the fault sweep: robustness table on a 6-cube (survival under k
 # random link failures per path system).
 echo "==> experiments -exp fault-sweep (6-cube smoke)"
 go run ./cmd/experiments -exp fault-sweep >/dev/null
+
+# Smoke the recovery sweep: mid-run link kills across algorithms, every
+# failed run checkpointed, resumed and verified element-exact.
+echo "==> experiments -exp recovery-sweep (6-cube smoke)"
+go run ./cmd/experiments -exp recovery-sweep >/dev/null
+
+# Resume determinism: the checkpoint/resume acceptance scenarios replayed
+# twice — the resumed distribution must stay bit-identical to the unfaulted
+# run on every repetition (plan-cache state must not leak into recovery).
+echo "==> go test -run resume scenarios -count=2"
+go test -run 'TestMPTResumeAfterMidRunLinkKills|TestExchangeResumeAfterMidRunKill|TestDeadlineAbortsAndResumes' -count=2 .
 
 # Faulted soak: combined permanent + flaky faults on an 8-cube, replayed
 # for determinism (part of the non-short suite; run explicitly here).
@@ -46,6 +57,13 @@ awk -F'[:,]' '/"scheduler_speedup"/ {
 		exit 1
 	}
 	printf "check: scheduler speedup %.2fx (>= 1.0x gate)\n", $2
+}' BENCH_engine.json
+awk -F'[:,]' '/"checkpoint_overhead_pct"/ {
+	if ($2 + 0 >= 3.0) {
+		printf "check: checkpoint overhead %.2f%% at or above the 3%% budget\n", $2 > "/dev/stderr"
+		exit 1
+	}
+	printf "check: checkpoint overhead %.2f%% (< 3%% gate)\n", $2
 }' BENCH_engine.json
 
 # -short skips the exper figure sweeps, which exceed the per-package test
