@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -112,5 +113,87 @@ func TestUnknownPass(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "unknown pass") {
 		t.Errorf("stderr missing diagnostic: %q", stderr)
+	}
+}
+
+// TestJSONOutput covers -json: the same findings as the text run, as a
+// well-formed JSON array with file/line/pass/severity populated.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runCubevet(t, "-passes", "shiftwidth", "-json", fixtureDir("shiftwidth"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Pass     string `json:"pass"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	want := wantFindings(t, "shiftwidth")
+	if len(got) != len(want) {
+		t.Fatalf("got %d JSON findings, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Pass != "shiftwidth" || f.Severity != "error" {
+			t.Errorf("finding %d: pass %q severity %q, want shiftwidth/error", i, f.Pass, f.Severity)
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding %d has empty position or message: %+v", i, f)
+		}
+	}
+}
+
+// TestWarnDemotion covers -warn: demoted passes still report (with a
+// "warning:" prefix) but no longer gate the exit status.
+func TestWarnDemotion(t *testing.T) {
+	code, stdout, stderr := runCubevet(t, "-passes", "shiftwidth", "-warn", "shiftwidth", fixtureDir("shiftwidth"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 with all findings demoted (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "warning:") {
+		t.Errorf("demoted findings missing warning prefix:\n%s", stdout)
+	}
+	if lines := strings.Count(stdout, "warning:"); lines != len(wantFindings(t, "shiftwidth")) {
+		t.Errorf("got %d warnings, want %d", lines, len(wantFindings(t, "shiftwidth")))
+	}
+	if !strings.Contains(stderr, "0 gating") {
+		t.Errorf("summary should report 0 gating findings, got: %q", stderr)
+	}
+}
+
+// TestTypeErrorExit covers the load-failure contract: a package that does
+// not type-check makes the driver refuse to analyze, exit 2, distinct from
+// the findings exit 1.
+func TestTypeErrorExit(t *testing.T) {
+	code, stdout, stderr := runCubevet(t, fixtureDir("broken"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stdout: %s, stderr: %s)", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "refusing to analyze") {
+		t.Errorf("stderr missing refusal diagnostic: %q", stderr)
+	}
+	if stdout != "" {
+		t.Errorf("no findings should print on type failure, got:\n%s", stdout)
+	}
+}
+
+// TestSelfCheck runs every pass over the real module tree and asserts the
+// tree is clean: every invariant cubevet enforces holds in the code that
+// ships, and every intentional exception carries a reasoned
+// //cubevet:ignore. This is the repository's own gate, locked as a test.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis; skipped in -short")
+	}
+	code, stdout, stderr := runCubevet(t, "./...")
+	if code != 0 {
+		t.Fatalf("cubevet ./... over the real tree: exit %d, want 0\n%s%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("unexpected findings:\n%s", stdout)
 	}
 }

@@ -1,8 +1,11 @@
 // Package analysis is cubevet's engine: a stdlib-only (go/ast + go/parser +
 // go/types, no go/packages) static-analysis framework that enforces this
-// repository's invariants — contracts the compiler cannot see.
+// repository's invariants — contracts the compiler cannot see. The shared
+// dataflow machinery (alias fixpoints, closure captures, def-use chains,
+// per-function summaries) lives in the flow subpackage; the passes here are
+// thin rule layers over it.
 //
-// Five passes ship with it:
+// Nine passes ship with it:
 //
 //   - nodeprog: node-program closures handed to Simulate/SimulateLoads/
 //     (*Engine).Run must only write shared state partitioned by nd.ID()
@@ -17,15 +20,30 @@
 //     messages are the documented exception).
 //   - detbreak: simulation and cost paths must stay deterministic — no
 //     time.Now, no unseeded math/rand, no output emitted from map
-//     iteration order.
+//     iteration order — including nondeterminism reached transitively
+//     through module-internal helpers (the summary index).
 //   - poolretain: node programs must not retain a pooled message buffer
 //     (Msg.Data/Msg.Parts or an alias) past the Recycle call that returns
 //     it to the engine's pool.
+//   - sendown: Send/TrySend/Exchange transfer a message's buffers to the
+//     receiver; the sender must not touch the payload (or an alias of it)
+//     afterwards.
+//   - sharedwrite: goroutines (go statements, exper.Par worker closures)
+//     must not write captured shared state without channel/sync mediation
+//     or a goroutine-local index.
+//   - ckptsafe: checkpointed executors must not drop the recovery
+//     invariants — a post-run failure returns *ExecError with a Stats-
+//     folding Checkpoint, and engine failure constructors drain the node
+//     goroutines before surfacing.
+//   - ignorereason: every //cubevet:ignore suppression must carry a
+//     "-- reason" justification.
 //
 // Findings are reported as "file:line: [pass] message". A finding is
-// suppressed by a "//cubevet:ignore <pass>" comment on the same line or the
-// line directly above; bare "//cubevet:ignore" suppresses every pass for
-// that line.
+// suppressed by a "//cubevet:ignore <pass> -- reason" comment on the same
+// line or the line directly above; bare "//cubevet:ignore" suppresses every
+// pass for that line. A suppression without a reason still suppresses (so
+// legacy trees degrade gracefully) but is itself reported by the
+// ignorereason pass, which only a reasoned directive can silence.
 package analysis
 
 import (
@@ -35,13 +53,25 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"boolcube/internal/analysis/flow"
+)
+
+// Severity classifies how a finding gates the build: errors fail cubevet
+// (exit 1), warnings are reported but do not affect the exit status.
+type Severity string
+
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
 )
 
 // Finding is one rule violation at a source position.
 type Finding struct {
-	Pos     token.Position // file:line:col of the violation
-	Pass    string         // pass name, e.g. "shiftwidth"
-	Message string
+	Pos      token.Position // file:line:col of the violation
+	Pass     string         // pass name, e.g. "shiftwidth"
+	Severity Severity       // error (gates) or warn (reported only)
+	Message  string
 }
 
 // String renders the finding in the canonical "file:line: [pass] message"
@@ -61,25 +91,67 @@ type Package struct {
 	Info  *types.Info
 	// TypeErrors collects type-checker diagnostics. Passes run on the AST
 	// regardless; partial type information degrades precision, not
-	// soundness of the syntactic fallbacks.
+	// soundness of the syntactic fallbacks. The cubevet driver refuses to
+	// report on packages that fail to type-check (exit 2) so the
+	// degradation never silently weakens the gate.
 	TypeErrors []error
 }
 
-// Pass is one analysis rule applied to a package.
+// Module is the whole analyzed package set plus the cross-package summary
+// index the interprocedural passes query. Build one with NewModule over
+// every package a run will analyze; packages summarize correctly even when
+// only a subset is analyzed (the index just knows less).
+type Module struct {
+	Pkgs  []*Package
+	Index *flow.Index
+}
+
+// NewModule builds the module view: every function declaration of every
+// package is registered in the summary index, and each pass that publishes
+// interprocedural facts contributes them here (suppressed sites publish
+// nothing, so a justified //cubevet:ignore stops propagation too).
+func NewModule(pkgs []*Package) *Module {
+	mod := &Module{Pkgs: pkgs, Index: flow.NewIndex()}
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				mod.Index.AddFunc(fn, pkg.Info, fd.Body)
+				collectDetFacts(mod.Index, pkg, sup, fn, fd.Body)
+			}
+		}
+	}
+	return mod
+}
+
+// Pass is one analysis rule applied to a package within a module.
 type Pass struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Finding
+	Name     string
+	Doc      string
+	Severity Severity
+	Run      func(*Module, *Package) []Finding
 }
 
 // Passes returns every registered pass in stable order.
 func Passes() []Pass {
 	return []Pass{
-		{Name: "nodeprog", Doc: "node programs must partition shared state by nd.ID()", Run: runNodeprog},
-		{Name: "shiftwidth", Doc: "shift counts derived from address widths must be guarded < 64", Run: runShiftwidth},
-		{Name: "liberrors", Doc: "library code must not drop errors or panic on error values", Run: runLiberrors},
-		{Name: "detbreak", Doc: "simulation paths must stay deterministic", Run: runDetbreak},
-		{Name: "poolretain", Doc: "node programs must not retain pooled message buffers past Recycle", Run: runPoolretain},
+		{Name: "nodeprog", Doc: "node programs must partition shared state by nd.ID()", Severity: SeverityError, Run: runNodeprog},
+		{Name: "shiftwidth", Doc: "shift counts derived from address widths must be guarded < 64", Severity: SeverityError, Run: runShiftwidth},
+		{Name: "liberrors", Doc: "library code must not drop errors or panic on error values", Severity: SeverityError, Run: runLiberrors},
+		{Name: "detbreak", Doc: "simulation paths must stay deterministic, including through helpers", Severity: SeverityError, Run: runDetbreak},
+		{Name: "poolretain", Doc: "node programs must not retain pooled message buffers past Recycle", Severity: SeverityError, Run: runPoolretain},
+		{Name: "sendown", Doc: "Send transfers payload ownership; no use of the buffers after it", Severity: SeverityError, Run: runSendown},
+		{Name: "sharedwrite", Doc: "goroutines must not write captured state without mediation or a local index", Severity: SeverityError, Run: runSharedwrite},
+		{Name: "ckptsafe", Doc: "post-run failures must checkpoint (fold Stats) or drain before surfacing", Severity: SeverityError, Run: runCkptsafe},
+		{Name: "ignorereason", Doc: "cubevet:ignore suppressions must carry a -- reason", Severity: SeverityError, Run: runIgnorereason},
 	}
 }
 
@@ -122,11 +194,14 @@ func SelectPasses(spec string) ([]Pass, error) {
 
 // Analyze runs the given passes over the package and returns the surviving
 // (non-suppressed) findings sorted by position.
-func Analyze(pkg *Package, passes []Pass) []Finding {
+func Analyze(mod *Module, pkg *Package, passes []Pass) []Finding {
 	sup := collectSuppressions(pkg)
 	var out []Finding
 	for _, p := range passes {
-		for _, f := range p.Run(pkg) {
+		for _, f := range p.Run(mod, pkg) {
+			if f.Severity == "" {
+				f.Severity = p.Severity
+			}
 			if sup.suppressed(f) {
 				continue
 			}
@@ -149,12 +224,25 @@ func Analyze(pkg *Package, passes []Pass) []Finding {
 	return out
 }
 
+// AnalyzeOne is Analyze over a single-package module — the shape the golden
+// fixture tests use.
+func AnalyzeOne(pkg *Package, passes []Pass) []Finding {
+	return Analyze(NewModule([]*Package{pkg}), pkg, passes)
+}
+
 // ignoreDirective is the comment prefix that suppresses findings.
 const ignoreDirective = "cubevet:ignore"
 
-// suppressions maps file -> line -> set of suppressed pass names ("*" for
-// all passes).
-type suppressions map[string]map[int]map[string]bool
+// suppression is the parsed content of one line's worth of directives: the
+// pass names it silences ("*" for all) and whether any directive on the
+// line carried a "-- reason" justification.
+type suppression struct {
+	passes   map[string]bool
+	reasoned bool
+}
+
+// suppressions maps file -> line -> that line's directive set.
+type suppressions map[string]map[int]*suppression
 
 func (s suppressions) suppressed(f Finding) bool {
 	lines := s[f.Pos.Filename]
@@ -162,7 +250,17 @@ func (s suppressions) suppressed(f Finding) bool {
 		return false
 	}
 	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if set := lines[ln]; set != nil && (set["*"] || set[f.Pass]) {
+		sp := lines[ln]
+		if sp == nil {
+			continue
+		}
+		// The ignorereason pass audits the directives themselves: only a
+		// justified directive may silence it, otherwise a bare ignore would
+		// hide its own finding.
+		if f.Pass == "ignorereason" && !sp.reasoned {
+			continue
+		}
+		if sp.passes["*"] || sp.passes[f.Pass] {
 			return true
 		}
 	}
@@ -176,38 +274,55 @@ func (s suppressions) suppressed(f Finding) bool {
 func collectSuppressions(pkg *Package) suppressions {
 	sup := suppressions{}
 	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignoreDirective) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-				// Drop any trailing justification after " -- ".
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = strings.TrimSpace(rest[:i])
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := sup[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					sup[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[pos.Line] = set
-				}
-				if rest == "" {
-					set["*"] = true
-					continue
-				}
-				for _, name := range strings.Split(rest, ",") {
-					set[strings.TrimSpace(name)] = true
-				}
+		for _, c := range ignoreComments(file) {
+			target, reason := splitDirective(c.Text)
+			pos := pkg.Fset.Position(c.Pos())
+			lines := sup[pos.Filename]
+			if lines == nil {
+				lines = map[int]*suppression{}
+				sup[pos.Filename] = lines
+			}
+			sp := lines[pos.Line]
+			if sp == nil {
+				sp = &suppression{passes: map[string]bool{}}
+				lines[pos.Line] = sp
+			}
+			if reason != "" {
+				sp.reasoned = true
+			}
+			if target == "" {
+				sp.passes["*"] = true
+				continue
+			}
+			for _, name := range strings.Split(target, ",") {
+				sp.passes[strings.TrimSpace(name)] = true
 			}
 		}
 	}
 	return sup
+}
+
+// ignoreComments returns every cubevet:ignore directive comment in a file.
+func ignoreComments(file *ast.File) []*ast.Comment {
+	var out []*ast.Comment
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, ignoreDirective) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// splitDirective parses one directive comment into its pass target ("" for
+// all passes) and its justification ("" when missing).
+func splitDirective(text string) (target, reason string) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		return strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+2:])
+	}
+	return strings.TrimSpace(rest), ""
 }

@@ -65,7 +65,7 @@ func TestPassGolden(t *testing.T) {
 	for _, pass := range Passes() {
 		t.Run(pass.Name, func(t *testing.T) {
 			pkg := loadFixture(t, loader, pass.Name)
-			findings := Analyze(pkg, []Pass{pass})
+			findings := AnalyzeOne(pkg, []Pass{pass})
 			checkGolden(t, pass.Name, renderFindings(t, findings))
 		})
 	}
@@ -79,7 +79,7 @@ func TestCleanFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	pkg := loadFixture(t, loader, "clean")
-	if findings := Analyze(pkg, Passes()); len(findings) != 0 {
+	if findings := AnalyzeOne(pkg, Passes()); len(findings) != 0 {
 		t.Errorf("clean fixture produced findings:\n%s", renderFindings(t, findings))
 	}
 }
@@ -97,8 +97,9 @@ func TestSuppressionLines(t *testing.T) {
 	for _, pass := range Passes() {
 		t.Run(pass.Name, func(t *testing.T) {
 			pkg := loadFixture(t, loader, pass.Name)
-			raw := pass.Run(pkg)
-			kept := Analyze(pkg, []Pass{pass})
+			mod := NewModule([]*Package{pkg})
+			raw := pass.Run(mod, pkg)
+			kept := Analyze(mod, pkg, []Pass{pass})
 			if len(raw) != len(kept)+1 {
 				t.Errorf("expected exactly one suppressed %s finding, got %d raw vs %d kept",
 					pass.Name, len(raw), len(kept))

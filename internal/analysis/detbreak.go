@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"boolcube/internal/analysis/flow"
 )
 
 // runDetbreak guards the engine's determinism promise: identical programs
@@ -18,32 +20,104 @@ import (
 //     order, so anything printed, recorded or accumulated as text inside
 //     such a loop differs run to run. (Ranging over a map to fold into a
 //     max/sum or to collect-then-sort is fine and not flagged.)
-func runDetbreak(p *Package) []Finding {
+//
+// The pass is interprocedural within the module: NewModule records every
+// unsuppressed nondeterminism site as a summary fact on its enclosing
+// function, and calls to module-internal helpers that transitively reach
+// such a fact are flagged at the call site with the call chain. A justified
+// //cubevet:ignore detbreak at the root site publishes no fact, so one
+// suppression silences the whole cone of callers.
+func runDetbreak(mod *Module, p *Package) []Finding {
 	if isMainAdjacent(p.Path) {
 		return nil
 	}
 	var out []Finding
 	for _, file := range p.Files {
+		for _, s := range p.detSites(file) {
+			out = append(out, p.finding("detbreak", s.at, s.message))
+		}
+		// Transitive: calls into module-internal helpers whose summary
+		// reaches a nondeterminism fact.
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.CallExpr:
-				if p.isPkgFunc(x, "time", "Now") {
-					out = append(out, p.finding("detbreak", x,
-						"time.Now in a simulation/cost path; virtual time is the only clock — thread times through explicitly"))
-				}
-				if name, bad := p.unseededRand(x); bad {
-					out = append(out, p.finding("detbreak", x, fmt.Sprintf(
-						"math/rand.%s draws from the shared global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", name)))
-				}
-			case *ast.RangeStmt:
-				if f, bad := p.mapRangeOutput(x); bad {
-					out = append(out, f)
-				}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
 			}
+			callee, ok := p.calleeObj(call).(*types.Func)
+			if !ok || mod.Index.Summary(callee) == nil {
+				return true
+			}
+			tr := mod.Index.Reaches(callee, detProp)
+			if tr == nil {
+				return true
+			}
+			route := callee.Name()
+			for _, c := range tr.Calls {
+				route += " -> " + c.Callee.Name()
+			}
+			out = append(out, p.finding("detbreak", call, fmt.Sprintf(
+				"call to %s reaches %s (through %s); simulation/cost paths must stay deterministic — fix or suppress at the root site",
+				callee.Name(), tr.Fact.Detail, route)))
 			return true
 		})
 	}
 	return out
+}
+
+// detProp is the summary-fact property interprocedural detbreak queries.
+const detProp = "detbreak"
+
+// detSite is one direct nondeterminism site: message is the finding text
+// reported at the site, detail the short name quoted by transitive findings
+// in callers.
+type detSite struct {
+	at      ast.Node
+	message string
+	detail  string
+}
+
+// detSites scans one subtree for direct determinism violations.
+func (p *Package) detSites(root ast.Node) []detSite {
+	var out []detSite
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if p.isPkgFunc(x, "time", "Now") {
+				out = append(out, detSite{at: x, detail: "time.Now",
+					message: "time.Now in a simulation/cost path; virtual time is the only clock — thread times through explicitly"})
+			}
+			if name, bad := p.unseededRand(x); bad {
+				out = append(out, detSite{at: x, detail: "math/rand." + name,
+					message: fmt.Sprintf("math/rand.%s draws from the shared global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", name)})
+			}
+		case *ast.RangeStmt:
+			if hit, name, bad := p.mapRangeOutput(x); bad {
+				out = append(out, detSite{at: hit, detail: name + " under map iteration",
+					message: fmt.Sprintf("%s inside a range over a map; iteration order is randomized, so this output is nondeterministic — collect keys and sort first", name)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectDetFacts publishes fn's direct determinism violations as summary
+// facts so callers' detbreak runs see them transitively. Suppressed sites
+// (and anything in main-adjacent packages, which the pass never reports on)
+// publish nothing. Sites inside function literals are attributed to the
+// enclosing declaration: calling the declarer may hand the closure to an
+// engine that runs it, so the over-approximation errs on the contract side.
+func collectDetFacts(ix *flow.Index, pkg *Package, sup suppressions, fn *types.Func, body ast.Node) {
+	if isMainAdjacent(pkg.Path) {
+		return
+	}
+	for _, s := range pkg.detSites(body) {
+		f := Finding{Pos: pkg.Fset.Position(s.at.Pos()), Pass: "detbreak"}
+		if sup.suppressed(f) {
+			continue
+		}
+		ix.AddFact(fn, flow.Fact{Prop: detProp, Pos: s.at.Pos(), Detail: s.detail})
+	}
 }
 
 // unseededRand reports a call to a math/rand package-level drawing function
@@ -74,14 +148,15 @@ var outputCalleeNames = map[string]bool{
 	"AddRow": true, "Record": true, "WriteString": true, "WriteByte": true,
 }
 
-// mapRangeOutput flags a range over a map whose body emits output.
-func (p *Package) mapRangeOutput(rng *ast.RangeStmt) (Finding, bool) {
+// mapRangeOutput flags a range over a map whose body emits output,
+// returning the offending call and its display name.
+func (p *Package) mapRangeOutput(rng *ast.RangeStmt) (ast.Node, string, bool) {
 	tv, ok := p.Info.Types[rng.X]
 	if !ok || tv.Type == nil {
-		return Finding{}, false
+		return nil, "", false
 	}
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return Finding{}, false
+		return nil, "", false
 	}
 	var hit *ast.CallExpr
 	hitName := ""
@@ -108,8 +183,7 @@ func (p *Package) mapRangeOutput(rng *ast.RangeStmt) (Finding, bool) {
 		return true
 	})
 	if hit == nil {
-		return Finding{}, false
+		return nil, "", false
 	}
-	return p.finding("detbreak", hit, fmt.Sprintf(
-		"%s inside a range over a map; iteration order is randomized, so this output is nondeterministic — collect keys and sort first", hitName)), true
+	return hit, hitName, true
 }

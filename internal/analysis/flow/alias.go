@@ -1,0 +1,157 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mode selects how tracking propagates through an assignment.
+type Mode int
+
+const (
+	// Aliases tracks storage aliasing: the left-hand side joins the set
+	// only when the right-hand side is a wrapper chain (parens, selectors,
+	// index, slice expressions) over a tracked object, because those share
+	// the tracked object's backing storage. A function call breaks the
+	// chain — calls are treated as copies (Clone, append to a fresh slice).
+	Aliases Mode = iota
+	// Derived tracks value derivation: the left-hand side joins the set
+	// when the right-hand side mentions a tracked object anywhere, however
+	// transformed. This is the nodeprog notion of "a value derived from
+	// nd.ID()" that makes an indexed write partitioned.
+	Derived
+)
+
+// Set is the alias/derivation fixpoint generalized from the original
+// poolretain pass. Seed it with the objects of interest, Solve over a
+// function body, then query membership and roots. Only objects declared
+// inside the scope span are ever added — captured state is the passes' own
+// business (see Escapes).
+type Set struct {
+	info  *types.Info
+	scope Span
+	mode  Mode
+	root  map[types.Object]types.Object
+}
+
+// NewSet returns an empty set tracking objects declared within scope.
+func NewSet(info *types.Info, scope Span, mode Mode) *Set {
+	return &Set{info: info, scope: scope, mode: mode, root: map[types.Object]types.Object{}}
+}
+
+// Local reports whether the object is declared inside the set's scope.
+func (s *Set) Local(o types.Object) bool {
+	return o != nil && s.scope.Contains(o.Pos())
+}
+
+// Seed adds a root object to the set (it becomes its own root).
+func (s *Set) Seed(o types.Object) {
+	if o != nil {
+		s.root[o] = o
+	}
+}
+
+// Has reports whether the object is tracked (a seed or an alias).
+func (s *Set) Has(o types.Object) bool {
+	_, ok := s.root[o]
+	return ok
+}
+
+// Root returns the seed object an alias traces back to, or nil.
+func (s *Set) Root(o types.Object) types.Object { return s.root[o] }
+
+// Objects returns the tracked-object set keyed to each member's root.
+func (s *Set) Objects() map[types.Object]types.Object { return s.root }
+
+// RootOf resolves an expression to the seed it aliases, or nil. In Aliases
+// mode it follows wrapper chains down to a tracked identifier; a call
+// expression breaks the chain. In Derived mode any mention of a tracked
+// object counts, and the first one found (in syntactic order) names the
+// root.
+func (s *Set) RootOf(e ast.Expr) types.Object {
+	if s.mode == Derived {
+		var root types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if root != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if o := ObjOf(s.info, id); o != nil {
+					if r, ok := s.root[o]; ok {
+						root = r
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return root
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := ObjOf(s.info, x); o != nil {
+				return s.root[o]
+			}
+			return nil
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Solve runs the propagation fixpoint over body: assignments, var specs
+// and (in Derived mode) range statements add scope-local left-hand sides
+// whose right-hand side aliases/derives from a tracked object.
+func (s *Set) Solve(body ast.Node) {
+	for changed := true; changed; {
+		changed = false
+		mark := func(id *ast.Ident, root types.Object) {
+			if o := ObjOf(s.info, id); s.Local(o) && !s.Has(o) {
+				s.root[o] = root
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				assignPairs(st, func(lhs, rhs ast.Expr) {
+					if root := s.RootOf(rhs); root != nil {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							mark(id, root)
+						}
+					}
+				})
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						if root := s.RootOf(st.Values[i]); root != nil {
+							mark(name, root)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if s.mode != Derived {
+					return true
+				}
+				if root := s.RootOf(st.X); root != nil {
+					if id, ok := st.Key.(*ast.Ident); ok && id != nil {
+						mark(id, root)
+					}
+					if id, ok := st.Value.(*ast.Ident); ok && id != nil {
+						mark(id, root)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

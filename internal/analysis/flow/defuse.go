@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Ref is one reference to an object: a definition (it is assigned) or a use
+// (its value is read, or a wrapped view of it is touched). For definitions
+// arising from assignments and var specs, RHS carries the assigned
+// expression so callers can classify the def (rebind vs alias-preserving).
+type Ref struct {
+	Ident *ast.Ident
+	IsDef bool
+	RHS   ast.Expr // nil for uses, range bindings and inc-dec defs
+}
+
+// DefUse indexes every reference to every in-scope object of one function
+// body, in source order — the def-use chains the positional passes walk.
+type DefUse struct {
+	refs map[types.Object][]Ref
+}
+
+// CollectDefUse builds the def-use index for body. Only objects declared
+// within scope are indexed.
+func CollectDefUse(info *types.Info, scope Span, body ast.Node) *DefUse {
+	du := &DefUse{refs: map[types.Object][]Ref{}}
+	defIdents := map[*ast.Ident]ast.Expr{} // lhs root ident -> rhs (nil if none)
+	defSet := map[*ast.Ident]bool{}
+	markDef := func(target ast.Expr, rhs ast.Expr) {
+		// Only a plain identifier target is a definition of the object
+		// itself; m.Data[i] = x is a use of m (it reads through m).
+		if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+			defIdents[id] = rhs
+			defSet[id] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			assignPairs(st, func(lhs, rhs ast.Expr) { markDef(lhs, rhs) })
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				var rhs ast.Expr
+				if i < len(st.Values) {
+					rhs = st.Values[i]
+				}
+				markDef(name, rhs)
+			}
+		case *ast.RangeStmt:
+			if id, ok := st.Key.(*ast.Ident); ok && id != nil {
+				markDef(id, nil)
+			}
+			if id, ok := st.Value.(*ast.Ident); ok && id != nil {
+				markDef(id, nil)
+			}
+		case *ast.IncDecStmt:
+			markDef(st.X, nil)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := ObjOf(info, id)
+		if o == nil || !scope.Contains(o.Pos()) {
+			return true
+		}
+		if defSet[id] {
+			du.refs[o] = append(du.refs[o], Ref{Ident: id, IsDef: true, RHS: defIdents[id]})
+		} else {
+			du.refs[o] = append(du.refs[o], Ref{Ident: id})
+		}
+		return true
+	})
+	for o := range du.refs {
+		rs := du.refs[o]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Ident.Pos() < rs[j].Ident.Pos() })
+	}
+	return du
+}
+
+// Refs returns every reference to o in source order.
+func (du *DefUse) Refs(o types.Object) []Ref { return du.refs[o] }
+
+// UsesAfter returns the uses of o positioned strictly after pos.
+func (du *DefUse) UsesAfter(o types.Object, pos token.Pos) []*ast.Ident {
+	var out []*ast.Ident
+	for _, r := range du.refs[o] {
+		if !r.IsDef && r.Ident.Pos() > pos {
+			out = append(out, r.Ident)
+		}
+	}
+	return out
+}
+
+// DefBetween reports whether o has a definition positioned in (lo, hi) for
+// which keep returns false — i.e. a def that invalidates tracking in that
+// window. A nil keep accepts every def.
+func (du *DefUse) DefBetween(o types.Object, lo, hi token.Pos, keep func(Ref) bool) bool {
+	for _, r := range du.refs[o] {
+		if r.IsDef && r.Ident.Pos() > lo && r.Ident.Pos() < hi {
+			if keep == nil || !keep(r) {
+				return true
+			}
+		}
+	}
+	return false
+}

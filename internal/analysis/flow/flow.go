@@ -1,0 +1,103 @@
+// Package flow is the dataflow core under cubevet's analysis passes: a
+// stdlib-only toolkit over go/ast + go/types that the passes share instead
+// of each growing its own ad-hoc walker. It provides
+//
+//   - Span scoping and object resolution helpers,
+//   - an alias/derivation fixpoint (Set) generalized from the original
+//     poolretain pass: seed it with objects of interest and it computes
+//     every local that aliases their backing storage (Aliases mode) or
+//     whose value derives from them (Derived mode),
+//   - closure-capture and escape tracking (Captures, Escapes): which
+//     outside-declared objects a function literal reads and writes, and
+//     which assignments leak a tracked alias into captured state,
+//   - def-use chains (DefUse): every definition and use of every in-scope
+//     object in source order, with rebind classification, and
+//   - per-function summaries (Index): direct facts plus the static
+//     module-internal call graph, closed transitively by Reaches so passes
+//     can ask intra-module interprocedural questions ("does calling this
+//     helper eventually read the wall clock?") and report the call chain.
+//
+// Everything here is position-based and flow-insensitive within one
+// function body — exact for the straight-line node programs and executor
+// shapes this repository is made of, and documented as approximate for
+// loop-carried aliasing (see the individual passes for their escape
+// hatches).
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Span is a half-open source-position interval, usually one function body.
+type Span struct{ Lo, Hi token.Pos }
+
+// NodeSpan returns the span covering one AST node.
+func NodeSpan(n ast.Node) Span { return Span{n.Pos(), n.End()} }
+
+// Contains reports whether p falls inside the span.
+func (s Span) Contains(p token.Pos) bool { return s.Lo <= p && p < s.Hi }
+
+// ObjOf resolves an identifier to its object via either a use or a
+// definition.
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// BaseIdent strips parens, stars, index, slice and selector wrappers off an
+// assignable expression and returns the root identifier, or nil (e.g. for
+// function-call results).
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Mentions reports whether expr references any of the given objects.
+func Mentions(info *types.Info, expr ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := ObjOf(info, id); o != nil && objs[o] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// assignPairs visits an assignment's (lhs, rhs) pairs, handling the
+// multi-assign form a, b = f() by reusing the single rhs for every lhs.
+func assignPairs(st *ast.AssignStmt, f func(lhs, rhs ast.Expr)) {
+	for i, lhs := range st.Lhs {
+		rhs := st.Rhs[0]
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		}
+		f(lhs, rhs)
+	}
+}

@@ -1,0 +1,246 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one import-free source snippet.
+func load(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return fset, f, info
+}
+
+// fn returns the named function declaration.
+func fn(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+// objNamed finds the object of the identifier with the given name defined
+// inside node.
+func objNamed(t *testing.T, info *types.Info, node ast.Node, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && obj == nil {
+			if o := info.Defs[id]; o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("no object %s", name)
+	}
+	return obj
+}
+
+const aliasSrc = `package x
+type M struct{ Data []float64 }
+func clone(s []float64) []float64 { return append([]float64(nil), s...) }
+func f() []float64 {
+	m := M{}
+	d := m.Data
+	e := d[2:]
+	c := clone(m.Data)
+	_ = e
+	return c
+}`
+
+func TestAliasSetModes(t *testing.T) {
+	_, f, info := load(t, aliasSrc)
+	decl := fn(t, f, "f")
+	scope := NodeSpan(decl)
+	m := objNamed(t, info, decl, "m")
+
+	al := NewSet(info, scope, Aliases)
+	al.Seed(m)
+	al.Solve(decl.Body)
+	for name, want := range map[string]bool{"d": true, "e": true, "c": false} {
+		o := objNamed(t, info, decl, name)
+		if al.Has(o) != want {
+			t.Errorf("Aliases: Has(%s) = %v, want %v", name, al.Has(o), want)
+		}
+		if want && al.Root(o) != m {
+			t.Errorf("Aliases: Root(%s) != m", name)
+		}
+	}
+
+	de := NewSet(info, scope, Derived)
+	de.Seed(m)
+	de.Solve(decl.Body)
+	// Derived mode crosses the call boundary: c derives from m.
+	if c := objNamed(t, info, decl, "c"); !de.Has(c) {
+		t.Error("Derived: c should derive from m through clone(m.Data)")
+	}
+}
+
+const captureSrc = `package x
+func g() {
+	shared := 0
+	out := make([]int, 4)
+	read := 7
+	f := func(i int) {
+		shared += read
+		out[i] = i
+		local := i
+		_ = local
+	}
+	f(0)
+}`
+
+func TestCaptures(t *testing.T) {
+	_, f, info := load(t, captureSrc)
+	decl := fn(t, f, "g")
+	var lit *ast.FuncLit
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	caps := Captures(info, lit)
+	got := map[string]Capture{}
+	for _, c := range caps {
+		got[c.Obj.Name()] = c
+	}
+	if c, ok := got["shared"]; !ok || len(c.Writes) != 1 {
+		t.Errorf("shared: want 1 write, got %+v", c)
+	}
+	if c, ok := got["out"]; !ok || len(c.Writes) != 1 {
+		t.Errorf("out: want 1 write, got %+v", c)
+	}
+	if c, ok := got["read"]; !ok || len(c.Reads) != 1 || len(c.Writes) != 0 {
+		t.Errorf("read: want read-only capture, got %+v", c)
+	}
+	if _, ok := got["local"]; ok {
+		t.Error("local must not be reported as captured")
+	}
+	if _, ok := got["i"]; ok {
+		t.Error("parameter i must not be reported as captured")
+	}
+}
+
+const escapeSrc = `package x
+type M struct{ Data []float64 }
+func h() {
+	var keep []float64
+	m := M{}
+	d := m.Data
+	keep = d
+	_ = keep
+}`
+
+func TestEscapes(t *testing.T) {
+	_, f, info := load(t, escapeSrc)
+	decl := fn(t, f, "h")
+	// Scope the set to the statements after keep's declaration, so keep is
+	// outside-scope and the store into it is an escape.
+	stmts := decl.Body.List[1:]
+	scope := Span{stmts[0].Pos(), decl.Body.End()}
+	set := NewSet(info, scope, Aliases)
+	set.Seed(objNamed(t, info, decl, "m"))
+	set.Solve(decl.Body)
+	esc := Escapes(info, set, decl.Body)
+	if len(esc) != 1 {
+		t.Fatalf("want 1 escape, got %d", len(esc))
+	}
+	if esc[0].Dest.Name() != "keep" || esc[0].Root.Name() != "m" {
+		t.Errorf("escape = root %s into %s, want m into keep", esc[0].Root.Name(), esc[0].Dest.Name())
+	}
+}
+
+const defuseSrc = `package x
+type M struct{ Data []float64 }
+func recv() M { return M{} }
+func k() {
+	m := recv()
+	_ = m.Data
+	m = recv()
+	_ = m.Data
+}`
+
+func TestDefUse(t *testing.T) {
+	_, f, info := load(t, defuseSrc)
+	decl := fn(t, f, "k")
+	du := CollectDefUse(info, NodeSpan(decl), decl.Body)
+	m := objNamed(t, info, decl, "m")
+	refs := du.Refs(m)
+	if len(refs) != 4 {
+		t.Fatalf("want 4 refs to m, got %d", len(refs))
+	}
+	wantDefs := []bool{true, false, true, false}
+	for i, r := range refs {
+		if r.IsDef != wantDefs[i] {
+			t.Errorf("ref %d: IsDef = %v, want %v", i, r.IsDef, wantDefs[i])
+		}
+	}
+	// Uses strictly after the first def: the two selector uses.
+	if uses := du.UsesAfter(m, refs[0].Ident.Pos()); len(uses) != 2 {
+		t.Errorf("UsesAfter(first def) = %d uses, want 2", len(uses))
+	}
+	// A def (the rebind) sits between the first use and the last use.
+	if !du.DefBetween(m, refs[1].Ident.Pos(), refs[3].Ident.Pos(), nil) {
+		t.Error("DefBetween missed the rebind")
+	}
+}
+
+const summarySrc = `package x
+func leaf() int { return 1 }
+func mid() int  { return leaf() }
+func top() int  { return mid() }
+func other() int { return 0 }`
+
+func TestSummaryReaches(t *testing.T) {
+	_, f, info := load(t, summarySrc)
+	ix := NewIndex()
+	var fns = map[string]*types.Func{}
+	for _, name := range []string{"leaf", "mid", "top", "other"} {
+		d := fn(t, f, name)
+		obj := info.Defs[d.Name].(*types.Func)
+		fns[name] = obj
+		ix.AddFunc(obj, info, d.Body)
+	}
+	ix.AddFact(fns["leaf"], Fact{Prop: "det", Detail: "time.Now"})
+
+	tr := ix.Reaches(fns["top"], "det")
+	if tr == nil {
+		t.Fatal("top should reach det through mid -> leaf")
+	}
+	if len(tr.Calls) != 2 || tr.Calls[0].Callee != fns["mid"] || tr.Calls[1].Callee != fns["leaf"] {
+		t.Errorf("trace chain wrong: %+v", tr.Calls)
+	}
+	if tr.Fact.Detail != "time.Now" {
+		t.Errorf("fact detail = %q", tr.Fact.Detail)
+	}
+	if ix.Reaches(fns["other"], "det") != nil {
+		t.Error("other must not reach det")
+	}
+	if direct := ix.Reaches(fns["leaf"], "det"); direct == nil || len(direct.Calls) != 0 {
+		t.Error("leaf reaches det directly with an empty chain")
+	}
+}

@@ -1,0 +1,145 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Fact is one analyzer-relevant property observed directly in a function
+// body — "this function calls time.Now", "this function draws from the
+// shared rand source". Prop names the property (a pass-scoped key), Detail
+// carries the human-readable description used in transitive findings.
+type Fact struct {
+	Prop   string
+	Pos    token.Pos
+	Detail string
+}
+
+// Call is one static call edge to a module-internal function.
+type Call struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// Summary is one function's direct facts plus its static module-internal
+// call edges. Summaries are built per function declaration and closed
+// transitively by Index.Reaches.
+type Summary struct {
+	Fn    *types.Func
+	Facts []Fact
+	Calls []Call
+}
+
+// Index holds every function summary of one loaded module, keyed by the
+// type-checker's function object — which is shared across packages loaded
+// through one loader, so intra-module interprocedural queries resolve
+// without name matching.
+type Index struct {
+	sums map[*types.Func]*Summary
+}
+
+// NewIndex returns an empty summary index.
+func NewIndex() *Index { return &Index{sums: map[*types.Func]*Summary{}} }
+
+// AddFunc registers fn's summary and records its static call edges: every
+// call in body whose callee resolves to a function that has (or will have)
+// a summary in this index. Call edges to functions never added stay in the
+// summary but are ignored by Reaches, so registration order does not
+// matter as long as every module function is added before querying.
+func (ix *Index) AddFunc(fn *types.Func, info *types.Info, body ast.Node) *Summary {
+	s := ix.sums[fn]
+	if s == nil {
+		s = &Summary{Fn: fn}
+		ix.sums[fn] = s
+	}
+	if body == nil {
+		return s
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return true
+		}
+		if callee, ok := ObjOf(info, id).(*types.Func); ok {
+			s.Calls = append(s.Calls, Call{Callee: callee, Pos: call.Pos()})
+		}
+		return true
+	})
+	return s
+}
+
+// AddFact attaches a direct fact to fn's summary (registering the function
+// if AddFunc has not seen it yet).
+func (ix *Index) AddFact(fn *types.Func, f Fact) {
+	s := ix.sums[fn]
+	if s == nil {
+		s = &Summary{Fn: fn}
+		ix.sums[fn] = s
+	}
+	s.Facts = append(s.Facts, f)
+}
+
+// Summary returns fn's summary, or nil when fn is not a module function.
+func (ix *Index) Summary(fn *types.Func) *Summary { return ix.sums[fn] }
+
+// Trace is the call chain by which a function reaches a fact: Calls walks
+// from the queried function down to the fact's owner (empty when the fact
+// is direct), Fact is the root property.
+type Trace struct {
+	Calls []Call
+	Fact  Fact
+}
+
+// Reaches reports whether fn (transitively through module-internal calls)
+// reaches a fact with the given property, returning the shortest call
+// chain. The search is breadth-first with call edges visited in position
+// order, so the returned trace is deterministic.
+func (ix *Index) Reaches(fn *types.Func, prop string) *Trace {
+	type item struct {
+		fn    *types.Func
+		chain []Call
+	}
+	start := ix.sums[fn]
+	if start == nil {
+		return nil
+	}
+	visited := map[*types.Func]bool{fn: true}
+	queue := []item{{fn: fn}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		s := ix.sums[it.fn]
+		if s == nil {
+			continue
+		}
+		for _, f := range s.Facts {
+			if f.Prop == prop {
+				return &Trace{Calls: it.chain, Fact: f}
+			}
+		}
+		calls := append([]Call(nil), s.Calls...)
+		sort.Slice(calls, func(i, j int) bool { return calls[i].Pos < calls[j].Pos })
+		for _, c := range calls {
+			if visited[c.Callee] || ix.sums[c.Callee] == nil {
+				continue
+			}
+			visited[c.Callee] = true
+			chain := make([]Call, len(it.chain)+1)
+			copy(chain, it.chain)
+			chain[len(it.chain)] = c
+			queue = append(queue, item{fn: c.Callee, chain: chain})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import "fmt"
+
+// runIgnorereason audits the suppression directives themselves: every
+// //cubevet:ignore must carry a "-- reason" so the tree records why each
+// invariant was waived. A bare directive still suppresses its target pass
+// (legacy trees degrade gracefully) but is reported here — and only a
+// reasoned directive can suppress an ignorereason finding, so a bare ignore
+// cannot hide its own audit.
+func runIgnorereason(mod *Module, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, c := range ignoreComments(file) {
+			target, reason := splitDirective(c.Text)
+			if reason != "" {
+				continue
+			}
+			what := "all passes"
+			if target != "" {
+				what = fmt.Sprintf("pass %q", target)
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(c.Pos()),
+				Pass: "ignorereason",
+				Message: fmt.Sprintf(
+					"cubevet:ignore for %s without a justification; append \"-- <why>\" so the suppression is auditable", what),
+			})
+		}
+	}
+	return out
+}

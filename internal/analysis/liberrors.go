@@ -19,7 +19,7 @@ import (
 //     error),
 //   - fmt.Print/Printf/Println to stdout (diagnostic output),
 //   - fmt.Fprint* when the writer is a strings.Builder or bytes.Buffer.
-func runLiberrors(p *Package) []Finding {
+func runLiberrors(_ *Module, p *Package) []Finding {
 	if isMainAdjacent(p.Path) {
 		return nil
 	}

@@ -9,6 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -114,17 +115,19 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
-			dir := filepath.Dir(p)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
-				dirs = append(dirs, dir)
-			}
+			dirs = append(dirs, filepath.Dir(p))
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Dedupe: a package's files are not contiguous in walk order when
+	// subdirectories sort between them (root doc.go vs zz.go), and the
+	// importer may already have cached a walked directory under the same
+	// path — either way a package must be returned exactly once.
 	sort.Strings(dirs)
+	dirs = slices.Compact(dirs)
 	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)

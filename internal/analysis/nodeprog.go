@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"boolcube/internal/analysis/flow"
 )
 
 // runNodeprog enforces the simnet concurrency contract on node programs:
@@ -13,7 +15,7 @@ import (
 // to captured state is therefore a data race unless it is partitioned by
 // the node's identity — indexed by a value derived from nd.ID(), or
 // dominated by an `if nd.ID() == ...` single-writer guard.
-func runNodeprog(p *Package) []Finding {
+func runNodeprog(mod *Module, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -66,75 +68,28 @@ func nodeParam(lit *ast.FuncLit) *ast.Ident {
 	return nil
 }
 
-// span is a half-open source position range.
-type span struct{ lo, hi token.Pos }
-
-func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
-
 // checkNodeProg analyzes one node-program closure.
 func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 	nodeObj := p.objOf(param)
 	if nodeObj == nil {
 		return nil // no type info at all; nothing reliable to say
 	}
-	litSpan := span{lit.Pos(), lit.End()}
+	scope := flow.NodeSpan(lit)
 
-	local := func(o types.Object) bool {
-		return o != nil && litSpan.contains(o.Pos())
-	}
-
-	// Fixpoint: objects whose value derives from the node handle. Writing
-	// captured[i] is safe when i is node-derived.
-	derived := map[types.Object]bool{nodeObj: true}
-	for changed := true; changed; {
-		changed = false
-		mark := func(id *ast.Ident) {
-			if o := p.objOf(id); local(o) && !derived[o] {
-				derived[o] = true
-				changed = true
-			}
-		}
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				for i, lhs := range st.Lhs {
-					rhs := st.Rhs[0]
-					if len(st.Rhs) == len(st.Lhs) {
-						rhs = st.Rhs[i]
-					}
-					if !p.mentionsObj(rhs, derived) {
-						continue
-					}
-					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
-						mark(id)
-					}
-				}
-			case *ast.RangeStmt:
-				if p.mentionsObj(st.X, derived) {
-					if id, ok := st.Key.(*ast.Ident); ok && id != nil {
-						mark(id)
-					}
-					if id, ok := st.Value.(*ast.Ident); ok && id != nil {
-						mark(id)
-					}
-				}
-			case *ast.ValueSpec:
-				for _, v := range st.Values {
-					if p.mentionsObj(v, derived) {
-						for _, id := range st.Names {
-							mark(id)
-						}
-					}
-				}
-			}
-			return true
-		})
+	// Derivation fixpoint: objects whose value derives from the node
+	// handle. Writing captured[i] is safe when i is node-derived.
+	derived := flow.NewSet(p.Info, scope, flow.Derived)
+	derived.Seed(nodeObj)
+	derived.Solve(lit.Body)
+	derivedObjs := map[types.Object]bool{}
+	for o := range derived.Objects() {
+		derivedObjs[o] = true
 	}
 
 	// Single-writer guards: bodies of `if <cond>` where the condition
 	// compares a node-derived value with ==. Only one node takes the
 	// branch, so unpartitioned writes inside it cannot race.
-	var guards []span
+	var guards []flow.Span
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		ifst, ok := n.(*ast.IfStmt)
 		if !ok {
@@ -143,19 +98,19 @@ func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 		eq := false
 		ast.Inspect(ifst.Cond, func(c ast.Node) bool {
 			if b, ok := c.(*ast.BinaryExpr); ok && b.Op == token.EQL &&
-				(p.mentionsObj(b.X, derived) || p.mentionsObj(b.Y, derived)) {
+				(flow.Mentions(p.Info, b.X, derivedObjs) || flow.Mentions(p.Info, b.Y, derivedObjs)) {
 				eq = true
 			}
 			return !eq
 		})
 		if eq {
-			guards = append(guards, span{ifst.Body.Pos(), ifst.Body.End()})
+			guards = append(guards, flow.NodeSpan(ifst.Body))
 		}
 		return true
 	})
 	guarded := func(pos token.Pos) bool {
 		for _, g := range guards {
-			if g.contains(pos) {
+			if g.Contains(pos) {
 				return true
 			}
 		}
@@ -163,7 +118,7 @@ func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 	}
 
 	var out []Finding
-	report := func(at ast.Node, lhs ast.Expr, root *ast.Ident, indexed bool) {
+	report := func(at ast.Node, root *ast.Ident, indexed bool) {
 		if guarded(at.Pos()) {
 			return
 		}
@@ -179,12 +134,12 @@ func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 	}
 
 	checkWrite := func(at ast.Node, lhs ast.Expr) {
-		root := baseExpr(lhs)
+		root := flow.BaseIdent(lhs)
 		if root == nil || root.Name == "_" {
 			return
 		}
 		obj := p.objOf(root)
-		if obj == nil || local(obj) {
+		if obj == nil || derived.Local(obj) {
 			return
 		}
 		// Collect index expressions along the access path; any one of them
@@ -194,7 +149,7 @@ func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 			switch x := e.(type) {
 			case *ast.IndexExpr:
 				indexed = true
-				if p.mentionsObj(x.Index, derived) {
+				if flow.Mentions(p.Info, x.Index, derivedObjs) {
 					return // partitioned by node identity
 				}
 				e = x.X
@@ -205,7 +160,7 @@ func (p *Package) checkNodeProg(lit *ast.FuncLit, param *ast.Ident) []Finding {
 			case *ast.SelectorExpr:
 				e = x.X
 			default:
-				report(at, lhs, root, indexed)
+				report(at, root, indexed)
 				return
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"boolcube/internal/analysis/flow"
 )
 
 // runPoolretain enforces the pooled-buffer ownership contract on node
@@ -24,7 +26,7 @@ import (
 // after the Recycle call is flagged), which is exact for straight-line
 // programs; loop-carried cases it cannot order should be restructured or
 // annotated with //cubevet:ignore poolretain.
-func runPoolretain(p *Package) []Finding {
+func runPoolretain(mod *Module, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -57,8 +59,7 @@ func (p *Package) checkPoolRetain(lit *ast.FuncLit, param *ast.Ident) []Finding 
 	if p.objOf(param) == nil {
 		return nil // no type info; nothing reliable to say
 	}
-	litSpan := span{lit.Pos(), lit.End()}
-	local := func(o types.Object) bool { return o != nil && litSpan.contains(o.Pos()) }
+	scope := flow.NodeSpan(lit)
 
 	// Recycle points: buffer-owning objects handed back to the pool, keyed
 	// to the end of the earliest Recycle call that consumes them.
@@ -66,7 +67,7 @@ func (p *Package) checkPoolRetain(lit *ast.FuncLit, param *ast.Ident) []Finding 
 	rootName := map[types.Object]string{}
 	markRecycled := func(id *ast.Ident, at token.Pos) {
 		o := p.objOf(id)
-		if !local(o) {
+		if o == nil || !scope.Contains(o.Pos()) {
 			return
 		}
 		if prev, ok := recycleEnd[o]; !ok || at < prev {
@@ -102,151 +103,59 @@ func (p *Package) checkPoolRetain(lit *ast.FuncLit, param *ast.Ident) []Finding 
 		return nil
 	}
 
-	// Alias fixpoint: tracked holds the recycled objects plus every local
-	// assigned an alias of their buffers (d := m.Data, e := d[2:], ...).
-	// rootOf follows selector/slice/index wrappers down to a tracked
-	// identifier; a call expression breaks the chain (calls copy).
-	tracked := map[types.Object]bool{}
-	aliasRoot := map[types.Object]types.Object{}
+	// Alias fixpoint over the recycled objects: the set holds them plus
+	// every local assigned an alias of their buffers (d := m.Data,
+	// e := d[2:], ...); a call on the right-hand side breaks the chain.
+	aliases := flow.NewSet(p.Info, scope, flow.Aliases)
 	for o := range recycleEnd {
-		tracked[o] = true
-		aliasRoot[o] = o
+		aliases.Seed(o)
 	}
-	rootOf := func(e ast.Expr) types.Object {
-		for {
-			switch x := e.(type) {
-			case *ast.Ident:
-				if o := p.objOf(x); o != nil && tracked[o] {
-					return aliasRoot[o]
-				}
-				return nil
-			case *ast.ParenExpr:
-				e = x.X
-			case *ast.SelectorExpr:
-				e = x.X
-			case *ast.SliceExpr:
-				e = x.X
-			case *ast.IndexExpr:
-				e = x.X
-			default:
-				return nil
-			}
-		}
-	}
-	// pairs visits an assignment's (lhs, rhs) pairs, handling the
-	// multi-assign form a, b = f() by reusing the single rhs.
-	pairs := func(st *ast.AssignStmt, f func(lhs, rhs ast.Expr)) {
-		for i, lhs := range st.Lhs {
-			rhs := st.Rhs[0]
-			if len(st.Rhs) == len(st.Lhs) {
-				rhs = st.Rhs[i]
-			}
-			f(lhs, rhs)
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		mark := func(id *ast.Ident, root types.Object) {
-			if o := p.objOf(id); local(o) && !tracked[o] {
-				tracked[o] = true
-				aliasRoot[o] = root
-				changed = true
-			}
-		}
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				pairs(st, func(lhs, rhs ast.Expr) {
-					if root := rootOf(rhs); root != nil {
-						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
-							mark(id, root)
-						}
-					}
-				})
-			case *ast.ValueSpec:
-				for i, name := range st.Names {
-					if i < len(st.Values) {
-						if root := rootOf(st.Values[i]); root != nil {
-							mark(name, root)
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
+	aliases.Solve(lit.Body)
 
 	var out []Finding
 
 	// Rule 1: storing a recycled buffer (or alias) into captured state —
 	// the retention happens regardless of where the store sits relative to
 	// the Recycle call, so this check is position-independent.
-	var reported []span
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		st, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		pairs(st, func(lhs, rhs ast.Expr) {
-			root := rootOf(rhs)
-			if root == nil {
-				return
-			}
-			base := baseExpr(lhs)
-			if base == nil || base.Name == "_" {
-				return
-			}
-			if o := p.objOf(base); o == nil || local(o) {
-				return
-			}
-			out = append(out, p.finding("poolretain", st, fmt.Sprintf(
-				"node program stores pooled buffer %q into captured %q but recycles it in this program; the pool will reuse the backing array — copy first (Clone or append to a fresh slice)",
-				rootName[root], base.Name)))
-			reported = append(reported, span{st.Pos(), st.End()})
-		})
-		return true
-	})
+	var reported []flow.Span
+	for _, esc := range flow.Escapes(p.Info, aliases, lit.Body) {
+		out = append(out, p.finding("poolretain", esc.At, fmt.Sprintf(
+			"node program stores pooled buffer %q into captured %q but recycles it in this program; the pool will reuse the backing array — copy first (Clone or append to a fresh slice)",
+			rootName[esc.Root], esc.Dest.Name())))
+		reported = append(reported, flow.NodeSpan(esc.At))
+	}
 
 	// Rule 2: any use of a recycled object or alias positioned after its
 	// Recycle call. Plain rebinds (m = nd.Recv(d) with a non-aliasing
 	// right-hand side) are not uses; identifiers inside an assignment
-	// already reported by rule 1 are not double-reported.
-	rebind := map[token.Pos]bool{}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if st, ok := n.(*ast.AssignStmt); ok {
-			pairs(st, func(lhs, rhs ast.Expr) {
-				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && rootOf(rhs) == nil {
-					rebind[id.Pos()] = true
-				}
-			})
-		}
-		return true
-	})
+	// already reported by rule 1 are not double-reported. The def-use
+	// chains classify the rebinds.
+	du := flow.CollectDefUse(p.Info, scope, lit.Body)
 	inReported := func(pos token.Pos) bool {
 		for _, s := range reported {
-			if s.contains(pos) {
+			if s.Contains(pos) {
 				return true
 			}
 		}
 		return false
 	}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
+	for _, o := range sortedObjects(aliases.Objects()) {
+		root := aliases.Root(o)
+		end, ok := recycleEnd[root]
 		if !ok {
-			return true
+			continue
 		}
-		o := p.objOf(id)
-		if o == nil || !tracked[o] {
-			return true
+		for _, r := range du.Refs(o) {
+			if r.Ident.Pos() < end || inReported(r.Ident.Pos()) {
+				continue
+			}
+			if r.IsDef && (r.RHS == nil || aliases.RootOf(r.RHS) == nil) {
+				continue // plain rebind, not a use of the recycled buffer
+			}
+			out = append(out, p.finding("poolretain", r.Ident, fmt.Sprintf(
+				"node program uses pooled buffer %q after recycling it; the pool may already have handed its backing array to another allocation",
+				rootName[root])))
 		}
-		end, ok := recycleEnd[aliasRoot[o]]
-		if !ok || id.Pos() < end || rebind[id.Pos()] || inReported(id.Pos()) {
-			return true
-		}
-		out = append(out, p.finding("poolretain", id, fmt.Sprintf(
-			"node program uses pooled buffer %q after recycling it; the pool may already have handed its backing array to another allocation",
-			rootName[aliasRoot[o]])))
-		return true
-	})
+	}
 	return out
 }

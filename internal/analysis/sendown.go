@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"boolcube/internal/analysis/flow"
+)
+
+// runSendown enforces transfer-on-send ownership: (*Node).Send, TrySend and
+// Exchange hand the message's Data, Parts, Path and Tags buffers to the
+// receiver (or back to the engine's pool). Code holding a *Node — node
+// programs and the comm builders — must therefore not touch a sent
+// message's payload, or any alias of it, after the transfer. Scalar fields
+// (Src, Dst, Tag, Rel, Sum) live in the sender's own Msg copy and stay
+// readable; Exchange's m = nd.Exchange(d, m) rebind replaces the message
+// wholesale and resets tracking (stale aliases taken before the rebind are
+// an accepted blind spot — the analysis is positional, like poolretain's).
+// Clone before sending when the payload must outlive the hand-off.
+func runSendown(mod *Module, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				// Skip *Node methods themselves: the engine side of the
+				// contract legitimately touches buffers it owns.
+				if fn.Recv != nil {
+					return true
+				}
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasNodeParam(ft) {
+				return true
+			}
+			out = append(out, p.checkSendown(ft, body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// hasNodeParam reports whether the signature takes a *Node (or
+// *simnet.Node) parameter — the shape that puts a function inside the
+// send-ownership contract.
+func hasNodeParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		star, ok := f.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		switch t := star.X.(type) {
+		case *ast.Ident:
+			if t.Name == "Node" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if t.Sel.Name == "Node" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scalarMsgFields are the Msg fields copied by value into the sender's
+// local Msg; reading them after a send is safe.
+var scalarMsgFields = map[string]bool{
+	"Src": true, "Dst": true, "Tag": true, "Rel": true, "Sum": true,
+}
+
+// checkSendown analyzes one function body under the ownership contract.
+func (p *Package) checkSendown(ft *ast.FuncType, body *ast.BlockStmt) []Finding {
+	scope := flow.Span{Lo: ft.Pos(), Hi: body.End()}
+
+	// Transfer points: local message variables passed as the payload of a
+	// Send/TrySend/Exchange call on a *Node receiver, keyed to the earliest
+	// transferring call's end. An Exchange whose result rebinds the same
+	// variable (m = nd.Exchange(d, m)) is not a transfer of m: the fresh
+	// incoming message takes over the name in the same statement.
+	selfRebound := map[*ast.CallExpr]types.Object{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident); ok {
+			selfRebound[call] = p.objOf(id)
+		}
+		return true
+	})
+
+	transferEnd := map[types.Object]token.Pos{}
+	sentName := map[types.Object]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Send", "TrySend", "Exchange":
+		default:
+			return true
+		}
+		if !p.isNodeExpr(sel.X) {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := p.objOf(id)
+		if o == nil || !scope.Contains(o.Pos()) || selfRebound[call] == o {
+			return true
+		}
+		if prev, ok := transferEnd[o]; !ok || call.End() < prev {
+			transferEnd[o] = call.End()
+		}
+		sentName[o] = id.Name
+		return true
+	})
+	if len(transferEnd) == 0 {
+		return nil
+	}
+
+	// Alias fixpoint seeded with every sent message, plus the field name a
+	// use reaches the object through (to exempt scalar reads).
+	aliases := flow.NewSet(p.Info, scope, flow.Aliases)
+	for o := range transferEnd {
+		aliases.Seed(o)
+	}
+	aliases.Solve(body)
+	selField := map[*ast.Ident]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				selField[id] = sel.Sel.Name
+			}
+		}
+		return true
+	})
+
+	du := flow.CollectDefUse(p.Info, scope, body)
+	aliasingDef := func(r flow.Ref) bool {
+		return r.RHS != nil && aliases.RootOf(r.RHS) != nil
+	}
+	var out []Finding
+	for _, o := range sortedObjects(aliases.Objects()) {
+		root := aliases.Root(o)
+		end, ok := transferEnd[root]
+		if !ok {
+			continue
+		}
+		for _, r := range du.Refs(o) {
+			if r.Ident.Pos() < end {
+				continue
+			}
+			if r.IsDef && !aliasingDef(r) {
+				continue // rebind to a fresh message; not a payload use
+			}
+			// A rebind between the transfer and this use means the name
+			// holds a new message now.
+			if du.DefBetween(o, end, r.Ident.Pos(), aliasingDef) {
+				continue
+			}
+			if scalarMsgFields[selField[r.Ident]] {
+				continue
+			}
+			out = append(out, p.finding("sendown", r.Ident, fmt.Sprintf(
+				"%q is used after being sent; Send/TrySend/Exchange transfer the message's buffers to the receiver — Clone before sending, or read only scalar fields (Src/Dst/Tag/Rel/Sum)",
+				sentName[root])))
+		}
+	}
+	return out
+}
+
+// isNodeExpr reports whether the expression's type is *Node (a pointer to a
+// named type called Node).
+func (p *Package) isNodeExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Node"
+}

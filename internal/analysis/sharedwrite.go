@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"boolcube/internal/analysis/flow"
+)
+
+// runSharedwrite flags concurrent writes to captured shared state: closures
+// launched as goroutines (go statements) or handed to exper.Par's worker
+// pool must not assign to variables captured from the enclosing scope
+// unless the write is partitioned or mediated. Exemptions:
+//
+//   - element writes indexed by a goroutine-local value (results[i] = v
+//     where i is the closure's own variable or parameter), the Par idiom;
+//   - element writes indexed by a per-iteration loop variable captured
+//     from an enclosing for/range statement — Go 1.22 gives each iteration
+//     its own binding, so spawning one goroutine per iteration partitions
+//     the writes;
+//   - writes preceded by a .Lock() call inside the closure (mutex
+//     mediation).
+//
+// Everything else — counters, append to a shared slice, map inserts,
+// last-write-wins result variables — races; use a channel, a mutex, or a
+// per-goroutine slot.
+func runSharedwrite(mod *Module, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		loopVars := loopVarObjects(p, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, p.checkSharedWrites(lit, loopVars, "goroutine")...)
+				}
+			case *ast.CallExpr:
+				if calleeName(x) != "Par" {
+					return true
+				}
+				for _, arg := range x.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						out = append(out, p.checkSharedWrites(lit, loopVars, "Par worker")...)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// loopVarObjects collects every per-iteration loop variable in the file:
+// range keys/values and for-init := bindings. Under Go 1.22 semantics each
+// iteration gets a fresh binding, so indexing a captured write by one of
+// these partitions the writes across the spawned goroutines.
+func loopVarObjects(p *Package, file *ast.File) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	markDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if o := p.Info.Defs[id]; o != nil {
+				vars[o] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			markDef(st.Key)
+			markDef(st.Value)
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					markDef(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkSharedWrites reports unmediated writes to captured state in one
+// concurrently-executed closure.
+func (p *Package) checkSharedWrites(lit *ast.FuncLit, loopVars map[types.Object]bool, kind string) []Finding {
+	scope := flow.NodeSpan(lit)
+	litLocal := func(o types.Object) bool { return o != nil && scope.Contains(o.Pos()) }
+
+	// Mutex mediation: a .Lock() call inside the closure blesses writes
+	// positioned after it.
+	var lockPos []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch calleeName(call) {
+			case "Lock", "RLock":
+				lockPos = append(lockPos, call.Pos())
+			}
+		}
+		return true
+	})
+	locked := func(pos token.Pos) bool {
+		for _, lp := range lockPos {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// partitioned reports whether the written lvalue is indexed by a
+	// goroutine-local or per-iteration value somewhere along its chain.
+	partitioned := func(lhs ast.Expr) bool {
+		part := false
+		for e := ast.Unparen(lhs); !part; {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				ast.Inspect(x.Index, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if o := flow.ObjOf(p.Info, id); litLocal(o) || (o != nil && loopVars[o]) {
+							part = true
+							return false
+						}
+					}
+					return true
+				})
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			default:
+				return part
+			}
+		}
+		return part
+	}
+
+	var out []Finding
+	for _, cap := range flow.Captures(p.Info, lit) {
+		for _, w := range cap.Writes {
+			if locked(w.Pos()) {
+				continue
+			}
+			exempt := false
+			switch st := w.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if root := flow.BaseIdent(lhs); root != nil && flow.ObjOf(p.Info, root) == cap.Obj {
+						if partitioned(lhs) {
+							exempt = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				exempt = partitioned(st.X)
+			}
+			if exempt {
+				continue
+			}
+			out = append(out, p.finding("sharedwrite", w, fmt.Sprintf(
+				"%s writes captured %q without a goroutine-local index, lock, or channel; concurrent closures race on it — partition the writes or mediate them",
+				kind, cap.Obj.Name())))
+		}
+	}
+	return out
+}

@@ -35,7 +35,7 @@ var (
 //
 // The guard scope is the whole top-level function including its closures:
 // one bound at the top of the function covers every shift below it.
-func runShiftwidth(p *Package) []Finding {
+func runShiftwidth(_ *Module, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {

@@ -1,0 +1,9 @@
+// Package broken deliberately fails type-checking; the cubevet driver must
+// refuse to analyze it (exit 2) instead of running passes on partial type
+// information.
+package broken
+
+func Mismatched() int {
+	var s string = 42 // type error: cannot use 42 as string
+	return s          // type error: cannot return string as int
+}

@@ -61,3 +61,25 @@ func Suppressed(m map[string]int) {
 		fmt.Println(k) //cubevet:ignore detbreak -- fixture: debug-only dump
 	}
 }
+
+// helperClock hides the wall clock one call deep; its own body is flagged
+// transitively at the Wallclock call site.
+func helperClock() float64 {
+	return Wallclock()
+}
+
+// UsesHelper reaches time.Now two calls deep; flagged with the chain.
+func UsesHelper() float64 {
+	return helperClock() + 1
+}
+
+// CallsSuppressed stays clean: Suppressed's justified ignore publishes no
+// summary fact, so the nondeterminism does not propagate to callers.
+func CallsSuppressed(m map[string]int) {
+	Suppressed(m)
+}
+
+// CallsSeeded stays clean: seeded draws are deterministic.
+func CallsSeeded() int {
+	return SeededRand(42)
+}

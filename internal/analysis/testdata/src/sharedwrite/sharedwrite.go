@@ -1,0 +1,159 @@
+// Package sharedwrite exercises the sharedwrite pass: closures launched as
+// goroutines or handed to exper.Par must not write captured state unless
+// the write is partitioned by a goroutine-local or per-iteration index, or
+// mediated by a lock (channel sends are statements, not writes, and are
+// always fine).
+package sharedwrite
+
+import "sync"
+
+// Par mimics exper.Par's bounded worker pool.
+func Par(n int, job func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := job(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadCounter increments a captured counter from a goroutine.
+func BadCounter() int {
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // racy increment
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// BadLastWins writes a captured result variable last-write-wins.
+func BadLastWins(vals []int) int {
+	best := 0
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v > best {
+				best = v // racy read-modify-write
+			}
+		}()
+	}
+	wg.Wait()
+	return best
+}
+
+// BadSharedAppend grows a captured slice concurrently.
+func BadSharedAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1) // racy append
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BadParShared accumulates into captured state from Par workers.
+func BadParShared(n int) float64 {
+	total := 0.0
+	_ = Par(n, func(i int) error {
+		total += float64(i) // racy accumulation across workers
+		return nil
+	})
+	return total
+}
+
+// GoodParSlot writes a per-worker slot indexed by the worker's argument —
+// the exper.Par idiom.
+func GoodParSlot(n int) []float64 {
+	results := make([]float64, n)
+	_ = Par(n, func(i int) error {
+		results[i] = float64(i)
+		return nil
+	})
+	return results
+}
+
+// GoodLoopVarSlot spawns one goroutine per iteration; the captured loop
+// variable is per-iteration, so the indexed writes are partitioned.
+func GoodLoopVarSlot(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// GoodLocked serializes the captured write with a mutex.
+func GoodLocked(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// GoodChannel communicates instead of writing shared state.
+func GoodChannel(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- i
+		}()
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// GoodLocalOnly mutates only closure-local state.
+func GoodLocalOnly() {
+	go func() {
+		acc := 0
+		for i := 0; i < 8; i++ {
+			acc += i
+		}
+		_ = acc
+	}()
+}
+
+// Suppressed shows an annotated intentional write (the goroutine is joined
+// before the value is read, and a single writer exists).
+func Suppressed() error {
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err = nil //cubevet:ignore sharedwrite -- fixture: single writer, joined via done before read
+	}()
+	<-done
+	return err
+}

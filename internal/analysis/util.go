@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // finding builds a Finding at the given node.
@@ -184,4 +185,16 @@ var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Inter
 // isErrorType reports whether t is (or implements) error.
 func isErrorType(t types.Type) bool {
 	return t != nil && types.Implements(t, errorType)
+}
+
+// sortedObjects returns the keys of an alias-set result ordered by
+// declaration position, so passes iterating it emit findings
+// deterministically instead of in map order.
+func sortedObjects(set map[types.Object]types.Object) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
 }

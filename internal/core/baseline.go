@@ -60,7 +60,7 @@ func execExchangeBaseline(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, err //cubevet:ignore ckptsafe -- control arm of the checkpoint-overhead benchmark; must stay checkpoint-free
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }

@@ -85,6 +85,11 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 	if p < 2*nr || q < 2*nc {
 		return nil, fmt.Errorf("core: convert requires p >= 2nr and q >= 2nc")
 	}
+	switch alg {
+	case Convert1, Convert2, Convert3:
+	default:
+		return nil, fmt.Errorf("core: unknown convert algorithm %d", alg)
+	}
 	n := nr + nc
 	// The conversion preserves the before-layout's encoding: the paper's
 	// algorithms are encoding-agnostic since the exchange routes by the
@@ -160,10 +165,13 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 			loc[id] = relabelLocal(plC, id, local)
 		})
 	default:
-		return nil, fmt.Errorf("core: unknown convert algorithm %d", alg)
+		panic("core: convert algorithm validated above")
 	}
 	if err != nil {
-		return nil, err
+		// The conversion phases carry no *plan.Plan move-set, so there is
+		// nothing Resume could replay; a Run error here is a deadlock in the
+		// phase program itself, not a recoverable fault.
+		return nil, err //cubevet:ignore ckptsafe -- no plan move-set to checkpoint; Resume requires one
 	}
 	return &Result{Dist: finishDist(after, loc), Stats: e.Stats()}, nil
 }

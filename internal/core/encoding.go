@@ -76,7 +76,10 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 	}
 	deliveries, err := router.Run(e, flows)
 	if err != nil {
-		return nil, err
+		// The ad-hoc flow set is built outside any *plan.Plan, so Resume —
+		// which replays a plan's residual move-set — has nothing to work
+		// from; propagate the router failure as-is.
+		return nil, err //cubevet:ignore ckptsafe -- ad-hoc flows carry no plan move-set; Resume requires one
 	}
 	loc := newLocal(after, e.Nodes())
 	for dp := 0; dp < after.N(); dp++ {
