@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cubevet check bench bench-engine
+.PHONY: build test race vet cubevet check bench bench-engine bench-fabric
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,9 @@ bench:
 # plus the full experiment-sweep wall-clock. Writes BENCH_engine.json.
 bench-engine:
 	./scripts/bench_engine.sh
+
+# Fabric backends: the same compiled 8-cube SBnT all-to-all plan on the
+# simnet simulation (host + virtual time) and on the livenet
+# goroutine-per-node transport (real wall-clock). Writes BENCH_fabric.json.
+bench-fabric:
+	./scripts/bench_fabric.sh

@@ -26,12 +26,12 @@ package boolcube
 import (
 	"boolcube/internal/comm"
 	"boolcube/internal/core"
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // Encoding selects binary or binary-reflected Gray code for a processor
@@ -68,7 +68,9 @@ type Matrix = matrix.Matrix
 type Dist = matrix.Dist
 
 // Stats reports simulated time (µs), start-ups, bytes and link loads.
-type Stats = simnet.Stats
+// Stats.Logical() strips the timing-derived fields, leaving the
+// backend-independent counters two fabric backends agree on exactly.
+type Stats = fabric.Stats
 
 // Result is a transposed distribution plus its simulated cost.
 type Result = core.Result
@@ -241,6 +243,11 @@ type Options struct {
 	// Deadline, when positive, aborts the run before any operation would
 	// start past this virtual time (µs), with a typed, resumable checkpoint.
 	Deadline float64
+	// Backend names the fabric backend the run executes on: "simnet" (the
+	// default — deterministic discrete-event simulation with virtual-time
+	// stats) or "livenet" (real goroutine-per-node transport over channels,
+	// wall-clock time). See Backends for the registered set.
+	Backend string
 }
 
 func (o Options) core() core.Options {
@@ -257,6 +264,7 @@ func (o Options) core() core.Options {
 		Failover:    o.Failover,
 		Retry:       o.Retry,
 		Deadline:    o.Deadline,
+		Backend:     o.Backend,
 	}
 	if o.Trace != nil {
 		co.Tracer = o.Trace
@@ -336,11 +344,11 @@ type (
 	// before any traffic moves.
 	InfeasibleError = core.InfeasibleError
 	// DeadlineError reports a run aborted at its virtual-time deadline.
-	DeadlineError = simnet.DeadlineError
+	DeadlineError = fabric.DeadlineError
 	// AuditError reports a payload that arrived different from what was
 	// sent (every block and packet carries an always-on checksum; under
 	// SIMNET_DEBUG every element also carries an address tag).
-	AuditError = simnet.AuditError
+	AuditError = fabric.AuditError
 )
 
 // Sentinels for errors.Is against checkpointed-execution failures.
@@ -348,9 +356,9 @@ var (
 	// ErrInfeasible marks plans refused by the pre-flight feasibility check.
 	ErrInfeasible = core.ErrInfeasible
 	// ErrDeadline marks runs aborted at a virtual-time deadline.
-	ErrDeadline = simnet.ErrDeadline
+	ErrDeadline = fabric.ErrDeadline
 	// ErrAudit marks delivery-audit mismatches.
-	ErrAudit = simnet.ErrAudit
+	ErrAudit = fabric.ErrAudit
 )
 
 // Resume finishes a checkpointed execution: local residuals replay
@@ -432,7 +440,7 @@ const (
 
 // RetryPolicy bounds the engine's per-transmission retry/backoff loop
 // under fault injection.
-type RetryPolicy = simnet.RetryPolicy
+type RetryPolicy = fabric.RetryPolicy
 
 // ConvertAlgorithm selects one of Section 6.2's three algorithms for
 // transposing from two-dimensional consecutive to two-dimensional cyclic

@@ -90,6 +90,7 @@ func realMain(args []string, out io.Writer) error {
 	encName := flag.String("enc", "binary", "encoding (binary, gray)")
 	algName := flag.String("alg", "exchange", "algorithm (auto or see boolcube.Algorithms)")
 	machName := flag.String("machine", "ipsc", "machine model")
+	backend := flag.String("backend", "", "fabric backend (simnet, livenet; default simnet)")
 	copies := flag.Bool("copies", false, "charge local pack/unpack copies")
 	traceOut := flag.Bool("trace", false, "print an operation timeline (Gantt) of the run")
 	tau := flag.Float64("tau", -1, "override start-up time τ (µs)")
@@ -127,24 +128,27 @@ func realMain(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	caps, ok := boolcube.BackendCapabilities(*backend)
+	if !ok {
+		return &boolcube.UnknownBackendError{Backend: *backend, Known: boolcube.Backends()}
+	}
 
 	m := boolcube.NewIotaMatrix(*p, *q)
 	d := boolcube.Scatter(m, before)
 	cls := boolcube.Classify(before, after)
 
-	opt := boolcube.Options{Algorithm: alg, Machine: mach, LocalCopies: *copies}
+	opt := boolcube.Options{Algorithm: alg, Machine: mach, LocalCopies: *copies, Backend: *backend}
 	ct, err := boolcube.Compile(before, after, opt)
 	if err != nil {
 		return err
 	}
 	alg = ct.Algorithm() // the concrete algorithm when -alg auto
-	var res *boolcube.Result
+	xo := boolcube.ExecOptions{Backend: *backend}
 	if *traceOut {
 		opt.Trace = boolcube.NewTrace()
-		res, err = ct.ExecuteTraced(d, opt.Trace)
-	} else {
-		res, err = ct.Execute(d)
+		xo.Tracer = opt.Trace
 	}
+	res, err := ct.ExecuteWith(d, xo)
 	if err != nil {
 		return err
 	}
@@ -158,10 +162,18 @@ func realMain(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "cube:              %d dimensions, %d processors (%s)\n", *n, 1<<uint(*n), mach.Ports)
 	fmt.Fprintf(out, "layout:            %s -> %s\n", before, after)
 	fmt.Fprintf(out, "communication:     %s (k=%d splitting, l=%d exchange steps)\n", cls.Pattern, cls.K, cls.L)
-	fmt.Fprintf(out, "algorithm:         %s on %s\n", alg, mach.Name)
+	backendName := *backend
+	if backendName == "" {
+		backendName = "simnet"
+	}
+	fmt.Fprintf(out, "algorithm:         %s on %s (backend %s)\n", alg, mach.Name, backendName)
 	fmt.Fprintf(out, "result:            verified element-exact\n")
 	fmt.Fprintf(out, "predicted time:    %.3f ms (paper model)\n", ct.PredictedCost()/1000)
-	fmt.Fprintf(out, "simulated time:    %.3f ms\n", st.Time/1000)
+	timeLabel := "simulated time: "
+	if !caps.VirtualTime {
+		timeLabel = "elapsed time:   "
+	}
+	fmt.Fprintf(out, "%s   %.3f ms\n", timeLabel, st.Time/1000)
 	fmt.Fprintf(out, "start-ups:         %d\n", st.Startups)
 	fmt.Fprintf(out, "messages (hops):   %d\n", st.Sends)
 	fmt.Fprintf(out, "bytes over links:  %d\n", st.Bytes)

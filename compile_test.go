@@ -49,8 +49,12 @@ func TestCompiledReplayMatchesOneShot(t *testing.T) {
 					if verr := res.Dist.Verify(m.Transposed()); verr != nil {
 						t.Fatalf("run %d: %v", run, verr)
 					}
+					if got, want := res.Stats.Logical(), oneShot.Stats.Logical(); got != want {
+						t.Fatalf("run %d: logical stats diverge from one-shot:\ncompiled %+v\none-shot %+v",
+							run, got, want)
+					}
 					if res.Stats != oneShot.Stats {
-						t.Fatalf("run %d: stats diverge from one-shot:\ncompiled %+v\none-shot %+v",
+						t.Fatalf("run %d: timing-derived stats diverge from one-shot:\ncompiled %+v\none-shot %+v",
 							run, res.Stats, oneShot.Stats)
 					}
 				}

@@ -46,7 +46,7 @@ func ExampleClassify() {
 
 // ExampleSimulate runs a custom two-node program on the simulated machine.
 func ExampleSimulate() {
-	stats, err := boolcube.Simulate(1, boolcube.Ideal(boolcube.OnePort), func(nd *boolcube.Node) {
+	stats, err := boolcube.Simulate(1, boolcube.Ideal(boolcube.OnePort), func(nd boolcube.Node) {
 		reply := nd.Exchange(0, boolcube.Msg{Data: []float64{float64(nd.ID())}})
 		_ = reply
 	})

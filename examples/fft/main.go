@@ -58,7 +58,7 @@ func main() {
 		g := mBits - 1 - s       // global bit being combined
 		d := g - (mBits - nCube) // cube dimension
 		span := 1 << uint(g+1)   // global butterfly span
-		stats, err := boolcube.Simulate(nCube, boolcube.IPSC(), func(nd *boolcube.Node) {
+		stats, err := boolcube.Simulate(nCube, boolcube.IPSC(), func(nd boolcube.Node) {
 			r := int(nd.ID())
 			mine := locals[r]
 			peer := nd.Exchange(d, boolcube.Msg{Src: nd.ID(), Data: encode(mine)})

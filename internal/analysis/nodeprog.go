@@ -33,7 +33,7 @@ func runNodeprog(mod *Module, p *Package) []Finding {
 				if !ok {
 					continue
 				}
-				if param := nodeParam(lit); param != nil {
+				if param := p.nodeParam(lit); param != nil {
 					out = append(out, p.checkNodeProg(lit, param)...)
 				}
 			}
@@ -43,29 +43,18 @@ func runNodeprog(mod *Module, p *Package) []Finding {
 	return out
 }
 
-// nodeParam returns the identifier of the closure's single *Node (or
-// *simnet.Node, *boolcube.Node) parameter, or nil if the closure does not
-// look like a node program.
-func nodeParam(lit *ast.FuncLit) *ast.Ident {
+// nodeParam returns the identifier of the closure's single node-handle
+// parameter — *simnet.Node, *livenet.Node, the fabric.Node interface, or
+// boolcube.Node — or nil if the closure does not look like a node program.
+func (p *Package) nodeParam(lit *ast.FuncLit) *ast.Ident {
 	params := lit.Type.Params.List
 	if len(params) != 1 || len(params[0].Names) != 1 {
 		return nil
 	}
-	star, ok := params[0].Type.(*ast.StarExpr)
-	if !ok {
+	if !p.isNodeParamType(params[0].Type) {
 		return nil
 	}
-	switch t := star.X.(type) {
-	case *ast.Ident:
-		if t.Name == "Node" {
-			return params[0].Names[0]
-		}
-	case *ast.SelectorExpr:
-		if t.Sel.Name == "Node" {
-			return params[0].Names[0]
-		}
-	}
-	return nil
+	return params[0].Names[0]
 }
 
 // checkNodeProg analyzes one node-program closure.

@@ -44,7 +44,7 @@ func runPoolretain(mod *Module, p *Package) []Finding {
 				if !ok {
 					continue
 				}
-				if param := nodeParam(lit); param != nil {
+				if param := p.nodeParam(lit); param != nil {
 					out = append(out, p.checkPoolRetain(lit, param)...)
 				}
 			}

@@ -38,7 +38,7 @@ func runSendown(mod *Module, p *Package) []Finding {
 			default:
 				return true
 			}
-			if body == nil || !hasNodeParam(ft) {
+			if body == nil || !p.hasNodeParam(ft) {
 				return true
 			}
 			out = append(out, p.checkSendown(ft, body)...)
@@ -48,27 +48,17 @@ func runSendown(mod *Module, p *Package) []Finding {
 	return out
 }
 
-// hasNodeParam reports whether the signature takes a *Node (or
-// *simnet.Node) parameter — the shape that puts a function inside the
-// send-ownership contract.
-func hasNodeParam(ft *ast.FuncType) bool {
+// hasNodeParam reports whether the signature takes a node-handle parameter
+// — a concrete *simnet.Node/*livenet.Node, the fabric.Node interface, or
+// anything else whose method set carries Send/Recv/Exchange — the shape
+// that puts a function inside the send-ownership contract.
+func (p *Package) hasNodeParam(ft *ast.FuncType) bool {
 	if ft.Params == nil {
 		return false
 	}
 	for _, f := range ft.Params.List {
-		star, ok := f.Type.(*ast.StarExpr)
-		if !ok {
-			continue
-		}
-		switch t := star.X.(type) {
-		case *ast.Ident:
-			if t.Name == "Node" {
-				return true
-			}
-		case *ast.SelectorExpr:
-			if t.Sel.Name == "Node" {
-				return true
-			}
+		if p.isNodeParamType(f.Type) {
+			return true
 		}
 	}
 	return false
@@ -193,17 +183,12 @@ func (p *Package) checkSendown(ft *ast.FuncType, body *ast.BlockStmt) []Finding 
 	return out
 }
 
-// isNodeExpr reports whether the expression's type is *Node (a pointer to a
-// named type called Node).
+// isNodeExpr reports whether the expression is a node handle — a concrete
+// backend *Node or the fabric.Node interface (method-set match).
 func (p *Package) isNodeExpr(e ast.Expr) bool {
 	tv, ok := p.Info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}
-	ptr, ok := tv.Type.Underlying().(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	return ok && named.Obj().Name() == "Node"
+	return isNodeType(tv.Type)
 }

@@ -163,3 +163,55 @@ func Suppressed(e *Engine) [][]float64 {
 	})
 	return probe
 }
+
+// Handle mimics the backend-neutral fabric.Node interface; it is
+// deliberately not named Node so only the method-set match (Send, Recv,
+// Exchange) can mark closures over it as node programs.
+type Handle interface {
+	ID() uint64
+	AllocData(n int) []float64
+	Send(d int, m Msg)
+	Exchange(d int, m Msg) Msg
+	Recv(d int) Msg
+	Recycle(m Msg)
+}
+
+// Fabric mimics a backend engine whose Run takes the interface form of a
+// node program.
+type Fabric struct{}
+
+// Run mimics (fabric.Fabric).Run.
+func (f *Fabric) Run(prog func(nd Handle)) error { return nil }
+
+// BadIfaceUseAfter reads a message after recycling it, through the
+// backend-neutral interface.
+func BadIfaceUseAfter(f *Fabric) {
+	_ = f.Run(func(nd Handle) {
+		m := nd.Recv(1)
+		nd.Recycle(m)
+		_ = m.Data[0] // use after recycle through the interface
+	})
+}
+
+// BadIfaceRetain stores a pooled buffer into captured state and recycles it,
+// all through the interface.
+func BadIfaceRetain(f *Fabric) [][]float64 {
+	got := make([][]float64, 8)
+	_ = f.Run(func(nd Handle) {
+		m := nd.Recv(0)
+		got[nd.ID()] = m.Data // retained past the recycle point
+		nd.Recycle(m)
+	})
+	return got
+}
+
+// GoodIfaceCopy retains a copy, not the pooled buffer itself.
+func GoodIfaceCopy(f *Fabric) [][]float64 {
+	out := make([][]float64, 8)
+	_ = f.Run(func(nd Handle) {
+		m := nd.Recv(0)
+		out[nd.ID()] = append([]float64(nil), m.Data...)
+		nd.Recycle(m)
+	})
+	return out
+}

@@ -109,3 +109,46 @@ func Suppressed(nd *Node) float64 {
 	nd.Send(0, m)
 	return m.Data[0] //cubevet:ignore sendown -- fixture: loopback harness, receiver is this node
 }
+
+// Handle mimics the backend-neutral fabric.Node interface. It is
+// deliberately not named Node: only the method-set match (Send, Recv,
+// Exchange) can put functions holding it under the ownership contract.
+type Handle interface {
+	ID() uint64
+	Send(dim int, m Msg)
+	TrySend(dim int, m Msg) error
+	Exchange(dim int, m Msg) Msg
+	Recv(dim int) Msg
+}
+
+// BadIfaceUseAfterSend reads the payload after handing it off through the
+// backend-neutral interface.
+func BadIfaceUseAfterSend(nd Handle) float64 {
+	m := nd.Recv(0)
+	nd.Send(0, m)
+	return m.Data[0] // payload transferred through the interface
+}
+
+// BadIfaceAliasAfterSend keeps a payload alias across an interface send.
+func BadIfaceAliasAfterSend(nd Handle) float64 {
+	m := nd.Recv(0)
+	d := m.Data
+	nd.TrySend(0, m)
+	return d[0] // alias of a buffer sent through the interface
+}
+
+// GoodIfaceExchangeRebind replaces the message wholesale through the
+// interface; the fresh incoming message takes over the name.
+func GoodIfaceExchangeRebind(nd Handle) float64 {
+	m := nd.Recv(0)
+	m = nd.Exchange(0, m)
+	return m.Data[0]
+}
+
+// GoodIfaceScalar reads only value-copied header fields after an interface
+// send.
+func GoodIfaceScalar(nd Handle) uint64 {
+	m := nd.Recv(0)
+	nd.Send(0, m)
+	return m.Src + m.Sum
+}

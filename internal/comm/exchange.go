@@ -8,12 +8,12 @@
 // (Theorem 1, Table 3).
 //
 // Each algorithm comes in two layers: a per-node phase function (operating
-// on a *simnet.Node inside a running program, so that phases compose) and a
+// on a fabric.Node inside a running program, so that phases compose) and a
 // whole-engine wrapper that runs the phase on every node.
 //
 // Message building is allocation-disciplined: every builder counts a
 // message's blocks and elements before allocating, draws the buffers from
-// the engine's pool (simnet.Node.AllocData/AllocParts) at exactly that
+// the engine's pool (fabric.Node.AllocData/AllocParts) at exactly that
 // size, and recycles received buffers back to the pool once the last block
 // aliasing them has been copied onward — so a multi-step exchange reuses a
 // near-constant set of buffers instead of growing fresh ones per step.
@@ -24,7 +24,7 @@ import (
 	"slices"
 
 	"boolcube/internal/bits"
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // Strategy selects how the standard exchange algorithm packages the blocks
@@ -69,7 +69,7 @@ func (s Strategy) String() string {
 type Block struct {
 	Src, Dst uint64
 	Data     []float64
-	// Sum is the block's delivery-audit checksum (simnet.Checksum over
+	// Sum is the block's delivery-audit checksum (fabric.Checksum over
 	// Data, computed where the block was gathered); 0 means unaudited.
 	// Audited blocks are verified when ExchangeBlocksHooked delivers them.
 	Sum uint64
@@ -127,7 +127,7 @@ type rxBuf struct {
 // been forwarded, and the returned blocks may alias final-step receive
 // buffers — the caller owns those and they are simply retained. Callers
 // retain ownership of the Data slices in the input blocks.
-func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block) []Block {
+func ExchangeBlocks(nd fabric.Node, dims []int, strat Strategy, blocks []Block) []Block {
 	return ExchangeBlocksHooked(nd, dims, strat, blocks, ExchangeHooks{})
 }
 
@@ -138,7 +138,7 @@ func ExchangeBlocks(nd *simnet.Node, dims []int, strat Strategy, blocks []Block)
 // function returns nil; the Shuffled strategy still charges its inter-step
 // shuffle over the full modeled array, early deliveries included, so hooked
 // and unhooked runs remain bit-identical in time and traffic.
-func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []Block, hooks ExchangeHooks) []Block {
+func ExchangeBlocksHooked(nd fabric.Node, dims []int, strat Strategy, blocks []Block, hooks ExchangeHooks) []Block {
 	id := nd.ID()
 	l := len(dims)
 	hooked := hooks.OnFinal != nil
@@ -167,7 +167,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 		}
 		rx[buf].live--
 		if rx[buf].live == 0 {
-			nd.Recycle(simnet.Msg{Data: rx[buf].data})
+			nd.Recycle(fabric.Msg{Data: rx[buf].data})
 			rx[buf].data = nil
 		}
 	}
@@ -192,8 +192,8 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 	// its receive buffer — the hook must have copied out what it keeps.
 	deliver := func(step int, sb slotBlock) {
 		if sb.Sum != 0 {
-			if got := simnet.Checksum(sb.Data); got != sb.Sum {
-				nd.Fail(&simnet.AuditError{Node: id, Src: sb.Src, Dst: sb.Dst, What: "block", Want: sb.Sum, Got: got})
+			if got := fabric.Checksum(sb.Data); got != sb.Sum {
+				nd.Fail(&fabric.AuditError{Node: id, Src: sb.Src, Dst: sb.Dst, What: "block", Want: sb.Sum, Got: got})
 			}
 		}
 		hooks.OnFinal(step, sb.Block)
@@ -221,8 +221,8 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 
 	// newMsg allocates one outgoing message at its exact final size, with a
 	// parallel tag array when address tags are in flight.
-	newMsg := func(nb, ne int) simnet.Msg {
-		m := simnet.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
+	newMsg := func(nb, ne int) fabric.Msg {
+		m := fabric.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
 		if tagged {
 			m.Tags = make([]uint64, ne)
 		}
@@ -232,10 +232,10 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 	// packRun copies one run of slots into m starting at offsets (po, do),
 	// clears the slots (keeping their backing for the placement pass), and
 	// retires the forwarded blocks' receive buffers.
-	packRun := func(m *simnet.Msg, po, do, start, runLen int) (int, int) {
+	packRun := func(m *fabric.Msg, po, do, start, runLen int) (int, int) {
 		for s := start; s < start+runLen; s++ {
 			for _, b := range slots[s] {
-				m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data), Sum: b.Sum}
+				m.Parts[po] = fabric.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data), Sum: b.Sum}
 				po++
 				if m.Tags != nil && b.Tags != nil {
 					copy(m.Tags[do:], b.Tags)
@@ -256,7 +256,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 	}
 	runBlocks := make([]int, maxRuns)
 	runElems := make([]int, maxRuns)
-	msgScratch := make([]simnet.Msg, 0, maxRuns)
+	msgScratch := make([]fabric.Msg, 0, maxRuns)
 
 	for step := 0; step < l; step++ {
 		d := dims[step]
@@ -308,7 +308,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 			// One message per run even when the run is empty: the doubling
 			// start-up count per step is the point of this variant.
 			for r := 0; r < numRuns; r++ {
-				var m simnet.Msg
+				var m fabric.Msg
 				if runBlocks[r] > 0 {
 					m = newMsg(runBlocks[r], runElems[r])
 					packRun(&m, 0, 0, runStart(r), runLen)
@@ -329,7 +329,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 					te += runElems[r]
 				}
 			}
-			var buffered simnet.Msg
+			var buffered fabric.Msg
 			po, do := 0, 0
 			if tb > 0 {
 				buffered = newMsg(tb, te)
@@ -358,7 +358,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 		// step's total message count in Tag and at least one message is
 		// always sent.
 		if len(msgs) == 0 {
-			msgs = append(msgs, simnet.Msg{})
+			msgs = append(msgs, fabric.Msg{})
 		}
 		for _, m := range msgs {
 			m.Tag = len(msgs)
@@ -397,7 +397,7 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 				s := slotOf(p.Src, p.Dst, step+1)
 				slots[s] = append(slots[s], slotBlock{Block: b, buf: bi})
 			}
-			nd.Recycle(simnet.Msg{Parts: in.Parts})
+			nd.Recycle(fabric.Msg{Parts: in.Parts})
 		}
 
 		if hooks.OnStep != nil {
@@ -465,12 +465,12 @@ func ExchangeBlocksHooked(nd *simnet.Node, dims []int, strat Strategy, blocks []
 // ordered pair of nodes that agree on all dimensions outside dims
 // (including dst == src). result[x] maps each subcube source to the data x
 // received from it.
-func AllToAllExchange(e *simnet.Engine, dims []int, strat Strategy, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+func AllToAllExchange(e fabric.Fabric, dims []int, strat Strategy, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
 	if err := checkDims(e, dims); err != nil {
 		return nil, err
 	}
 	result := make([]map[uint64][]float64, e.Nodes())
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		blocks := make([]Block, 0, 1<<uint(len(dims)))
 		for _, dst := range subcube(id, dims) {
@@ -531,7 +531,7 @@ func subcube(x uint64, dims []int) []uint64 {
 	return out
 }
 
-func checkDims(e *simnet.Engine, dims []int) error {
+func checkDims(e fabric.Fabric, dims []int) error {
 	seen := make(map[int]bool, len(dims))
 	for _, d := range dims {
 		if d < 0 || d >= e.Dims() {

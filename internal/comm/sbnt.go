@@ -2,8 +2,8 @@ package comm
 
 import (
 	"boolcube/internal/cube"
+	"boolcube/internal/fabric"
 	"boolcube/internal/router"
-	"boolcube/internal/simnet"
 )
 
 // AllToAllSBnT performs all-to-all personalized communication by routing
@@ -16,7 +16,7 @@ import (
 //
 // block(src, dst) supplies the payload for every ordered pair; result[x]
 // maps sources to the data x received.
-func AllToAllSBnT(e *simnet.Engine, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+func AllToAllSBnT(e fabric.Fabric, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
 	n := e.Dims()
 	N := uint64(e.Nodes())
 	var flows []router.Flow

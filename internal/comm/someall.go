@@ -5,7 +5,7 @@ import (
 	"slices"
 
 	"boolcube/internal/bits"
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // This file implements some-to-all and all-to-some personalized
@@ -20,7 +20,7 @@ import (
 // held, growing held once. The blocks alias the received Data buffer (whose
 // ownership passes to them); the Parts buffer is consumed here and goes
 // back to the pool.
-func recvBlocks(nd *simnet.Node, d int, held []Block) []Block {
+func recvBlocks(nd fabric.Node, d int, held []Block) []Block {
 	m := nd.Recv(d)
 	held = slices.Grow(held, len(m.Parts))
 	off := 0
@@ -28,7 +28,7 @@ func recvBlocks(nd *simnet.Node, d int, held []Block) []Block {
 		held = append(held, Block{Src: p.Src, Dst: p.Dst, Data: m.Data[off : off+p.N : off+p.N]})
 		off += p.N
 	}
-	nd.Recycle(simnet.Msg{Parts: m.Parts})
+	nd.Recycle(fabric.Msg{Parts: m.Parts})
 	return held
 }
 
@@ -46,7 +46,7 @@ func zeroOn(x uint64, dims []int) bool {
 // personalized communication within each split subcube): before, only the
 // nodes with zero bits on all splitDims hold blocks; after, every node
 // holds the blocks whose destination matches it on all splitDims.
-func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
+func SplitBlocks(nd fabric.Node, splitDims []int, held []Block) []Block {
 	id := nd.ID()
 	for step, d := range splitDims {
 		unprocessed := splitDims[step+1:]
@@ -61,15 +61,15 @@ func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 					ne += len(b.Data)
 				}
 			}
-			var m simnet.Msg
+			var m fabric.Msg
 			if nb > 0 {
-				m = simnet.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
+				m = fabric.Msg{Parts: nd.AllocParts(nb), Data: nd.AllocData(ne)}
 			}
 			keep := held[:0] // filtered in place; writes trail reads
 			po, do := 0, 0
 			for _, b := range held {
 				if bits.Bit(b.Dst, d) == 1 {
-					m.Parts[po] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+					m.Parts[po] = fabric.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
 					po++
 					do += copy(m.Data[do:], b.Data)
 				} else {
@@ -89,23 +89,23 @@ func SplitBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 // (all-to-one personalized communication within each split subcube): every
 // node may start holding blocks; afterwards only the nodes with zero bits
 // on all splitDims hold them.
-func AccumulateBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
+func AccumulateBlocks(nd fabric.Node, splitDims []int, held []Block) []Block {
 	id := nd.ID()
 	for step, d := range splitDims {
 		if !zeroOn(id, splitDims[:step]) {
 			continue // already handed everything off in an earlier step
 		}
 		if bits.Bit(id, d) == 1 {
-			var m simnet.Msg
+			var m fabric.Msg
 			if len(held) > 0 {
 				ne := 0
 				for _, b := range held {
 					ne += len(b.Data)
 				}
-				m = simnet.Msg{Parts: nd.AllocParts(len(held)), Data: nd.AllocData(ne)}
+				m = fabric.Msg{Parts: nd.AllocParts(len(held)), Data: nd.AllocData(ne)}
 				do := 0
 				for i, b := range held {
-					m.Parts[i] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+					m.Parts[i] = fabric.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
 					do += copy(m.Data[do:], b.Data)
 				}
 			}
@@ -123,12 +123,12 @@ func AccumulateBlocks(nd *simnet.Node, splitDims []int, held []Block) []Block {
 // for every node of its splitDims+exchDims subcube. splitFirst selects the
 // phase order of Theorem 1 (true is optimal for some-to-all). result[x]
 // maps sources to the data received by x.
-func SomeToAll(e *simnet.Engine, splitDims, exchDims []int, strat Strategy, splitFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+func SomeToAll(e fabric.Fabric, splitDims, exchDims []int, strat Strategy, splitFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
 	if err := validateDimSets(e, splitDims, exchDims); err != nil {
 		return nil, err
 	}
 	result := make([]map[uint64][]float64, e.Nodes())
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		var held []Block
 		if zeroOn(id, splitDims) { // I am a source
@@ -168,12 +168,12 @@ func SomeToAll(e *simnet.Engine, splitDims, exchDims []int, strat Strategy, spli
 // of each splitDims+exchDims subcube holds one block for every target (the
 // zero-split-bit nodes of the subcube). exchangeFirst = true is the optimal
 // order of Theorem 1. result[x] is populated only at targets.
-func AllToSome(e *simnet.Engine, splitDims, exchDims []int, strat Strategy, exchangeFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
+func AllToSome(e fabric.Fabric, splitDims, exchDims []int, strat Strategy, exchangeFirst bool, block func(src, dst uint64) []float64) ([]map[uint64][]float64, error) {
 	if err := validateDimSets(e, splitDims, exchDims); err != nil {
 		return nil, err
 	}
 	result := make([]map[uint64][]float64, e.Nodes())
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		var held []Block
 		for _, tgt := range targets(id, splitDims, exchDims) {
@@ -215,7 +215,7 @@ func targets(id uint64, splitDims, exchDims []int) []uint64 {
 	return subcube(base, exchDims)
 }
 
-func validateDimSets(e *simnet.Engine, splitDims, exchDims []int) error {
+func validateDimSets(e fabric.Fabric, splitDims, exchDims []int) error {
 	if err := checkDims(e, splitDims); err != nil {
 		return err
 	}

@@ -5,7 +5,7 @@ import (
 	"slices"
 
 	"boolcube/internal/cube"
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // This file implements one-to-all and all-to-one personalized communication
@@ -38,7 +38,7 @@ func nextHop(t *cube.Tree, x, dst uint64) uint64 {
 // With one tree (an SBT) this is the paper's one-port algorithm with
 // T_min = (1-1/N)PQ·t_c + nτ; with n rotated SBTs (or an SBnT) and n-port
 // communication the transfer term drops by a factor of n (Section 3.1).
-func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(dst uint64, k int) []float64) []float64 {
+func ScatterOnNode(nd fabric.Node, root uint64, trees []*cube.Tree, parts func(dst uint64, k int) []float64) []float64 {
 	id := nd.ID()
 	var own []float64
 	ownByTree := make([][]float64, len(trees))
@@ -68,7 +68,7 @@ func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(
 		type group struct {
 			child  uint64
 			nb, ne int
-			msg    simnet.Msg
+			msg    fabric.Msg
 			po, do int
 		}
 		var groups []*group // at most one per cube dimension
@@ -102,7 +102,7 @@ func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(
 				g.ne += p.N
 			}
 			for _, g := range groups {
-				g.msg = simnet.Msg{Tag: k, Parts: nd.AllocParts(g.nb), Data: nd.AllocData(g.ne)}
+				g.msg = fabric.Msg{Tag: k, Parts: nd.AllocParts(g.nb), Data: nd.AllocData(g.ne)}
 			}
 			off := 0
 			for i, p := range m.Parts {
@@ -141,12 +141,12 @@ func ScatterOnNode(nd *simnet.Node, root uint64, trees []*cube.Tree, parts func(
 	return own
 }
 
-func buildSubtreeMsg(t *cube.Tree, subroot uint64, k int, parts func(dst uint64, k int) []float64) simnet.Msg {
-	m := simnet.Msg{Tag: k}
+func buildSubtreeMsg(t *cube.Tree, subroot uint64, k int, parts func(dst uint64, k int) []float64) fabric.Msg {
+	m := fabric.Msg{Tag: k}
 	var walk func(x uint64)
 	walk = func(x uint64) {
 		d := parts(x, k)
-		m.Parts = append(m.Parts, simnet.Part{Src: t.Root, Dst: x, N: len(d)})
+		m.Parts = append(m.Parts, fabric.Part{Src: t.Root, Dst: x, N: len(d)})
 		m.Data = append(m.Data, d...)
 		for _, c := range t.Children[x] {
 			walk(c)
@@ -170,7 +170,7 @@ func dimOf(a, b uint64) int {
 // communication toward root over one spanning tree: leaves send up, inner
 // nodes accumulate their subtree before forwarding. Returns, at the root
 // only, the gathered blocks sorted by source; other nodes return nil.
-func GatherOnNode(nd *simnet.Node, t *cube.Tree, data []float64) []Block {
+func GatherOnNode(nd fabric.Node, t *cube.Tree, data []float64) []Block {
 	id := nd.ID()
 	acc := make([]Block, 1, t.SubtreeSize(id))
 	acc[0] = Block{Src: id, Dst: t.Root, Data: data}
@@ -183,7 +183,7 @@ func GatherOnNode(nd *simnet.Node, t *cube.Tree, data []float64) []Block {
 			off += p.N
 		}
 		rxDatas = append(rxDatas, m.Data)
-		nd.Recycle(simnet.Msg{Parts: m.Parts})
+		nd.Recycle(fabric.Msg{Parts: m.Parts})
 	}
 	if id == t.Root {
 		slices.SortFunc(acc, func(a, b Block) int {
@@ -201,16 +201,16 @@ func GatherOnNode(nd *simnet.Node, t *cube.Tree, data []float64) []Block {
 	for _, b := range acc {
 		ne += len(b.Data)
 	}
-	m := simnet.Msg{Parts: nd.AllocParts(len(acc)), Data: nd.AllocData(ne)}
+	m := fabric.Msg{Parts: nd.AllocParts(len(acc)), Data: nd.AllocData(ne)}
 	do := 0
 	for i, b := range acc {
-		m.Parts[i] = simnet.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
+		m.Parts[i] = fabric.Part{Src: b.Src, Dst: b.Dst, N: len(b.Data)}
 		do += copy(m.Data[do:], b.Data)
 	}
 	// Everything received has been copied into the upward message; the
 	// receive buffers can go back to the pool.
 	for _, d := range rxDatas {
-		nd.Recycle(simnet.Msg{Data: d})
+		nd.Recycle(fabric.Msg{Data: d})
 	}
 	p := uint64(t.Parent[id])
 	nd.Send(dimOf(id, p), m)
@@ -260,7 +260,7 @@ func BuildTrees(kind TreeKind, n int, root uint64) []*cube.Tree {
 
 // OneToAll scatters data(dst) from root to every node using the given tree
 // family. result[x] is the payload x received (its own data for x == root).
-func OneToAll(e *simnet.Engine, kind TreeKind, root uint64, data func(dst uint64) []float64) ([][]float64, error) {
+func OneToAll(e fabric.Fabric, kind TreeKind, root uint64, data func(dst uint64) []float64) ([][]float64, error) {
 	if root >= uint64(e.Nodes()) {
 		return nil, fmt.Errorf("comm: root %d out of range", root)
 	}
@@ -269,7 +269,7 @@ func OneToAll(e *simnet.Engine, kind TreeKind, root uint64, data func(dst uint64
 		return chunkOf(data(dst), len(trees), k)
 	}
 	result := make([][]float64, e.Nodes())
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		result[nd.ID()] = ScatterOnNode(nd, root, trees, parts)
 	})
 	if err != nil {
@@ -280,13 +280,13 @@ func OneToAll(e *simnet.Engine, kind TreeKind, root uint64, data func(dst uint64
 
 // AllToOne gathers data(src) from every node at root over an SBT. The
 // result is indexed by source.
-func AllToOne(e *simnet.Engine, root uint64, data func(src uint64) []float64) ([][]float64, error) {
+func AllToOne(e fabric.Fabric, root uint64, data func(src uint64) []float64) ([][]float64, error) {
 	if root >= uint64(e.Nodes()) {
 		return nil, fmt.Errorf("comm: root %d out of range", root)
 	}
 	tree := cube.SBT(cube.New(e.Dims()), root)
 	result := make([][]float64, e.Nodes())
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		blocks := GatherOnNode(nd, tree, data(nd.ID()))
 		if nd.ID() == root {
 			for _, b := range blocks {

@@ -2,9 +2,9 @@ package core
 
 import (
 	"boolcube/internal/comm"
+	"boolcube/internal/fabric"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // execExchangeBaseline is the pre-checkpointing exchange executor, retained
@@ -25,7 +25,7 @@ func execExchangeBaseline(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result
 	after := p.After()
 	loc := newLocal(after, e.Nodes())
 	hint := p.MsgElemsHint()
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		local := srcLocal(d, id)
 		if cfg.LocalCopies && len(local) > 0 {

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // Checkpoint is the durable progress record of a failed execution: the
@@ -30,7 +30,7 @@ type Checkpoint struct {
 	// Stats is the cost accrued across the failed attempt(s) so far; a
 	// successful Resume folds its own cost on top (counters add, makespans
 	// add, per-link maxima take the max).
-	Stats simnet.Stats
+	Stats fabric.Stats
 	// At is the virtual time the run had reached when it stopped. Resume
 	// shifts the fault schedule by it (fault.Plan.After), so a link that
 	// failed mid-run is permanently down from the resumed run's time zero.
@@ -78,7 +78,7 @@ var ErrInfeasible = errors.New("plan infeasible under fault schedule")
 
 // InfeasibleError reports a plan that cannot complete under its fault
 // schedule, detected before the run starts. It unwraps to ErrInfeasible and
-// to simnet.ErrLinkDown — the sentinel the doomed run would have surfaced —
+// to fabric.ErrLinkDown — the sentinel the doomed run would have surfaced —
 // so callers classifying fault outcomes see the same type either way.
 type InfeasibleError struct {
 	Plan   string // plan description
@@ -91,7 +91,7 @@ func (e *InfeasibleError) Error() string {
 }
 
 func (e *InfeasibleError) Unwrap() []error {
-	out := []error{ErrInfeasible, simnet.ErrLinkDown}
+	out := []error{ErrInfeasible, fabric.ErrLinkDown}
 	if e.Cause != nil {
 		out = append(out, e.Cause)
 	}
@@ -101,7 +101,7 @@ func (e *InfeasibleError) Unwrap() []error {
 // mergeStats folds the cost of a resumed run on top of a checkpoint's
 // accrued cost: counters and makespans add (the resumed run happens after
 // the failed one), per-link maxima take the max.
-func mergeStats(a, b simnet.Stats) simnet.Stats {
+func mergeStats(a, b fabric.Stats) fabric.Stats {
 	out := a
 	out.Time += b.Time
 	out.Startups += b.Startups

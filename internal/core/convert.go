@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"boolcube/internal/comm"
+	"boolcube/internal/fabric"
 	"boolcube/internal/field"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // This file implements Section 6.2: transposing a matrix stored with
@@ -20,7 +20,7 @@ import (
 // node program: gather per-destination payloads from the current local
 // array per the plan, exchange over dims, scatter into the next local
 // array.
-func phaseExchange(nd *simnet.Node, mv *plan.Moves, dims []int, strat comm.Strategy, local []float64) []float64 {
+func phaseExchange(nd fabric.Node, mv *plan.Moves, dims []int, strat comm.Strategy, local []float64) []float64 {
 	id := nd.ID()
 	var blocks []comm.Block
 	if int(id) < mv.Before().N() && local != nil {
@@ -116,7 +116,7 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 		colDims = append(colDims, i)
 	}
 
-	e, err := simnet.New(n, opt.Machine)
+	e, err := fabric.New(opt.Backend, n, opt.Machine)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 		plB := plan.MustMoves(l1, l2, false)
 		plC := plan.MustMoves(l2, after, true)
 		sptDims := comm.PairedDims(n)
-		err = e.Run(func(nd *simnet.Node) {
+		err = e.Run(func(nd fabric.Node) {
 			id := nd.ID()
 			local := phaseExchange(nd, plA, rowDims, opt.Strategy, d.Local[id])
 			local = phaseExchange(nd, plB, colDims, opt.Strategy, local)
@@ -147,7 +147,7 @@ func ConvertConsecutiveToCyclic(d *matrix.Dist, alg ConvertAlgorithm, opt Option
 		plA := plan.MustMoves(before, la, false)
 		plB := plan.MustMoves(la, lb, false)
 		plC := plan.MustMoves(lb, after, true) // zero-communication relabel
-		err = e.Run(func(nd *simnet.Node) {
+		err = e.Run(func(nd fabric.Node) {
 			id := nd.ID()
 			if alg == Convert2 {
 				// Complete local matrix transpose before communication.

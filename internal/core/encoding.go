@@ -40,7 +40,7 @@ func ConvertEncoding(d *matrix.Dist, after field.Layout, opt Options) (*Result, 
 		}
 	}
 
-	e, n, err := engineFor(before, after, opt.Machine)
+	e, n, err := engineFor(before, after, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/plan"
 	"boolcube/internal/router"
-	"boolcube/internal/simnet"
 )
 
 // FailoverPolicy selects how a flow-based execution responds to routes
@@ -24,7 +24,7 @@ const (
 	FailoverReroute FailoverPolicy = iota
 	// FailoverNone injects without rerouting: the first transmission to
 	// exhaust its retry budget on a failed link aborts the run with a
-	// typed, deterministic *simnet.FaultError.
+	// typed, deterministic *fabric.FaultError.
 	FailoverNone
 	// FailoverAbandon reroutes like FailoverReroute, but a flow with no
 	// usable alternative is dropped from the run (its destination block
@@ -49,7 +49,7 @@ func (p FailoverPolicy) String() string {
 // policies. The zero value is a plain fault-free run.
 type ExecOptions struct {
 	// Tracer, when non-nil, receives every timed operation of the run.
-	Tracer simnet.Tracer
+	Tracer fabric.Tracer
 	// Faults, when non-nil, is the compiled fault schedule to inject. It
 	// must have been compiled for the plan's cube dimension.
 	Faults *fault.Plan
@@ -58,12 +58,17 @@ type ExecOptions struct {
 	Failover FailoverPolicy
 	// Retry bounds the engine's per-transmission retry/backoff loop; zero
 	// fields take the simnet defaults (3 attempts, backoff τ).
-	Retry simnet.RetryPolicy
+	Retry fabric.RetryPolicy
 	// Deadline, when positive, aborts the run before any operation would
 	// start past this virtual time (µs). The abort is clean and typed
-	// (simnet.ErrDeadline) and — like every mid-run failure — carries a
+	// (fabric.ErrDeadline) and — like every mid-run failure — carries a
 	// Checkpoint, so a deadline-hit run can be resumed.
 	Deadline float64
+	// Backend names the fabric backend the plan executes on; empty selects
+	// fabric.DefaultBackend (the deterministic simulation). Plans are
+	// backend-neutral — the same compiled plan replays on any registered
+	// backend.
+	Backend string
 }
 
 // checkFaults validates the fault plan against the plan's cube.

@@ -2,9 +2,9 @@ package core
 
 import (
 	"boolcube/internal/bits"
+	"boolcube/internal/fabric"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // This file executes the Section 6.3 combined conversion-transpose as the
@@ -59,10 +59,10 @@ func execMixedProgram(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, er
 	rowCtrl, colCtrl := p.Controls()
 	h := p.NDims() / 2
 	loc := newLocal(after, e.Nodes())
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		// buf travels with its source identity so the receiver can place it.
-		buf := simnet.Msg{Src: id, Data: nil}
+		buf := fabric.Msg{Src: id, Data: nil}
 		if dsts := mv.Destinations(id); len(dsts) == 1 {
 			buf.Data = mv.Gather(id, d.Local[id], dsts[0])
 		} else {

@@ -5,7 +5,7 @@ import (
 
 	"boolcube/internal/bits"
 	"boolcube/internal/comm"
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // This file implements Section 7: using the general exchange algorithm for
@@ -16,7 +16,7 @@ import (
 // PermuteNodes moves each node's payload to perm(node) with the general
 // exchange algorithm over the given dimension order. perm must be a
 // permutation of the node set.
-func PermuteNodes(e *simnet.Engine, perm func(uint64) uint64, dims []int, strat comm.Strategy, data [][]float64) ([][]float64, error) {
+func PermuteNodes(e fabric.Fabric, perm func(uint64) uint64, dims []int, strat comm.Strategy, data [][]float64) ([][]float64, error) {
 	N := uint64(e.Nodes())
 	if len(data) != int(N) {
 		return nil, fmt.Errorf("core: %d payloads for %d nodes", len(data), N)
@@ -30,7 +30,7 @@ func PermuteNodes(e *simnet.Engine, perm func(uint64) uint64, dims []int, strat 
 		seen[y] = true
 	}
 	out := make([][]float64, N)
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		blocks := []comm.Block{{Src: id, Dst: perm(id), Data: data[id]}}
 		got := comm.ExchangeBlocks(nd, dims, strat, blocks)
@@ -59,7 +59,7 @@ func BitReversalDims(n int) []int {
 
 // BitReversal applies the bit-reversal permutation to per-node payloads via
 // the general exchange algorithm.
-func BitReversal(e *simnet.Engine, strat comm.Strategy, data [][]float64) ([][]float64, error) {
+func BitReversal(e fabric.Fabric, strat comm.Strategy, data [][]float64) ([][]float64, error) {
 	n := e.Dims()
 	return PermuteNodes(e, func(x uint64) uint64 {
 		return bits.Reverse(x, n)
@@ -155,7 +155,7 @@ func DimPermSteps(pi []int) ([][][2]int, error) {
 // under direct dimension-order routing. The paper's condition is a payload
 // of at least N elements per node; smaller payloads still work here (pieces
 // just come out unevenly sized).
-func PermuteTwoPhase(e *simnet.Engine, perm func(uint64) uint64, strat comm.Strategy, data [][]float64) ([][]float64, error) {
+func PermuteTwoPhase(e fabric.Fabric, perm func(uint64) uint64, strat comm.Strategy, data [][]float64) ([][]float64, error) {
 	N := uint64(e.Nodes())
 	if len(data) != int(N) {
 		return nil, fmt.Errorf("core: %d payloads for %d nodes", len(data), N)
@@ -170,7 +170,7 @@ func PermuteTwoPhase(e *simnet.Engine, perm func(uint64) uint64, strat comm.Stra
 	}
 	dims := comm.DescendingDims(e.Dims())
 	out := make([][]float64, N)
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		// Round 1: scatter my payload in N pieces, piece j to node j.
 		blocks := make([]comm.Block, 0, N)
@@ -239,7 +239,7 @@ func swapAddr(x uint64, step [][2]int, n int) uint64 {
 // at most ceil(log2 n) parallel swappings, all inside one simulated run so
 // that step times accumulate. Each step routes data between nodes whose
 // addresses differ in the swapped bit pairs.
-func PermuteDims(e *simnet.Engine, pi []int, strat comm.Strategy, data [][]float64) ([][]float64, error) {
+func PermuteDims(e fabric.Fabric, pi []int, strat comm.Strategy, data [][]float64) ([][]float64, error) {
 	n := e.Dims()
 	if len(pi) != n {
 		return nil, fmt.Errorf("core: permutation over %d dims on an %d-cube", len(pi), n)
@@ -252,7 +252,7 @@ func PermuteDims(e *simnet.Engine, pi []int, strat comm.Strategy, data [][]float
 		return nil, err
 	}
 	out := make([][]float64, e.Nodes())
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		payload := data[id]
 		for _, step := range steps {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"boolcube/internal/bits"
+	"boolcube/internal/fabric"
 	"boolcube/internal/field"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
-	"boolcube/internal/simnet"
 )
 
 // This file implements the two Section 5 programs verbatim, as executable
@@ -57,13 +57,13 @@ func TransposeExchangePseudocode(d *matrix.Dist, after field.Layout, opt Options
 	}
 	N := 1 << uint(n)
 
-	e, err := simnet.New(n, opt.Machine)
+	e, err := fabric.New(opt.Backend, n, opt.Machine)
 	if err != nil {
 		return nil, err
 	}
 	applyTracer(e, opt)
 	loc := newLocal(after, e.Nodes())
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		// Blocked local array: block j holds my elements destined to
 		// processor j (the j-th column group of my block row).
@@ -81,9 +81,9 @@ func TransposeExchangePseudocode(d *matrix.Dist, after field.Layout, opt Options
 			if bits.Bit(id, j) == 0 {
 				lo, hi = N/2, N
 			}
-			var m simnet.Msg
+			var m fabric.Msg
 			for b := lo; b < hi; b++ {
-				m.Parts = append(m.Parts, simnet.Part{Src: blocks[b].src, Dst: blocks[b].dst, N: len(blocks[b].data)})
+				m.Parts = append(m.Parts, fabric.Part{Src: blocks[b].src, Dst: blocks[b].dst, N: len(blocks[b].data)})
 				m.Data = append(m.Data, blocks[b].data...)
 			}
 			in := nd.Exchange(j, m)
@@ -137,24 +137,24 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 	}
 	N := uint64(1) << uint(n)
 
-	e, err := simnet.New(n, opt.Machine)
+	e, err := fabric.New(opt.Backend, n, opt.Machine)
 	if err != nil {
 		return nil, err
 	}
 	applyTracer(e, opt)
 	loc := newLocal(after, e.Nodes())
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		// output-buf[b]: pending messages per port. Each message is one
 		// Part (source, final destination) with relative-addr in Rel.
-		outBuf := make([][]simnet.Msg, n)
+		outBuf := make([][]fabric.Msg, n)
 		for j := uint64(0); j < N; j++ {
 			if j == id {
 				continue
 			}
 			rel := id ^ j
 			b := bits.Base(rel, n)
-			outBuf[b] = append(outBuf[b], simnet.Msg{
+			outBuf[b] = append(outBuf[b], fabric.Msg{
 				Src: id, Dst: j,
 				Rel:  rel ^ 1<<uint(b),
 				Data: pl.Gather(id, d.Local[id], j),
@@ -164,7 +164,7 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 		out := loc[id]
 		// Own block stays local.
 		pl.Scatter(id, out, id, pl.Gather(id, d.Local[id], id))
-		place := func(m simnet.Msg) {
+		place := func(m fabric.Msg) {
 			if m.Rel != 0 {
 				panic("core: sbnt pseudocode placed an in-flight message")
 			}
@@ -178,9 +178,9 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 		// receive on all n input ports, deliver or forward.
 		for round := 0; round < n; round++ {
 			for p := 0; p < n; p++ {
-				bundle := simnet.Msg{Tag: len(outBuf[p])}
+				bundle := fabric.Msg{Tag: len(outBuf[p])}
 				for _, m := range outBuf[p] {
-					bundle.Parts = append(bundle.Parts, simnet.Part{Src: m.Src, Dst: m.Dst, N: len(m.Data)})
+					bundle.Parts = append(bundle.Parts, fabric.Part{Src: m.Src, Dst: m.Dst, N: len(m.Data)})
 					bundle.Path = append(bundle.Path, int(m.Rel)) // carry rel addrs
 					bundle.Data = append(bundle.Data, m.Data...)
 				}
@@ -191,7 +191,7 @@ func TransposeSBnTPseudocode(d *matrix.Dist, after field.Layout, opt Options) (*
 				in := nd.Recv(p)
 				off := 0
 				for i, part := range in.Parts {
-					m := simnet.Msg{Src: part.Src, Dst: part.Dst,
+					m := fabric.Msg{Src: part.Src, Dst: part.Dst,
 						Rel: uint64(in.Path[i]), Data: in.Data[off : off+part.N]}
 					off += part.N
 					if m.Rel == 0 {

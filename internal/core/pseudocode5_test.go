@@ -47,11 +47,8 @@ func TestExchangePseudocodeCostMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lit.Stats.Bytes != ana.Stats.Bytes {
-		t.Errorf("bytes: literal %d vs analytical %d", lit.Stats.Bytes, ana.Stats.Bytes)
-	}
-	if lit.Stats.Startups != ana.Stats.Startups {
-		t.Errorf("startups: literal %d vs analytical %d", lit.Stats.Startups, ana.Stats.Startups)
+	if got, want := lit.Stats.Logical(), ana.Stats.Logical(); got != want {
+		t.Errorf("logical stats: literal %+v vs analytical %+v", got, want)
 	}
 	if lit.Stats.Time != ana.Stats.Time {
 		t.Errorf("time: literal %v vs analytical %v", lit.Stats.Time, ana.Stats.Time)

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"boolcube/internal/fabric"
 	"boolcube/internal/plan"
 	"boolcube/internal/router"
-	"boolcube/internal/simnet"
 )
 
 // Resume finishes a checkpointed execution: it derives the residual move-set
@@ -36,7 +36,7 @@ func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
 	if xo.Tracer == nil {
 		xo.Tracer = cp.Opts.Tracer
 	}
-	if xo.Retry == (simnet.RetryPolicy{}) {
+	if xo.Retry == (fabric.RetryPolicy{}) {
 		xo.Retry = cp.Opts.Retry
 	}
 	if cp.Delivered == nil {

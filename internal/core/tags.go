@@ -1,7 +1,7 @@
 package core
 
 import (
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // Per-element address tags, the SIMNET_DEBUG half of delivery auditing: each
@@ -22,11 +22,11 @@ func addrTags(src uint64, off, n int) []uint64 {
 }
 
 // verifyTags checks a delivered tag array inside a node program, aborting
-// the run with a typed *simnet.AuditError on the first mismatch.
-func verifyTags(nd *simnet.Node, src, dst uint64, off int, tags []uint64) {
+// the run with a typed *fabric.AuditError on the first mismatch.
+func verifyTags(nd fabric.Node, src, dst uint64, off int, tags []uint64) {
 	for i, tag := range tags {
 		if want := src<<32 | uint64(off+i); tag != want {
-			nd.Fail(&simnet.AuditError{Node: nd.ID(), Src: src, Dst: dst, What: "tag", Want: want, Got: tag})
+			nd.Fail(&fabric.AuditError{Node: nd.ID(), Src: src, Dst: dst, What: "tag", Want: want, Got: tag})
 		}
 	}
 }
@@ -37,7 +37,7 @@ func verifyTags(nd *simnet.Node, src, dst uint64, off int, tags []uint64) {
 func verifyTagsHost(src, dst uint64, off int, tags []uint64) {
 	for i, tag := range tags {
 		if want := src<<32 | uint64(off+i); tag != want {
-			panic((&simnet.AuditError{Src: src, Dst: dst, What: "tag", Want: want, Got: tag}).Error())
+			panic((&fabric.AuditError{Src: src, Dst: dst, What: "tag", Want: want, Got: tag}).Error())
 		}
 	}
 }

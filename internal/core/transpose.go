@@ -22,20 +22,25 @@ import (
 	"fmt"
 
 	"boolcube/internal/comm"
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/field"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
 	"boolcube/internal/router"
-	"boolcube/internal/simnet"
+
+	// Link both shipped backends so fabric.New resolves "simnet" (the
+	// default) and "livenet" for any core user.
+	_ "boolcube/internal/livenet"
+	_ "boolcube/internal/simnet"
 )
 
 // Result carries a transposed distribution together with the simulated cost
 // of producing it.
 type Result struct {
 	Dist  *matrix.Dist
-	Stats simnet.Stats
+	Stats fabric.Stats
 }
 
 // Options configures a transpose run.
@@ -47,22 +52,25 @@ type Options struct {
 	// two-dimensional local arrays, Section 8.2.1) at the start and end.
 	LocalCopies bool
 	// Tracer, when non-nil, receives every timed operation of the run.
-	Tracer simnet.Tracer
+	Tracer fabric.Tracer
 	// Faults, when non-nil, injects the compiled fault schedule into the
 	// run; Failover and Retry then select the response policy (see
 	// ExecOptions).
 	Faults   *fault.Plan
 	Failover FailoverPolicy
-	Retry    simnet.RetryPolicy
+	Retry    fabric.RetryPolicy
 	// Deadline, when positive, aborts the run past this virtual time (µs)
 	// with a resumable checkpoint (see ExecOptions.Deadline).
 	Deadline float64
+	// Backend selects the fabric backend to execute on (empty =
+	// fabric.DefaultBackend, the deterministic simulation).
+	Backend string
 }
 
 // ExecConfig extracts the per-run half of the options (the complement of
 // PlanConfig).
 func (o Options) ExecConfig() ExecOptions {
-	return ExecOptions{Tracer: o.Tracer, Faults: o.Faults, Failover: o.Failover, Retry: o.Retry, Deadline: o.Deadline}
+	return ExecOptions{Tracer: o.Tracer, Faults: o.Faults, Failover: o.Failover, Retry: o.Retry, Deadline: o.Deadline, Backend: o.Backend}
 }
 
 // PlanConfig extracts the part of the options that shapes a compiled plan
@@ -102,7 +110,7 @@ func TransposeCached(alg plan.Algorithm, d *matrix.Dist, after field.Layout, opt
 // Execute replays a compiled plan against the distributed matrix d. The
 // plan is read-only here and inside every node program — the simnet
 // concurrency contract — so one plan may serve concurrent executions.
-func Execute(p *plan.Plan, d *matrix.Dist, tracer simnet.Tracer) (*Result, error) {
+func Execute(p *plan.Plan, d *matrix.Dist, tracer fabric.Tracer) (*Result, error) {
 	return ExecuteWith(p, d, ExecOptions{Tracer: tracer})
 }
 
@@ -130,13 +138,14 @@ func ExecuteWith(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) 
 	return nil, fmt.Errorf("core: unknown plan kind %v", p.Kind())
 }
 
-// engineFor builds an engine big enough for both layouts.
-func engineFor(before, after field.Layout, mach machine.Params) (*simnet.Engine, int, error) {
+// engineFor builds an engine big enough for both layouts on the backend
+// the options select.
+func engineFor(before, after field.Layout, opt Options) (fabric.Fabric, int, error) {
 	n := before.NBits()
 	if a := after.NBits(); a > n {
 		n = a
 	}
-	e, err := simnet.New(n, mach)
+	e, err := fabric.New(opt.Backend, n, opt.Machine)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -144,7 +153,7 @@ func engineFor(before, after field.Layout, mach machine.Params) (*simnet.Engine,
 }
 
 // applyTracer installs the optional tracer on a fresh engine.
-func applyTracer(e *simnet.Engine, opt Options) {
+func applyTracer(e fabric.Fabric, opt Options) {
 	if opt.Tracer != nil {
 		e.SetTracer(opt.Tracer)
 	}
@@ -153,8 +162,8 @@ func applyTracer(e *simnet.Engine, opt Options) {
 // planEngine builds the engine a plan executes on, installs the tracer
 // (labeling it with the plan's description when the tracer supports
 // labels), and arms fault injection when the run carries a fault plan.
-func planEngine(p *plan.Plan, xo ExecOptions) (*simnet.Engine, error) {
-	e, err := simnet.New(p.NDims(), p.Config().Machine)
+func planEngine(p *plan.Plan, xo ExecOptions) (fabric.Fabric, error) {
+	e, err := fabric.New(xo.Backend, p.NDims(), p.Config().Machine)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +246,7 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 	}
 	prog := make([]exchProgress, e.Nodes())
 
-	err = e.Run(func(nd *simnet.Node) {
+	err = e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		local := srcLocal(d, id)
 		if cfg.LocalCopies && len(local) > 0 {
@@ -265,7 +274,7 @@ func execExchange(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error)
 				buf := arena[off : off+n : off+n]
 				off += n
 				mv.GatherInto(id, local, dp, buf)
-				b := comm.Block{Src: id, Dst: dp, Data: buf, Sum: simnet.Checksum(buf)}
+				b := comm.Block{Src: id, Dst: dp, Data: buf, Sum: fabric.Checksum(buf)}
 				if debug {
 					b.Tags = addrTags(id, 0, n)
 				}

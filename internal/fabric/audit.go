@@ -1,0 +1,78 @@
+// Delivery auditing: every payload a flow or exchange block carries can be
+// stamped with a cheap Fletcher-style checksum at the point it is gathered
+// from source data, and verified at the point it is reassembled into the
+// destination — so misrouting, reassembly bugs and pool corruption are
+// detected at runtime, without materializing the expected result. The audit
+// lives in the shared node-program code (comm, router), so every backend
+// gets it for free — on a live transport it is the integrity check that
+// survives losing simulated determinism.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	stdbits "math/bits"
+)
+
+// Checksum is the delivery-audit checksum: four interleaved Fletcher-style
+// lanes over the raw IEEE-754 bit pattern of each element, accumulated
+// mod 2^64 and mixed at the end. The four independent lanes break classic
+// Fletcher's serial dependency chain so the pass runs near memory speed —
+// it is always on, so its cost rides every execution (the checkpoint
+// overhead gate in scripts/check.sh keeps it honest). The second-order
+// sums make it position-sensitive (swapped, duplicated or truncated
+// elements change the result); it is pure, and never returns 0 — so 0 in
+// Msg.Sum / Part.Sum always means "unaudited", never a real sum.
+func Checksum(data []float64) uint64 {
+	var a1, b1, c1, d1 uint64
+	var a2, b2, c2, d2 uint64
+	a1 = 1
+	d := data
+	for len(d) >= 4 { // slice-advance form: bounds checks hoisted
+		a1 += math.Float64bits(d[0])
+		b1 += math.Float64bits(d[1])
+		c1 += math.Float64bits(d[2])
+		d1 += math.Float64bits(d[3])
+		a2 += a1
+		b2 += b1
+		c2 += c1
+		d2 += d1
+		d = d[4:]
+	}
+	for _, v := range d {
+		a1 += math.Float64bits(v)
+		a2 += a1
+	}
+	s1 := a1 + 3*b1 + 5*c1 + 7*d1
+	s2 := a2 + 3*b2 + 5*c2 + 7*d2
+	// Rotate one half before combining so a bit flipped in both sums (e.g.
+	// a sign bit carried into both orders) cannot cancel in the xor.
+	sum := s1*0x9e3779b97f4a7c15 ^ stdbits.RotateLeft64(s2*0xbf58476d1ce4e5b9, 32)
+	if sum == 0 {
+		return 1
+	}
+	return sum
+}
+
+// ErrAudit is the sentinel a delivery-audit failure unwraps to (errors.Is).
+var ErrAudit = errors.New("delivery audit failed")
+
+// AuditError reports a payload that arrived different from what was sent —
+// a checksum mismatch at reassembly, or (under SIMNET_DEBUG) an element
+// address tag that does not match the move-set. Its message is a pure
+// function of the mismatch, so audited failures replay identically.
+type AuditError struct {
+	Node     uint64 // node that detected the mismatch
+	Src, Dst uint64 // the transfer being audited
+	What     string // "block", "packet", or "tag"
+	Want     uint64 // expected checksum or tag
+	Got      uint64 // observed checksum or tag
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("fabric: node %d: %s audit failed for transfer %d -> %d: want %#x, got %#x",
+		e.Node, e.What, e.Src, e.Dst, e.Want, e.Got)
+}
+
+func (e *AuditError) Unwrap() error { return ErrAudit }

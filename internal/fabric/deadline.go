@@ -1,0 +1,28 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadline is the sentinel a deadline abort unwraps to (errors.Is).
+var ErrDeadline = errors.New("deadline exceeded")
+
+// DeadlineError is the typed error Run returns when the time budget set
+// with SetDeadline expires. The abort is clean: no operation past the
+// deadline executes (exactly, on the simulated backend; best-effort on a
+// live one), every node goroutine is unwound, and the engine's Stats (and
+// any per-node partitioned state the program wrote before the abort) remain
+// readable — which is what lets executors turn a deadline into a checkpoint.
+type DeadlineError struct {
+	Deadline float64 // the time budget that expired (backend clock, µs)
+	Node     uint64  // node whose next operation overran the deadline
+	NextAt   float64 // action time of that operation (backend clock, µs)
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("fabric: deadline t=%g exceeded: next operation (node %d) would start at t=%g",
+		e.Deadline, e.Node, e.NextAt)
+}
+
+func (e *DeadlineError) Unwrap() error { return ErrDeadline }

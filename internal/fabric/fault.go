@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultModel is what a backend asks about injected faults. It is defined
+// here (rather than importing internal/fault) to keep the layering acyclic:
+// fault.Plan implements this interface, and the backends stay ignorant of
+// how fault schedules are expressed or compiled.
+//
+// Implementations must be pure functions of their construction inputs —
+// the simulated backend consults them on the deterministic scheduling path,
+// so any internal nondeterminism would break the replayability promise.
+// Live backends consult LinkState with wall-clock µs since Run, so
+// window-based scenarios are only as repeatable as the wall clock; Drop is
+// attempt-indexed and stays deterministic on every backend (each directed
+// link has exactly one sender with a deterministic send sequence).
+type FaultModel interface {
+	// LinkState reports whether the directed link (from, dim) is usable at
+	// time t; when it is down, nextUp is the recovery time (+Inf for a
+	// permanent failure).
+	LinkState(from uint64, dim int, t float64) (up bool, nextUp float64)
+	// Drop reports whether transmission attempt `attempt` (1-based,
+	// counted per directed link) is lost in flight.
+	Drop(from uint64, dim int, attempt int64) bool
+}
+
+// RetryPolicy bounds how a backend responds to injected failures: a
+// transmission is attempted at most Attempts times (waiting out transient
+// link-down windows counts against the same budget), with Backoff µs
+// between attempts. The zero value selects the defaults at SetFaults time.
+type RetryPolicy struct {
+	Attempts int     // max transmission attempts per hop (default 3)
+	Backoff  float64 // µs between attempts (default: the machine's τ)
+}
+
+// WithDefaults resolves zero fields against the machine model.
+func (r RetryPolicy) WithDefaults(tau float64) RetryPolicy {
+	if r.Attempts < 1 {
+		r.Attempts = 3
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = tau
+	}
+	return r
+}
+
+// Fault cause sentinels, exposed for errors.Is.
+var (
+	// ErrLinkDown: the link was down and will not recover (or stayed down
+	// past the retry budget).
+	ErrLinkDown = errors.New("link down")
+	// ErrRetryBudget: every attempt within the retry budget was dropped.
+	ErrRetryBudget = errors.New("retry budget exhausted")
+)
+
+// FaultError is the typed error a transmission surfaces when fault
+// injection defeats it. It unwraps to ErrLinkDown or ErrRetryBudget, and
+// its message is a pure function of the failure, so identical runs fail
+// identically (on a deterministic backend).
+type FaultError struct {
+	From, To uint64  // link endpoints
+	Dim      int     // link dimension
+	At       float64 // time of the final failed attempt (backend clock, µs)
+	Attempts int     // transmission attempts consumed
+	Err      error   // ErrLinkDown or ErrRetryBudget
+}
+
+func (f *FaultError) Error() string {
+	return fmt.Sprintf("fabric: send %d-(dim %d)->%d failed at t=%g after %d attempt(s): %v",
+		f.From, f.Dim, f.To, f.At, f.Attempts, f.Err)
+}
+
+func (f *FaultError) Unwrap() error { return f.Err }

@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"boolcube/internal/machine"
+)
+
+// Constructor builds a fresh engine for an n-dimensional cube under the
+// given machine model.
+type Constructor func(n int, params machine.Params) (Fabric, error)
+
+// DefaultBackend is the backend New selects for an empty name: the
+// deterministic discrete-event simulation.
+const DefaultBackend = "simnet"
+
+var (
+	regMu    sync.RWMutex
+	backends = map[string]registration{}
+)
+
+type registration struct {
+	ctor Constructor
+	caps Capabilities
+}
+
+// Register installs a backend constructor under a name. Backends register
+// themselves in init(); registering a duplicate name panics (it is a wiring
+// bug, not a runtime condition).
+func Register(name string, ctor Constructor, caps Capabilities) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || ctor == nil {
+		panic("fabric: Register with empty name or nil constructor")
+	}
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("fabric: backend %q registered twice", name))
+	}
+	backends[name] = registration{ctor: ctor, caps: caps}
+}
+
+// New builds an engine on the named backend (empty name selects
+// DefaultBackend). Unknown names fail with a typed *UnknownBackendError
+// listing what is registered.
+func New(backend string, n int, params machine.Params) (Fabric, error) {
+	if backend == "" {
+		backend = DefaultBackend
+	}
+	regMu.RLock()
+	reg, ok := backends[backend]
+	regMu.RUnlock()
+	if !ok {
+		return nil, &UnknownBackendError{Backend: backend, Known: Backends()}
+	}
+	return reg.ctor(n, params)
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Caps returns the declared capabilities of a registered backend; ok is
+// false for unknown names.
+func Caps(backend string) (caps Capabilities, ok bool) {
+	if backend == "" {
+		backend = DefaultBackend
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	reg, ok := backends[backend]
+	return reg.caps, ok
+}
+
+// UnknownBackendError is the typed refusal for a backend name nothing
+// registered under.
+type UnknownBackendError struct {
+	Backend string
+	Known   []string
+}
+
+func (e *UnknownBackendError) Error() string {
+	return fmt.Sprintf("fabric: unknown backend %q (registered: %s)",
+		e.Backend, strings.Join(e.Known, ", "))
+}

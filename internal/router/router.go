@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"slices"
 
-	"boolcube/internal/simnet"
+	"boolcube/internal/fabric"
 )
 
 // Flow is one source-to-destination transfer along an explicit route.
@@ -65,7 +65,7 @@ func (p *Partial) Elems() int {
 // their packets round-robin across their flows — packet 0 of every flow
 // first — which realizes the paper's MPT schedule of sending one packet per
 // path per cycle.
-func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
+func Run(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, error) {
 	out, _, err := RunRecover(e, flows)
 	if err != nil {
 		return nil, err
@@ -82,8 +82,8 @@ func Run(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, error) {
 //
 // Every packet is stamped with a delivery-audit checksum at injection and
 // verified at its destination; a mismatch aborts the run with a typed
-// *simnet.AuditError.
-func RunRecover(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, *Partial, error) {
+// *fabric.AuditError.
+func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial, error) {
 	n := e.Dims()
 	N := uint64(e.Nodes())
 	for i, f := range flows {
@@ -139,7 +139,7 @@ func RunRecover(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, *Partial
 		}
 	}
 
-	err := e.Run(func(nd *simnet.Node) {
+	err := e.Run(func(nd fabric.Node) {
 		id := nd.ID()
 		// Inject own packets, round-robin across flows.
 		myFlows := bySrc[id]
@@ -168,10 +168,10 @@ func RunRecover(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, *Partial
 					continue
 				}
 				f := flows[c.flow]
-				m := simnet.Msg{
+				m := fabric.Msg{
 					Src: f.Src, Dst: f.Dst, Tag: c.flow, Rel: uint64(c.next),
 					Path: f.Dims[1:], Data: c.chunks[c.next],
-					Sum: simnet.Checksum(c.chunks[c.next]),
+					Sum: fabric.Checksum(c.chunks[c.next]),
 				}
 				if c.tags != nil {
 					m.Tags = c.tags[c.next]
@@ -188,8 +188,8 @@ func RunRecover(e *simnet.Engine, flows []Flow) (map[uint64][]Delivery, *Partial
 			m := nd.RecvAny()
 			if len(m.Path) == 0 {
 				if m.Sum != 0 {
-					if got := simnet.Checksum(m.Data); got != m.Sum {
-						nd.Fail(&simnet.AuditError{Node: id, Src: m.Src, Dst: m.Dst, What: "packet", Want: m.Sum, Got: got})
+					if got := fabric.Checksum(m.Data); got != m.Sum {
+						nd.Fail(&fabric.AuditError{Node: id, Src: m.Src, Dst: m.Dst, What: "packet", Want: m.Sum, Got: got})
 					}
 				}
 				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data, tags: m.Tags})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -56,7 +57,7 @@ func TestAuditErrorUnwraps(t *testing.T) {
 // Node.Fail surfaces a typed error out of Run, unwinding all nodes cleanly.
 func TestNodeFailSurfacesTypedError(t *testing.T) {
 	e := ideal(t, 2, machine.NPort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 3 {
 			nd.Fail(&AuditError{Node: 3, Src: 0, Dst: 3, What: "block", Want: 1, Got: 2})
 		}

@@ -3,6 +3,7 @@ package simnet
 import (
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -14,7 +15,7 @@ func BenchmarkEngineExchange(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		err = e.Run(func(nd *Node) {
+		err = e.Run(func(nd fabric.Node) {
 			for d := 5; d >= 0; d-- {
 				nd.Exchange(d, Msg{Data: make([]float64, 8)})
 			}
@@ -39,7 +40,7 @@ func benchTransposeSched(b *testing.B, reference bool) {
 			b.Fatal(err)
 		}
 		e.SetReferenceScheduler(reference)
-		err = e.Run(func(nd *Node) {
+		err = e.Run(func(nd fabric.Node) {
 			for rep := 0; rep < 4; rep++ {
 				for d := nd.Dims() - 1; d >= 0; d-- {
 					m := nd.Exchange(d, Msg{Data: nd.AllocData(64)})
@@ -62,7 +63,7 @@ func BenchmarkEngineSpawn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := e.Run(func(nd *Node) {}); err != nil {
+		if err := e.Run(func(nd fabric.Node) {}); err != nil {
 			b.Fatal(err)
 		}
 	}

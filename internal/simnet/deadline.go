@@ -1,32 +1,22 @@
 package simnet
 
 import (
-	"errors"
-	"fmt"
 	"math"
+
+	"boolcube/internal/fabric"
 )
 
 // ErrDeadline is the sentinel a deadline abort unwraps to (errors.Is).
-var ErrDeadline = errors.New("deadline exceeded")
+var ErrDeadline = fabric.ErrDeadline
 
 // DeadlineError is the typed error Run returns when the virtual-time
-// deadline set with SetDeadline expires. The abort is clean and
-// deterministic: no operation scheduled to start after the deadline
-// executes, every node goroutine is unwound, and the engine's Stats (and
-// any per-node partitioned state the program wrote before the abort) remain
-// readable — which is what lets executors turn a deadline into a checkpoint.
-type DeadlineError struct {
-	Deadline float64 // the virtual-time budget that expired
-	Node     uint64  // node whose next operation overran the deadline
-	NextAt   float64 // virtual action time of that operation
-}
-
-func (e *DeadlineError) Error() string {
-	return fmt.Sprintf("simnet: deadline t=%g exceeded: next operation (node %d) would start at t=%g",
-		e.Deadline, e.Node, e.NextAt)
-}
-
-func (e *DeadlineError) Unwrap() error { return ErrDeadline }
+// deadline set with SetDeadline expires (fabric.DeadlineError). The abort
+// is clean and deterministic: no operation scheduled to start after the
+// deadline executes, every node goroutine is unwound, and the engine's
+// Stats (and any per-node partitioned state the program wrote before the
+// abort) remain readable — which is what lets executors turn a deadline
+// into a checkpoint.
+type DeadlineError = fabric.DeadlineError
 
 // SetDeadline bounds the next Run to virtual time t (µs): the run aborts
 // with a typed *DeadlineError as soon as the operation the scheduler would

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/machine"
 )
@@ -14,7 +15,7 @@ func TestDeadlineAbortsWithTypedError(t *testing.T) {
 	// second hop's start.
 	e := ideal(t, 1, machine.OnePort)
 	e.SetDeadline(3)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 			nd.Recv(0)
@@ -46,7 +47,7 @@ func TestDeadlineAbortsWithTypedError(t *testing.T) {
 func TestDeadlineGenerousRunCompletes(t *testing.T) {
 	e := ideal(t, 2, machine.NPort)
 	e.SetDeadline(1e9)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		for d := 0; d < nd.Dims(); d++ {
 			nd.Exchange(d, Msg{Data: []float64{float64(nd.ID())}})
 		}
@@ -61,7 +62,7 @@ func TestDeadlineGenerousRunCompletes(t *testing.T) {
 func TestDeadlineBoundaryIsInclusive(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
 	e.SetDeadline(2) // sends start at t=0, receives act exactly at t=2
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		nd.Exchange(0, Msg{Data: []float64{float64(nd.ID())}})
 	})
 	if err != nil {
@@ -95,7 +96,7 @@ func TestDeadlineAbortDeterministic(t *testing.T) {
 		tr := &recordTracer{}
 		e.SetTracer(tr)
 		e.SetDeadline(40)
-		rerr := e.Run(func(nd *Node) {
+		rerr := e.Run(func(nd fabric.Node) {
 			for rep := 0; rep < 8; rep++ {
 				for d := 0; d < nd.Dims(); d++ {
 					nd.Exchange(d, Msg{Data: []float64{1, 2, 3, 4}})

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -20,7 +21,7 @@ func TestDebugCleanRun(t *testing.T) {
 	if !e.debug {
 		t.Fatal("SIMNET_DEBUG not snapshotted by New")
 	}
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		// Every node exchanges with both neighbors: two sends per node on
 		// the single port of a one-port machine.
 		for dim := 0; dim < 2; dim++ {
@@ -57,14 +58,14 @@ func TestDebugDetectsOverlappingSends(t *testing.T) {
 			}
 		}
 	}()
-	e.Run(func(nd *Node) {
+	e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Src: 0, Data: make([]float64, 16)})
 			// Simulate a port-serialization bug: forget that the single
 			// send port is busy. The second send targets a different link
 			// (dim 1), so only the port resource should force it to wait —
 			// and with the bookkeeping corrupted, nothing does.
-			nd.sendFree[0] = 0
+			nd.(*Node).sendFree[0] = 0
 			nd.Send(1, Msg{Src: 0, Data: make([]float64, 16)})
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 )
 
@@ -14,7 +15,7 @@ func TestDropTraceCarriesAttemptAndWindow(t *testing.T) {
 	e := faultEngine(t, 1, fault.FlakyLink(0, 0, 1), RetryPolicy{Attempts: 3})
 	tr := &recordTracer{}
 	e.SetTracer(tr)
-	e.Run(func(nd *Node) {
+	e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 		} else {
@@ -46,7 +47,7 @@ func TestDownWindowInDropTrace(t *testing.T) {
 	e := faultEngine(t, 1, spec, RetryPolicy{})
 	tr := &recordTracer{}
 	e.SetTracer(tr)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 		} else {
@@ -69,7 +70,7 @@ func TestDownWindowInDropTrace(t *testing.T) {
 	e2 := faultEngine(t, 1, fault.SingleLinkDown(0, 0), RetryPolicy{})
 	tr2 := &recordTracer{}
 	e2.SetTracer(tr2)
-	e2.Run(func(nd *Node) {
+	e2.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 		} else {

@@ -1,82 +1,44 @@
 package simnet
 
 import (
-	"errors"
-	"fmt"
+	"boolcube/internal/fabric"
 )
 
-// FaultModel is what the engine asks about injected faults. It is defined
-// here (rather than importing internal/fault) to keep the layering acyclic:
-// fault.Plan implements this interface, and the engine stays ignorant of
-// how fault schedules are expressed or compiled.
-//
-// Implementations must be pure functions of their construction inputs —
-// the engine consults them on the deterministic scheduling path, so any
-// internal nondeterminism would break the replayability promise.
-type FaultModel interface {
-	// LinkState reports whether the directed link (from, dim) is usable at
-	// virtual time t; when it is down, nextUp is the recovery time (+Inf
-	// for a permanent failure).
-	LinkState(from uint64, dim int, t float64) (up bool, nextUp float64)
-	// Drop reports whether transmission attempt `attempt` (1-based,
-	// counted per directed link) is lost in flight.
-	Drop(from uint64, dim int, attempt int64) bool
-}
+// The fault-injection contract is backend-neutral and lives in
+// internal/fabric; the aliases keep simnet's historical names working.
 
-// RetryPolicy bounds how the engine responds to injected failures: a
-// transmission is attempted at most Attempts times (waiting out transient
-// link-down windows counts against the same budget), with Backoff µs
-// between attempts. The zero value selects the defaults at SetFaults time.
-type RetryPolicy struct {
-	Attempts int     // max transmission attempts per hop (default 3)
-	Backoff  float64 // µs between attempts (default: the machine's τ)
-}
+// FaultModel is what the engine asks about injected faults
+// (fabric.FaultModel). Implementations must be pure functions of their
+// construction inputs — the engine consults them on the deterministic
+// scheduling path, so any internal nondeterminism would break the
+// replayability promise.
+type FaultModel = fabric.FaultModel
 
-// withDefaults resolves zero fields against the machine model.
-func (r RetryPolicy) withDefaults(tau float64) RetryPolicy {
-	if r.Attempts < 1 {
-		r.Attempts = 3
-	}
-	if r.Backoff <= 0 {
-		r.Backoff = tau
-	}
-	return r
-}
+// RetryPolicy bounds how the engine responds to injected failures
+// (fabric.RetryPolicy): at most Attempts transmission attempts per hop with
+// Backoff µs between them; zero fields take the defaults at SetFaults time.
+type RetryPolicy = fabric.RetryPolicy
 
 // Fault cause sentinels, exposed for errors.Is.
 var (
 	// ErrLinkDown: the link was down and will not recover (or stayed down
 	// past the retry budget).
-	ErrLinkDown = errors.New("link down")
+	ErrLinkDown = fabric.ErrLinkDown
 	// ErrRetryBudget: every attempt within the retry budget was dropped.
-	ErrRetryBudget = errors.New("retry budget exhausted")
+	ErrRetryBudget = fabric.ErrRetryBudget
 )
 
 // FaultError is the typed error a transmission surfaces when fault
-// injection defeats it. It unwraps to ErrLinkDown or ErrRetryBudget, and
-// its message is a pure function of the failure, so identical runs fail
-// identically.
-type FaultError struct {
-	From, To uint64  // link endpoints
-	Dim      int     // link dimension
-	At       float64 // virtual time of the final failed attempt
-	Attempts int     // transmission attempts consumed
-	Err      error   // ErrLinkDown or ErrRetryBudget
-}
-
-func (f *FaultError) Error() string {
-	return fmt.Sprintf("simnet: send %d-(dim %d)->%d failed at t=%g after %d attempt(s): %v",
-		f.From, f.Dim, f.To, f.At, f.Attempts, f.Err)
-}
-
-func (f *FaultError) Unwrap() error { return f.Err }
+// injection defeats it (fabric.FaultError). It unwraps to ErrLinkDown or
+// ErrRetryBudget.
+type FaultError = fabric.FaultError
 
 // SetFaults installs a fault model and retry policy for the next Run (nil
 // disables injection). Zero RetryPolicy fields default to 3 attempts with
 // the machine's τ as backoff. Must be called before Run.
 func (e *Engine) SetFaults(f FaultModel, rp RetryPolicy) {
 	e.faults = f
-	e.retry = rp.withDefaults(e.params.Tau)
+	e.retry = rp.WithDefaults(e.params.Tau)
 	if f != nil && e.linkAttempts == nil {
 		e.linkAttempts = make([]int64, e.nodesCount*e.n)
 	}

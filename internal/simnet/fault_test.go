@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/machine"
 )
@@ -23,7 +24,7 @@ func faultEngine(t *testing.T, n int, spec fault.Spec, rp RetryPolicy) *Engine {
 
 func TestPermanentLinkDownAbortsWithTypedError(t *testing.T) {
 	e := faultEngine(t, 1, fault.SingleLinkDown(0, 0), RetryPolicy{})
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 		} else {
@@ -48,7 +49,7 @@ func TestPermanentLinkDownAbortsWithTypedError(t *testing.T) {
 func TestTrySendSurfacesErrorWithoutAborting(t *testing.T) {
 	e := faultEngine(t, 1, fault.SingleLinkDown(0, 0), RetryPolicy{})
 	var sawErr error
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			sawErr = nd.TrySend(0, Msg{Data: []float64{1}})
 		}
@@ -67,7 +68,7 @@ func TestTransientWindowWaitedOut(t *testing.T) {
 	}}
 	e := faultEngine(t, 1, spec, RetryPolicy{})
 	var got float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{42}})
 		} else {
@@ -92,7 +93,7 @@ func TestTransientWindowWaitedOut(t *testing.T) {
 
 func TestRetryBudgetExhaustedOnAlwaysDropLink(t *testing.T) {
 	e := faultEngine(t, 1, fault.FlakyLink(0, 0, 1), RetryPolicy{Attempts: 3})
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: []float64{1}})
 		} else {
@@ -118,7 +119,7 @@ func TestFlakyLinkRetransmitsAndDelivers(t *testing.T) {
 	const msgs = 20
 	e := faultEngine(t, 1, fault.FlakyLink(0, 0, 0.5), RetryPolicy{Attempts: 64})
 	var got []float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			for i := 0; i < msgs; i++ {
 				nd.Send(0, Msg{Data: []float64{float64(i)}})
@@ -160,7 +161,7 @@ func TestFaultedRunDeterminism(t *testing.T) {
 		e := faultEngine(t, 2, spec, RetryPolicy{Attempts: 32})
 		tr := &recordTracer{}
 		e.SetTracer(tr)
-		err := e.Run(func(nd *Node) {
+		err := e.Run(func(nd fabric.Node) {
 			for d := 0; d < nd.Dims(); d++ {
 				nd.Exchange(d, Msg{Data: []float64{float64(nd.ID())}})
 			}

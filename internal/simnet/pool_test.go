@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -76,7 +77,7 @@ func TestRecycleDebugPoison(t *testing.T) {
 		t.Fatal(err)
 	}
 	retained := make([][]float64, e.Nodes())
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		data := nd.AllocData(4)
 		for i := range data {
 			data[i] = 1.5
@@ -104,7 +105,7 @@ func TestPoolInvisibleToTiming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = e.Run(func(nd *Node) {
+		err = e.Run(func(nd fabric.Node) {
 			for d := 0; d < nd.Dims(); d++ {
 				nd.Send(d, Msg{Data: nd.AllocData(32)})
 				m := nd.Recv(d)

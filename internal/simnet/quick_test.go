@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -18,7 +19,7 @@ func TestRandomProgramDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			err = e.Run(func(nd *Node) {
+			err = e.Run(func(nd fabric.Node) {
 				rng := rand.New(rand.NewSource(seed*1000 + int64(nd.ID())))
 				for step := 0; step < 10; step++ {
 					switch rng.Intn(3) {
@@ -73,7 +74,7 @@ func TestSynchronizedRandomExchanges(t *testing.T) {
 				dims[i] = rng.Intn(n)
 				sizes[i] = rng.Intn(16)
 			}
-			err = e.Run(func(nd *Node) {
+			err = e.Run(func(nd fabric.Node) {
 				for i, d := range dims {
 					nd.Exchange(d, Msg{Src: nd.ID(), Data: make([]float64, sizes[i])})
 				}
@@ -94,7 +95,7 @@ func TestLinkLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: make([]float64, 5)})
 			nd.Send(1, Msg{Data: make([]float64, 3)})

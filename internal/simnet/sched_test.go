@@ -7,6 +7,7 @@ import (
 	"slices"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/fault"
 	"boolcube/internal/machine"
 	"boolcube/internal/simnet"
@@ -84,7 +85,7 @@ func runScript(t *testing.T, n int, params machine.Params, script []schedStep,
 	if faults != nil {
 		e.SetFaults(faults, simnet.RetryPolicy{Attempts: 12})
 	}
-	runErr := e.Run(func(nd *simnet.Node) {
+	runErr := e.Run(func(nd fabric.Node) {
 		id := int(nd.ID())
 		for si := range script {
 			s := &script[si]

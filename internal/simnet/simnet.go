@@ -43,83 +43,26 @@ import (
 	"math"
 	"strings"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
-// Part describes one logical block inside a multi-block message: N elements
-// of Data belonging to the (Src, Dst) transfer. Personalized-communication
-// algorithms bundle many blocks into one transmission; Parts keeps them
-// identifiable without extra wire cost.
-type Part struct {
-	Src, Dst uint64
-	N        int
-	// Sum is the block's delivery-audit checksum (Checksum over its N
-	// elements, computed where the block was gathered); 0 means unaudited.
-	Sum uint64
-}
+// The wire-level types are shared by every backend and live in
+// internal/fabric; the aliases keep simnet's historical API surface (and
+// every existing caller) intact while making *Node and *Engine satisfy the
+// fabric.Node and fabric.Fabric contracts structurally.
 
-// Msg is a message traveling over one cube link. Src and Dst identify the
-// original source and final destination for multi-hop (forwarded) traffic;
-// Rel and Path carry routing state for relative-address and source-routed
-// algorithms; Data is the payload in matrix elements, optionally subdivided
-// by Parts.
-//
-// Ownership: Send transfers the message and its buffers to the receiver
-// without copying. The sender must not reuse Data/Parts/Path after Send;
-// the receiver owns them and may pass them along, keep them, or Recycle
-// them.
-type Msg struct {
-	Src, Dst uint64
-	Tag      int
-	Rel      uint64
-	Path     []int
-	Parts    []Part
-	Data     []float64
-	// Sum is the whole-payload delivery-audit checksum (Checksum over Data,
-	// computed at injection); 0 means unaudited. Multi-block messages audit
-	// per Part instead.
-	Sum uint64
-	// Tags carries one address tag per Data element under SIMNET_DEBUG
-	// (nil otherwise), so receivers can verify each element's provenance
-	// without materializing the expected result.
-	Tags []uint64
-}
+// Part is one logical block inside a multi-block message (fabric.Part).
+type Part = fabric.Part
 
-// Clone returns a deep copy of the message (fresh Data, Path and Parts).
-// Use it when a payload must outlive the ownership hand-off of Send or
-// survive past a Recycle point.
-func (m Msg) Clone() Msg {
-	c := m
-	c.Data = append([]float64(nil), m.Data...)
-	c.Path = append([]int(nil), m.Path...)
-	c.Parts = append([]Part(nil), m.Parts...)
-	c.Tags = append([]uint64(nil), m.Tags...)
-	return c
-}
+// Msg is a message traveling over one cube link (fabric.Msg). Send
+// transfers ownership of its buffers to the receiver.
+type Msg = fabric.Msg
 
-// Stats aggregates what the paper measures: simulated elapsed time,
-// communication start-ups, transferred volume and link load — plus, under
-// fault injection, how much the run degraded. The engine fills the retry
-// and drop counters; the flow executor fills the failover counters on its
-// returned copy.
-type Stats struct {
-	Time         float64 // makespan over all nodes and transmissions, µs
-	Startups     int64   // total communication start-ups
-	Sends        int64   // messages sent (per-hop)
-	Bytes        int64   // total bytes crossing links
-	CopyBytes    int64   // total bytes passed through local copies
-	CopyTime     float64 // total local copy time (sum over nodes), µs
-	MaxLinkBytes int64   // heaviest directed link, bytes
-	MaxLinkBusy  float64 // heaviest directed link, busy time µs
-
-	// Degradation under fault injection (all zero on fault-free runs).
-	Retries      int64 // transmission attempts repeated (drop retransmits, down-window waits)
-	Drops        int64 // frames lost in flight to flaky links
-	FaultedSends int64 // sends that failed past the retry budget (typed error)
-	Rerouted     int64 // flows failed over to an alternate disjoint path
-	ExtraHops    int64 // extra hops incurred by failover reroutes
-	Abandoned    int64 // flows abandoned under best-effort failover
-}
+// Stats aggregates what the paper measures (fabric.Stats): simulated
+// elapsed time, communication start-ups, transferred volume and link load —
+// plus, under fault injection, how much the run degraded.
+type Stats = fabric.Stats
 
 type opKind int
 
@@ -230,29 +173,13 @@ type Engine struct {
 	fail     error
 }
 
-// TraceEvent is one timed operation of one node, reported to a Tracer.
-type TraceEvent struct {
-	Node       uint64
-	Kind       string // "send", "recv", "copy", "compute", "drop" (faulted attempt)
-	Dim        int    // cube dimension for send/recv; -1 otherwise
-	Bytes      int
-	Start, End float64
-
-	// Fault detail, filled only on "drop" events so a faulted trace is
-	// debuggable without cross-referencing the fault plan. Attempt is the
-	// 1-based retry attempt that failed. DownUntil is the end of the
-	// failing link's down-window ([Start, DownUntil), +Inf for a permanent
-	// failure); it is 0 when the link was up and the frame was dropped in
-	// flight by a flaky link.
-	Attempt   int
-	DownUntil float64
-}
+// TraceEvent is one timed operation of one node (fabric.TraceEvent).
+type TraceEvent = fabric.TraceEvent
 
 // Tracer receives every timed operation as it executes, in deterministic
-// engine order. Implementations must not call back into the engine.
-type Tracer interface {
-	Record(TraceEvent)
-}
+// engine order (fabric.Tracer). Implementations must not call back into
+// the engine.
+type Tracer = fabric.Tracer
 
 // SetTracer installs a tracer for subsequent Runs (nil disables tracing).
 func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
@@ -278,6 +205,30 @@ var errPoisoned = fmt.Errorf("simnet: engine poisoned")
 func (e *Engine) linkIndex(from uint64, dim int) int {
 	return int(from)*e.n + dim
 }
+
+// init registers the simulation as a fabric backend — the reference
+// implementation New selects for an empty backend name.
+func init() {
+	fabric.Register("simnet", func(n int, params machine.Params) (fabric.Fabric, error) {
+		return New(n, params)
+	}, simCaps)
+}
+
+// simCaps is what the simulation promises: full determinism on a virtual
+// clock, with fault windows interpreted on that same clock.
+var simCaps = fabric.Capabilities{
+	Deterministic:     true,
+	VirtualTime:       true,
+	FaultInjection:    true,
+	TimedFaultWindows: true,
+	Tracing:           true,
+}
+
+// IsSimulation reports that time is simulated (fabric.Fabric contract).
+func (e *Engine) IsSimulation() bool { return true }
+
+// Capabilities declares what this backend promises (fabric.Fabric contract).
+func (e *Engine) Capabilities() fabric.Capabilities { return simCaps }
 
 // New returns an engine for an n-dimensional cube under the given machine
 // model.
@@ -316,17 +267,9 @@ func (e *Engine) Params() machine.Params { return e.params }
 // Stats returns the accumulated statistics of the last Run.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// LinkLoad reports the traffic carried by one directed link.
-type LinkLoad struct {
-	From uint64
-	Dim  int
-	// Bytes carried and total busy time in µs.
-	Bytes int64
-	Busy  float64
-}
-
-// To returns the link's destination node.
-func (l LinkLoad) To() uint64 { return l.From ^ 1<<uint(l.Dim) }
+// LinkLoad reports the traffic carried by one directed link
+// (fabric.LinkLoad).
+type LinkLoad = fabric.LinkLoad
 
 // LinkLoads returns the per-directed-link traffic of the last Run, sorted
 // by (From, Dim). Links that carried no traffic are omitted.
@@ -367,7 +310,11 @@ func (e *Engine) portIndex(dim int) int {
 // Engines are one-shot: a second Run returns an error, because node clocks
 // would restart at zero and the statistics would mix runs — compose
 // multi-phase algorithms inside a single program instead.
-func (e *Engine) Run(prog func(*Node)) error {
+//
+// The program receives the node handle as the backend-neutral fabric.Node
+// interface (which *Node implements); programs needing simnet-only API can
+// assert back to *Node, but none of the library's algorithms do.
+func (e *Engine) Run(prog func(fabric.Node)) error {
 	if e.started {
 		return fmt.Errorf("simnet: engine already ran; clocks would restart at zero — create a fresh engine (compose phases inside one program instead)")
 	}

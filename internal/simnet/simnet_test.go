@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 )
 
@@ -34,7 +35,7 @@ func TestNewRejectsBadDims(t *testing.T) {
 func TestSingleExchange(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
 	var got [2]float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		m := nd.Exchange(0, Msg{Src: nd.ID(), Data: []float64{float64(nd.ID())}})
 		got[nd.ID()] = m.Data[0]
 	})
@@ -58,7 +59,7 @@ func TestSingleExchange(t *testing.T) {
 // One-port: consecutive sends from the same node serialize on the send port.
 func TestOnePortSerializesSends(t *testing.T) {
 	e := ideal(t, 2, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		switch nd.ID() {
 		case 0:
 			nd.Send(0, Msg{Data: []float64{1}}) // dur 2
@@ -80,7 +81,7 @@ func TestOnePortSerializesSends(t *testing.T) {
 // n-port: the same two sends overlap.
 func TestNPortOverlapsSends(t *testing.T) {
 	e := ideal(t, 2, machine.NPort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		switch nd.ID() {
 		case 0:
 			nd.Send(0, Msg{Data: []float64{1}})
@@ -104,7 +105,7 @@ func TestNPortOverlapsSends(t *testing.T) {
 func TestOnePortSerializesReceives(t *testing.T) {
 	e := ideal(t, 2, machine.OnePort)
 	var clock3 float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		switch nd.ID() {
 		case 1, 2:
 			// 1 -> 3 over dim 1; 2 -> 3 over dim 0. Both start at 0, dur 2.
@@ -131,7 +132,7 @@ func TestOnePortSerializesReceives(t *testing.T) {
 func TestNPortParallelReceives(t *testing.T) {
 	e := ideal(t, 2, machine.NPort)
 	var clock3 float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		switch nd.ID() {
 		case 1, 2:
 			d := 1
@@ -158,7 +159,7 @@ func TestNPortParallelReceives(t *testing.T) {
 func TestLinkFIFO(t *testing.T) {
 	e := ideal(t, 1, machine.NPort)
 	var order []float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Tag: 1, Data: []float64{1}})
 			nd.Send(0, Msg{Tag: 2, Data: []float64{2}})
@@ -183,7 +184,7 @@ func TestPacketizationStartups(t *testing.T) {
 		t.Fatal(err)
 	}
 	elems := 600 // 2400 bytes -> 3 packets
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: make([]float64, elems)})
 		} else {
@@ -208,7 +209,7 @@ func TestCopyAndAdvance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		nd.Copy(256)
 		nd.Advance(100)
 	})
@@ -226,7 +227,7 @@ func TestCopyAndAdvance(t *testing.T) {
 
 func TestDeadlockDetected(t *testing.T) {
 	e := ideal(t, 2, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		nd.Recv(0) // everyone waits, nobody sends
 	})
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
@@ -236,7 +237,7 @@ func TestDeadlockDetected(t *testing.T) {
 
 func TestPartialDeadlockDetected(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			return // finishes immediately
 		}
@@ -249,7 +250,7 @@ func TestPartialDeadlockDetected(t *testing.T) {
 
 func TestProgramPanicReported(t *testing.T) {
 	e := ideal(t, 2, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 3 {
 			panic("boom")
 		}
@@ -264,7 +265,7 @@ func TestProgramPanicReported(t *testing.T) {
 
 func TestBadDimensionPanicsAsError(t *testing.T) {
 	e := ideal(t, 2, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(5, Msg{})
 		}
@@ -278,7 +279,7 @@ func TestBadDimensionPanicsAsError(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Stats {
 		e := ideal(t, 4, machine.NPort)
-		err := e.Run(func(nd *Node) {
+		err := e.Run(func(nd fabric.Node) {
 			n := nd.Dims()
 			// All-to-all exchange over all dims with varying payloads.
 			for d := 0; d < n; d++ {
@@ -302,7 +303,7 @@ func TestDeterminism(t *testing.T) {
 func TestExchangeScanTiming(t *testing.T) {
 	n, B := 4, 16
 	e := ideal(t, n, machine.OnePort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		for d := n - 1; d >= 0; d-- {
 			nd.Exchange(d, Msg{Data: make([]float64, B)})
 		}
@@ -320,7 +321,7 @@ func TestExchangeScanTiming(t *testing.T) {
 func TestRecvAnyOrder(t *testing.T) {
 	e := ideal(t, 2, machine.NPort)
 	var first float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		switch nd.ID() {
 		case 1: // arrives later: big message on dim 0 towards node 3
 			nd.Send(1, Msg{Data: make([]float64, 100)})
@@ -353,7 +354,7 @@ func TestMsgClone(t *testing.T) {
 func TestZeroDimCube(t *testing.T) {
 	e := ideal(t, 0, machine.OnePort)
 	ran := false
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		ran = true
 		nd.Advance(5)
 	})
@@ -372,7 +373,7 @@ func TestPipelinedSingleStartup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = e.Run(func(nd *Node) {
+	err = e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: make([]float64, 100000)})
 		} else {
@@ -389,7 +390,7 @@ func TestPipelinedSingleStartup(t *testing.T) {
 
 func TestMaxLinkStats(t *testing.T) {
 	e := ideal(t, 1, machine.NPort)
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{Data: make([]float64, 10)})
 			nd.Send(0, Msg{Data: make([]float64, 10)})
@@ -408,10 +409,10 @@ func TestMaxLinkStats(t *testing.T) {
 
 func TestEngineIsOneShot(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
-	if err := e.Run(func(nd *Node) {}); err != nil {
+	if err := e.Run(func(nd fabric.Node) {}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(func(nd *Node) {}); err == nil {
+	if err := e.Run(func(nd fabric.Node) {}); err == nil {
 		t.Error("second Run accepted; engines must be one-shot")
 	}
 }
@@ -421,7 +422,7 @@ func TestEngineIsOneShot(t *testing.T) {
 func TestAsymmetricExchange(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
 	var clock0, clock1 float64
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		size := 1
 		if nd.ID() == 1 {
 			size = 100
@@ -450,7 +451,7 @@ func TestAsymmetricExchange(t *testing.T) {
 func TestMessageMetadataPreserved(t *testing.T) {
 	e := ideal(t, 1, machine.OnePort)
 	var got Msg
-	err := e.Run(func(nd *Node) {
+	err := e.Run(func(nd fabric.Node) {
 		if nd.ID() == 0 {
 			nd.Send(0, Msg{
 				Src: 7, Dst: 9, Tag: 42, Rel: 0b101,

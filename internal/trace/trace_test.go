@@ -4,11 +4,12 @@ import (
 	"strings"
 	"testing"
 
+	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
 	"boolcube/internal/simnet"
 )
 
-func tracedRun(t *testing.T, n int, prog func(*simnet.Node)) *Recorder {
+func tracedRun(t *testing.T, n int, prog func(fabric.Node)) *Recorder {
 	t.Helper()
 	e, err := simnet.New(n, machine.Ideal(machine.OnePort))
 	if err != nil {
@@ -23,7 +24,7 @@ func tracedRun(t *testing.T, n int, prog func(*simnet.Node)) *Recorder {
 }
 
 func TestRecorderCapturesOps(t *testing.T) {
-	rec := tracedRun(t, 1, func(nd *simnet.Node) {
+	rec := tracedRun(t, 1, func(nd fabric.Node) {
 		nd.Copy(10)
 		nd.Advance(5)
 		nd.Exchange(0, simnet.Msg{Data: []float64{1, 2}})
@@ -42,7 +43,7 @@ func TestRecorderCapturesOps(t *testing.T) {
 }
 
 func TestEventsOrderedAndConsistent(t *testing.T) {
-	rec := tracedRun(t, 2, func(nd *simnet.Node) {
+	rec := tracedRun(t, 2, func(nd fabric.Node) {
 		for d := 0; d < 2; d++ {
 			nd.Exchange(d, simnet.Msg{Data: make([]float64, 4)})
 		}
@@ -74,7 +75,7 @@ func TestEventsOrderedAndConsistent(t *testing.T) {
 }
 
 func TestBusyTotals(t *testing.T) {
-	rec := tracedRun(t, 0, func(nd *simnet.Node) {
+	rec := tracedRun(t, 0, func(nd fabric.Node) {
 		nd.Advance(7)
 		nd.Advance(3)
 	})
@@ -85,7 +86,7 @@ func TestBusyTotals(t *testing.T) {
 }
 
 func TestGanttRendering(t *testing.T) {
-	rec := tracedRun(t, 1, func(nd *simnet.Node) {
+	rec := tracedRun(t, 1, func(nd fabric.Node) {
 		nd.Exchange(0, simnet.Msg{Data: make([]float64, 8)})
 		nd.Copy(100)
 	})
@@ -104,7 +105,7 @@ func TestGanttRendering(t *testing.T) {
 }
 
 func TestSummaryRendering(t *testing.T) {
-	rec := tracedRun(t, 1, func(nd *simnet.Node) {
+	rec := tracedRun(t, 1, func(nd fabric.Node) {
 		nd.Exchange(0, simnet.Msg{Data: make([]float64, 8)})
 	})
 	s := rec.Summary()
@@ -116,7 +117,7 @@ func TestSummaryRendering(t *testing.T) {
 // The trace must be identical across runs (engine determinism carries over).
 func TestTraceDeterminism(t *testing.T) {
 	run := func() []simnet.TraceEvent {
-		rec := tracedRun(t, 3, func(nd *simnet.Node) {
+		rec := tracedRun(t, 3, func(nd fabric.Node) {
 			for d := 2; d >= 0; d-- {
 				nd.Exchange(d, simnet.Msg{Data: make([]float64, int(nd.ID())+1)})
 			}

@@ -91,8 +91,11 @@ func TestCompiledReplayMatchesOneShotRandomized(t *testing.T) {
 		if verr := res.Dist.Verify(m.Transposed()); verr != nil {
 			t.Fatalf("%s: compiled result wrong: %v", name, verr)
 		}
+		if got, want := res.Stats.Logical(), oneShot.Stats.Logical(); got != want {
+			t.Fatalf("%s: logical stats diverge:\ncompiled %+v\none-shot %+v", name, got, want)
+		}
 		if res.Stats != oneShot.Stats {
-			t.Fatalf("%s: stats diverge:\ncompiled %+v\none-shot %+v", name, res.Stats, oneShot.Stats)
+			t.Fatalf("%s: timing-derived stats diverge:\ncompiled %+v\none-shot %+v", name, res.Stats, oneShot.Stats)
 		}
 		executed++
 	}

@@ -66,6 +66,22 @@ awk -F'[:,]' '/"checkpoint_overhead_pct"/ {
 	printf "check: checkpoint overhead %.2f%% (< 3%% gate)\n", $2
 }' BENCH_engine.json
 
+# Backend parity smoke: the same compiled plans replayed on the simnet
+# simulation and the livenet goroutine transport must agree element-exactly
+# and on logical stats, including the checkpoint/resume round-trip.
+echo "==> go test -run TestBackendParity -short (backend parity smoke)"
+go test -run 'TestBackendParity' -short -count=1 .
+
+# Fabric bench: regenerate BENCH_fabric.json (simnet host + virtual time vs
+# livenet wall-clock on the compiled 8-cube SBnT plan) and gate on the
+# artifact existing — a PR must not land without the backend comparison.
+echo "==> scripts/bench_fabric.sh (BENCH_COUNT=1x smoke)"
+BENCH_COUNT=1x ./scripts/bench_fabric.sh
+test -s BENCH_fabric.json || {
+	echo "check: BENCH_fabric.json missing or empty" >&2
+	exit 1
+}
+
 # -short skips the exper figure sweeps, which exceed the per-package test
 # timeout under the race detector; they exercise no concurrency the short
 # suite doesn't. `make race` runs the full sweep with a raised timeout.
