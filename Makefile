@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cubevet check bench bench-engine bench-fabric
+.PHONY: build test race vet cubevet check bench bench-engine bench-fabric bench-service
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,8 @@ bench-engine:
 # goroutine-per-node transport (real wall-clock). Writes BENCH_fabric.json.
 bench-fabric:
 	./scripts/bench_fabric.sh
+
+# Multi-tenant service: mixed concurrent burst throughput/latency plus the
+# identical-request batching speedup. Writes BENCH_service.json.
+bench-service:
+	./scripts/bench_service.sh

@@ -99,27 +99,8 @@ func (e *InfeasibleError) Unwrap() []error {
 }
 
 // mergeStats folds the cost of a resumed run on top of a checkpoint's
-// accrued cost: counters and makespans add (the resumed run happens after
-// the failed one), per-link maxima take the max.
+// accrued cost (fabric.Stats.Merge: counters and makespans add, per-link
+// maxima take the max).
 func mergeStats(a, b fabric.Stats) fabric.Stats {
-	out := a
-	out.Time += b.Time
-	out.Startups += b.Startups
-	out.Sends += b.Sends
-	out.Bytes += b.Bytes
-	out.CopyBytes += b.CopyBytes
-	out.CopyTime += b.CopyTime
-	if b.MaxLinkBytes > out.MaxLinkBytes {
-		out.MaxLinkBytes = b.MaxLinkBytes
-	}
-	if b.MaxLinkBusy > out.MaxLinkBusy {
-		out.MaxLinkBusy = b.MaxLinkBusy
-	}
-	out.Retries += b.Retries
-	out.Drops += b.Drops
-	out.FaultedSends += b.FaultedSends
-	out.Rerouted += b.Rerouted
-	out.ExtraHops += b.ExtraHops
-	out.Abandoned += b.Abandoned
-	return out
+	return a.Merge(b)
 }

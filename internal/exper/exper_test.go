@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18", "fig19",
 		"theorem2", "theorem3", "sptdpt", "sec9", "sec81router", "sec7perm",
 		"ablation-paths", "ablation-strategy", "cmrouter", "sec31scatter", "sec7dims", "apps",
-		"fault-sweep", "recovery-sweep",
+		"fault-sweep", "recovery-sweep", "service-sweep",
 	}
 	have := make(map[string]bool)
 	for _, id := range IDs() {

@@ -116,6 +116,48 @@ func (s Stats) Logical() Stats {
 	return s
 }
 
+// Merge folds the cost of a subsequent run on top of s: counters and
+// makespans add (the runs happen one after the other), per-link maxima take
+// the max. Checkpoint resume uses it to fold a resumed run's cost onto the
+// sunk cost, and the transpose service uses it to accumulate per-round
+// engine stats into a service-lifetime total.
+func (s Stats) Merge(b Stats) Stats {
+	out := s
+	out.Time += b.Time
+	out.Startups += b.Startups
+	out.Sends += b.Sends
+	out.Bytes += b.Bytes
+	out.CopyBytes += b.CopyBytes
+	out.CopyTime += b.CopyTime
+	if b.MaxLinkBytes > out.MaxLinkBytes {
+		out.MaxLinkBytes = b.MaxLinkBytes
+	}
+	if b.MaxLinkBusy > out.MaxLinkBusy {
+		out.MaxLinkBusy = b.MaxLinkBusy
+	}
+	out.Retries += b.Retries
+	out.Drops += b.Drops
+	out.FaultedSends += b.FaultedSends
+	out.Rerouted += b.Rerouted
+	out.ExtraHops += b.ExtraHops
+	out.Abandoned += b.Abandoned
+	return out
+}
+
+// Additive strips everything that is not a strictly additive counter: the
+// Logical timing fields plus the per-link maxima (MaxLinkBytes), which
+// depend on how traffic shares links. What is left — message counts,
+// volumes, start-ups and fault degradation — sums linearly over any
+// partition of a communication into runs, so executing N jobs merged on one
+// shared fabric and executing them serially on private engines must agree
+// on the Additive sum exactly. The multi-tenant service's differential
+// tests compare exactly this.
+func (s Stats) Additive() Stats {
+	s = s.Logical()
+	s.MaxLinkBytes = 0
+	return s
+}
+
 // TraceEvent is one timed operation of one node, reported to a Tracer.
 type TraceEvent struct {
 	Node       uint64

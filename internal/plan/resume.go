@@ -77,6 +77,18 @@ func (d *Delivered) Spans(src, dst uint64) []Span {
 	return ns
 }
 
+// Clone returns an independent deep copy of the delivery record. The
+// multi-tenant service uses it to hand each tenant of a batched execution
+// its own checkpoint: the tenants share the failed round's progress but
+// must be resumable independently.
+func (d *Delivered) Clone() *Delivered {
+	out := NewDelivered()
+	for k, spans := range d.m {
+		out.m[k] = append([]Span(nil), spans...)
+	}
+	return out
+}
+
 // Elems returns the total number of delivered elements across all pairs.
 func (d *Delivered) Elems() int {
 	total := 0

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Admission and lifecycle sentinels, for errors.Is against the typed errors
+// below.
+var (
+	// ErrQueueFull marks a Submit refused because the pending queue is at
+	// its configured bound.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrClosed marks a Submit refused because the service is draining.
+	ErrClosed = errors.New("service: closed")
+	// ErrCanceled marks a job whose Cancel succeeded before it entered a
+	// round.
+	ErrCanceled = errors.New("service: job canceled")
+	// ErrAttempts marks a job that exhausted its execution attempts (the
+	// initial round plus the service's automatic residual resumes); the
+	// job's error carries the checkpoint of everything delivered so far.
+	ErrAttempts = errors.New("service: attempt budget exhausted")
+)
+
+// AdmissionError is the typed refusal of admission control: the service
+// would not accept the job, either because the pending queue is at its
+// bound (ErrQueueFull) or because the service is draining (ErrClosed).
+// Nothing about the job itself is wrong — resubmitting later may succeed.
+type AdmissionError struct {
+	Reason error // ErrQueueFull or ErrClosed
+	Queued int   // jobs pending when the refusal happened
+	Limit  int   // the configured queue bound
+}
+
+func (e *AdmissionError) Error() string {
+	if errors.Is(e.Reason, ErrQueueFull) {
+		return fmt.Sprintf("service: admission refused: %d job(s) pending at the %d-job bound", e.Queued, e.Limit)
+	}
+	return fmt.Sprintf("service: admission refused: %v", e.Reason)
+}
+
+func (e *AdmissionError) Unwrap() error { return e.Reason }
+
+// SpecError is the typed rejection of a malformed job specification — an
+// unknown algorithm or layout string, a shape the service's cube cannot
+// hold, a distribution that does not match its declared layout, or a
+// combination the planner refuses. The job was never admitted.
+type SpecError struct {
+	Field string // which part of the spec is wrong ("alg", "before", "src", ...)
+	Value string // the offending value, as text
+	Err   error  // the underlying cause, when one exists
+}
+
+func (e *SpecError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("service: bad job spec: %s %q: %v", e.Field, e.Value, e.Err)
+	}
+	return fmt.Sprintf("service: bad job spec: %s %q", e.Field, e.Value)
+}
+
+func (e *SpecError) Unwrap() error { return e.Err }

@@ -1,0 +1,314 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"boolcube/internal/core"
+	"boolcube/internal/fabric"
+	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
+	"boolcube/internal/router"
+)
+
+// span is one source-routed transfer a unit still owes: the [off, off+len)
+// range of the (src, dst) canonical payload, the dimension path it follows,
+// and its pipelining grain. Spans are the unit's residual move-set in
+// executable form; a failed round rebuilds them from the delivery record.
+type span struct {
+	src, dst uint64
+	off, ln  int
+	dims     []int
+	packets  int
+}
+
+// unit is one execution unit of a round: a batch of jobs sharing a compiled
+// plan and a source distribution, their shared destination arrays, delivery
+// record, accrued cost, attempt count and the tightest deadline budget in
+// the batch. jobs[0] is the leader — it receives the real arrays; followers
+// receive deep copies.
+type unit struct {
+	jobs []*Job
+	p    *plan.Plan
+	src  *matrix.Dist
+
+	loc      [][]float64     // after-side local arrays, len = after.N()
+	del      *plan.Delivered // spans already placed in loc
+	stats    fabric.Stats    // cost accrued across this unit's rounds
+	attempts int
+	budget   float64 // remaining deadline budget, µs (+Inf = none)
+	spans    []span  // residual network transfers
+}
+
+// budgetOf maps a job's deadline to a budget (+Inf when unset).
+func budgetOf(j *Job) float64 {
+	if j.spec.Deadline > 0 {
+		return j.spec.Deadline
+	}
+	return math.Inf(1)
+}
+
+// newUnit builds a fresh execution unit for one job: allocates the
+// destination arrays, places the src == dst self pairs host-side (they
+// never cross a link, so even a failed first round checkpoints with them
+// durable — the same discipline the dedicated executors use), and derives
+// the network spans. Flow plans keep their compiled path-system routes and
+// packetization; exchange and mixed-program plans execute their canonical
+// move-set over dimension-order direct routes, exactly as checkpoint
+// resume replays residuals.
+func newUnit(j *Job, packets int) *unit {
+	p := j.plan
+	after := p.After()
+	mv := p.Moves()
+	u := &unit{
+		jobs:   []*Job{j},
+		p:      p,
+		src:    j.spec.Src,
+		loc:    make([][]float64, after.N()),
+		del:    plan.NewDelivered(),
+		budget: budgetOf(j),
+	}
+	for i := range u.loc {
+		u.loc[i] = make([]float64, after.LocalSize())
+	}
+	for dp := 0; dp < after.N(); dp++ {
+		if dp < u.src.Layout.N() {
+			self := mv.Gather(uint64(dp), u.src.Local[dp], uint64(dp))
+			mv.Scatter(uint64(dp), u.loc[dp], uint64(dp), self)
+			u.del.Add(uint64(dp), uint64(dp), 0, len(self))
+		}
+	}
+	if p.Kind() == plan.KindFlow {
+		for _, f := range p.Flows() {
+			u.spans = append(u.spans, span{
+				src: f.Src, dst: f.Dst, off: f.Off, ln: f.Len,
+				dims: f.Dims, packets: f.Packets,
+			})
+		}
+		return u
+	}
+	u.rebuildSpans(packets)
+	return u
+}
+
+// rebuildSpans recomputes the unit's network spans from the residual
+// move-set (everything the delivery record does not cover), routing each
+// residual dimension-order. Self-pair residuals are replayed host-side on
+// the spot. Called at unit creation (non-flow plans) and after every
+// partially delivered round.
+func (u *unit) rebuildSpans(packets int) {
+	if packets <= 0 {
+		packets = u.p.Config().Packets
+	}
+	mv := u.p.Moves()
+	u.spans = u.spans[:0]
+	for _, r := range u.p.Remaining(u.del) {
+		if r.Src == r.Dst {
+			id := r.Src
+			if id < uint64(len(u.src.Local)) && u.loc[id] != nil {
+				data := mv.GatherRange(id, u.src.Local[id], id, r.Off, r.Len)
+				mv.ScatterRange(id, u.loc[id], id, r.Off, data)
+			}
+			u.del.Add(id, id, r.Off, r.Len)
+			continue
+		}
+		u.spans = append(u.spans, span{
+			src: r.Src, dst: r.Dst, off: r.Off, ln: r.Len,
+			dims: router.Ecube(r.Src, r.Dst, u.p.NDims()), packets: packets,
+		})
+	}
+}
+
+// pair keys the per-(dst, src) delivery FIFOs of a merged round.
+type pair struct{ dst, src uint64 }
+
+// runRound executes one round: the union of every unit's spans as one flow
+// set on one fresh engine. This is where multi-tenancy becomes physical —
+// co-scheduled units' packets contend for the same links, and the round's
+// deadline is the tightest remaining budget among its jobs. On success every
+// unit completes; on a deadline abort the binding units fail with per-job
+// checkpoints while the others absorb the round's partial progress, shrink
+// their budgets by the round's makespan, and re-queue for an automatic
+// residual resume.
+func (s *Service) runRound(units []*unit) {
+	type ref struct {
+		u  *unit
+		si int
+	}
+	var flows []router.Flow
+	var refs []ref
+	roundBudget := math.Inf(1)
+	for _, u := range units {
+		if u.budget < roundBudget {
+			roundBudget = u.budget
+		}
+		mv := u.p.Moves()
+		for si, sp := range u.spans {
+			flows = append(flows, router.Flow{
+				Src: sp.src, Dst: sp.dst, Dims: sp.dims, Packets: sp.packets,
+				Data: mv.GatherRange(sp.src, u.src.Local[sp.src], sp.dst, sp.off, sp.ln),
+			})
+			refs = append(refs, ref{u, si})
+		}
+	}
+	if len(flows) == 0 {
+		// Everything was local (self pairs only) — no engine needed.
+		for _, u := range units {
+			s.completeUnit(u)
+		}
+		return
+	}
+
+	e, err := fabric.New(s.cfg.Backend, s.cfg.Dims, s.cfg.Machine)
+	if err != nil {
+		// The backend was validated at New; treat a late failure as fatal
+		// for this round's jobs.
+		for _, u := range units {
+			s.failUnit(u, err)
+		}
+		return
+	}
+	if !math.IsInf(roundBudget, 1) {
+		e.SetDeadline(roundBudget)
+	}
+	deliveries, part, runErr := router.RunRecover(e, flows)
+	st := e.Stats()
+	s.mu.Lock()
+	s.metrics.Rounds++
+	s.metrics.Fabric = s.metrics.Fabric.Merge(st)
+	s.mu.Unlock()
+
+	if runErr != nil {
+		// Salvage completed flows into their units, then classify each
+		// unit: fail with checkpoints, or absorb and resume.
+		for k, fi := range part.FlowIdx {
+			r := refs[fi]
+			sp := r.u.spans[r.si]
+			mv := r.u.p.Moves()
+			mv.ScatterRange(sp.dst, r.u.loc[sp.dst], sp.src, sp.off, part.Data[k])
+			r.u.del.Add(sp.src, sp.dst, sp.off, len(part.Data[k]))
+		}
+		deadline := errors.Is(runErr, fabric.ErrDeadline)
+		for _, u := range units {
+			u.stats = u.stats.Merge(st)
+			u.attempts++
+			if !deadline {
+				s.failUnit(u, runErr)
+				continue
+			}
+			binding := u.budget <= roundBudget
+			if binding || u.attempts >= s.cfg.MaxAttempts {
+				cause := runErr
+				if !binding {
+					cause = fmt.Errorf("%w (%d attempt(s)): %w", ErrAttempts, u.attempts, runErr)
+				}
+				s.failUnit(u, cause)
+				continue
+			}
+			u.budget -= st.Time
+			if u.budget <= 0 {
+				s.failUnit(u, runErr)
+				continue
+			}
+			u.rebuildSpans(s.cfg.Packets)
+			if len(u.spans) == 0 {
+				s.completeUnit(u)
+				continue
+			}
+			s.mu.Lock()
+			s.resume = append(s.resume, u)
+			s.metrics.Resumed++
+			s.cond.Signal()
+			s.mu.Unlock()
+		}
+		return
+	}
+
+	// Zip deliveries back to (unit, span): per (dst, src) pair, deliveries
+	// arrive in global flow-injection order (the router sorts each node's
+	// deliveries stably by source), so a per-pair FIFO of merged flow
+	// indices attributes every chunk even when several tenants share a
+	// processor pair.
+	fifo := make(map[pair][]int)
+	for k, f := range flows {
+		key := pair{f.Dst, f.Src}
+		fifo[key] = append(fifo[key], k)
+	}
+	next := make(map[pair]int)
+	for dst, ds := range deliveries {
+		for _, dl := range ds {
+			key := pair{dst, dl.Src}
+			k := fifo[key][next[key]]
+			next[key]++
+			r := refs[k]
+			sp := r.u.spans[r.si]
+			mv := r.u.p.Moves()
+			mv.ScatterRange(dst, r.u.loc[dst], dl.Src, sp.off, dl.Data)
+			r.u.del.Add(dl.Src, dst, sp.off, len(dl.Data))
+		}
+	}
+	for _, u := range units {
+		u.stats = u.stats.Merge(st)
+		s.completeUnit(u)
+	}
+}
+
+// completeUnit publishes a finished unit to its tenants. The leader gets
+// the unit's own arrays; every follower gets an independent deep copy —
+// batched tenants must each own their result.
+func (s *Service) completeUnit(u *unit) {
+	after := u.p.After()
+	for i, j := range u.jobs {
+		loc := u.loc
+		if i > 0 {
+			loc = copyLoc(u.loc)
+		}
+		res := &core.Result{
+			Dist:  &matrix.Dist{Layout: after, Local: loc[:after.N()]},
+			Stats: u.stats,
+		}
+		j.finish(res, nil)
+		s.mu.Lock()
+		s.metrics.Completed++
+		if i > 0 {
+			s.metrics.Batched++
+		}
+		s.metrics.latencies = append(s.metrics.latencies, j.lat)
+		s.mu.Unlock()
+	}
+}
+
+// failUnit fails every tenant of a unit with its own resumable checkpoint:
+// the leader owns the unit's arrays and delivery record, followers get deep
+// copies — each tenant can hand its *core.ExecError checkpoint to
+// core.Resume independently and finish element-exact on a private engine.
+func (s *Service) failUnit(u *unit, cause error) {
+	for i, j := range u.jobs {
+		loc, del := u.loc, u.del
+		if i > 0 {
+			loc, del = copyLoc(u.loc), u.del.Clone()
+		}
+		cp := &core.Checkpoint{
+			Plan: u.p, Src: u.src, Loc: loc, Delivered: del,
+			Stats: u.stats, At: u.stats.Time,
+			Opts: core.ExecOptions{Backend: s.cfg.Backend},
+		}
+		j.finish(nil, &core.ExecError{Checkpoint: cp, Err: cause})
+		s.mu.Lock()
+		s.metrics.Failed++
+		s.metrics.latencies = append(s.metrics.latencies, j.lat)
+		s.mu.Unlock()
+	}
+}
+
+// copyLoc deep-copies a set of local arrays.
+func copyLoc(loc [][]float64) [][]float64 {
+	out := make([][]float64, len(loc))
+	for i, a := range loc {
+		if a != nil {
+			out[i] = append([]float64(nil), a...)
+		}
+	}
+	return out
+}

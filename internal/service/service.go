@@ -1,0 +1,372 @@
+// Package service is the multi-tenant transpose service: a long-lived
+// scheduler that admits many concurrent transpose jobs onto one shared
+// cube fabric. Everything below it executes one run on a dedicated engine;
+// this package is the heavy-traffic layer on top — admission control with
+// typed refusals, priority scheduling with aging, batching of identical
+// requests, per-job deadline budgets, and per-job checkpoints whenever a
+// shared round fails.
+//
+// Execution happens in rounds. The scheduler drains the pending queue (by
+// effective priority — submitted priority plus aging), groups identical
+// (plan, source) requests into one execution unit each, converts every
+// unit's residual move-set into source-routed flows — compiled path
+// systems (SPT/DPT/MPT/SBnT routes) for flow plans, dimension-order direct
+// routes otherwise, exactly as checkpoint resume does — and injects the
+// union of all units' flows into a single engine run. Link bandwidth is
+// genuinely contended: co-scheduled jobs' packets interleave on the same
+// links, the round's makespan reflects the interference, and per-link
+// maxima grow where tenants overlap. The additive Stats counters (sends,
+// bytes, start-ups) are unaffected by sharing, which is what the
+// service-level differential tests pin: N jobs through the service equal
+// the same N jobs on private engines, element-exactly and in additive
+// stats.
+//
+// What the service does and does not promise: per-job results are
+// element-exact and deterministic (each job's flow set and scatter targets
+// are pure functions of its spec), but round composition, timing,
+// latencies and per-link maxima depend on arrival interleaving and are not
+// reproducible run to run. Plans come from the process-wide plan cache, so
+// a thousand tenants of one shape pay one compilation.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"boolcube/internal/fabric"
+	"boolcube/internal/machine"
+	"boolcube/internal/matrix"
+	"boolcube/internal/plan"
+)
+
+// Config shapes a Service. The zero value of every bound picks a sensible
+// default; Dims is required.
+type Config struct {
+	// Dims is the cube dimension n of the shared fabric (2^n nodes). Every
+	// job's layouts must fit it.
+	Dims int
+	// Machine is the cost model of the shared ensemble; the zero value
+	// defaults to the n-port iPSC.
+	Machine machine.Params
+	// Backend names the fabric backend rounds execute on (empty selects
+	// fabric.DefaultBackend, the deterministic simulation).
+	Backend string
+	// MaxQueue bounds the pending queue; Submit past it is refused with a
+	// typed *AdmissionError (ErrQueueFull). Default 1024.
+	MaxQueue int
+	// MaxRound bounds how many jobs one round admits. Default 32.
+	MaxRound int
+	// AdmitWindow, when positive, is how long the scheduler waits after
+	// finding work before forming a round, letting identical requests
+	// accumulate into batches. Default 0 (form rounds immediately; jobs
+	// arriving while a round executes still batch naturally).
+	AdmitWindow time.Duration
+	// Aging is the effective-priority boost a queued job gains per round
+	// it waits, bounding every job's wait under adversarial priorities.
+	// Default 1.
+	Aging int
+	// MaxAttempts bounds a job's executions: the initial round plus the
+	// automatic residual resumes after shared-round aborts. Default 3.
+	MaxAttempts int
+	// Packets is the pipelining grain for the service's direct flows (0 =
+	// one packet per transfer; flow plans keep their compiled grain).
+	Packets int
+	// DisableBatch turns identical-request batching off — every job
+	// becomes its own execution unit. The batching benchmarks use this as
+	// the control arm.
+	DisableBatch bool
+}
+
+// withDefaults fills the zero-valued knobs.
+func (c Config) withDefaults() Config {
+	if c.Machine.Name == "" {
+		c.Machine = machine.IPSCNPort()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxRound <= 0 {
+		c.MaxRound = 32
+	}
+	if c.Aging <= 0 {
+		c.Aging = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// Metrics is a snapshot of the service's counters. Fabric folds every
+// round's engine statistics with Stats.Merge (counters add, per-link
+// maxima take the max); its Additive() projection is what the
+// concurrent-vs-serial differential tests compare.
+type Metrics struct {
+	Submitted int64 // jobs admitted
+	Completed int64 // jobs finished with a result
+	Failed    int64 // jobs finished with an error
+	Canceled  int64 // jobs withdrawn while queued
+	Rejected  int64 // Submit refusals (admission control)
+	Batched   int64 // completed jobs served as batch followers
+	Rounds    int64 // shared engine runs executed
+	Resumed   int64 // units automatically re-queued after a shared-round abort
+	Fabric    fabric.Stats
+
+	latencies []float64 // finished-job latencies, wall µs, completion order
+}
+
+// Latencies returns the finished jobs' wall latencies in µs, in completion
+// order. The slice is the snapshot's own copy.
+func (m *Metrics) Latencies() []float64 { return m.latencies }
+
+// LatencyPercentile returns the q-th percentile (0 < q <= 100) of the
+// finished jobs' wall latencies in µs, 0 when nothing finished yet.
+func (m *Metrics) LatencyPercentile(q float64) float64 {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), m.latencies...)
+	sort.Float64s(s)
+	i := int(q/100*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Service is a long-lived multi-tenant transpose scheduler. Construct with
+// New, Submit jobs from any goroutine, Close to drain and stop.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Job  // admitted, waiting for a round
+	resume  []*unit // aborted units owed an automatic residual resume
+	closed  bool
+	seq     int64
+	metrics Metrics
+
+	done chan struct{} // closed when the scheduler has drained and exited
+}
+
+// New validates the configuration, starts the scheduler, and returns the
+// service. Unknown backends are refused up front with the registry's typed
+// *fabric.UnknownBackendError.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dims < 1 || cfg.Dims > 20 {
+		return nil, fmt.Errorf("service: cube dimension %d out of range [1, 20]", cfg.Dims)
+	}
+	if _, ok := fabric.Caps(cfg.Backend); !ok {
+		return nil, &fabric.UnknownBackendError{Backend: cfg.Backend, Known: fabric.Backends()}
+	}
+	s := &Service{cfg: cfg.withDefaults(), done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s, nil
+}
+
+// Submit validates and admits one job, returning its handle. Malformed
+// specs fail with a typed *SpecError (including planner refusals — the
+// plan is compiled here, through the shared cache, so the batch key and
+// the first typed error are both immediate); admission-control refusals
+// fail with a typed *AdmissionError.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if spec.Src == nil {
+		return nil, &SpecError{Field: "src", Value: "<nil>"}
+	}
+	if got, want := spec.Src.Layout.String(), spec.Before.String(); got != want {
+		return nil, &SpecError{Field: "src", Value: got,
+			Err: fmt.Errorf("distribution layout does not match before layout %s", want)}
+	}
+	if b := spec.Before.NBits(); b > s.cfg.Dims {
+		return nil, &SpecError{Field: "before", Value: spec.Before.String(),
+			Err: fmt.Errorf("needs a %d-cube, service runs a %d-cube", b, s.cfg.Dims)}
+	}
+	if a := spec.After.NBits(); a > s.cfg.Dims {
+		return nil, &SpecError{Field: "after", Value: spec.After.String(),
+			Err: fmt.Errorf("needs a %d-cube, service runs a %d-cube", a, s.cfg.Dims)}
+	}
+	if spec.Deadline < 0 || spec.Deadline != spec.Deadline {
+		return nil, &SpecError{Field: "deadline", Value: fmt.Sprintf("%g", spec.Deadline)}
+	}
+	p, err := plan.Default.Compile(spec.Alg, spec.Before, spec.After, plan.Config{
+		Machine: s.cfg.Machine, Packets: s.cfg.Packets,
+	})
+	if err != nil {
+		return nil, &SpecError{Field: "alg", Value: spec.Alg.String(), Err: err}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.metrics.Rejected++
+		s.mu.Unlock()
+		return nil, &AdmissionError{Reason: ErrClosed}
+	}
+	if len(s.pending) >= s.cfg.MaxQueue {
+		s.metrics.Rejected++
+		queued := len(s.pending)
+		s.mu.Unlock()
+		return nil, &AdmissionError{Reason: ErrQueueFull, Queued: queued, Limit: s.cfg.MaxQueue}
+	}
+	s.seq++
+	j := &Job{
+		spec: spec, plan: p, seq: s.seq, svc: s,
+		submitted: time.Now(), //cubevet:ignore detbreak -- service latency metric is wall-clock by design; results stay deterministic
+		done:      make(chan struct{}),
+	}
+	s.pending = append(s.pending, j)
+	s.metrics.Submitted++
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Close stops admission, drains every queued and resuming job, and waits
+// for the scheduler to exit. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.metrics
+	m.latencies = append([]float64(nil), s.metrics.latencies...)
+	return m
+}
+
+// run is the scheduler: wait for work, optionally hold the admission
+// window open so batches accumulate, form a round, execute it, repeat.
+// One round executes at a time — the fabric is the contended resource.
+func (s *Service) run() {
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && len(s.resume) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 && len(s.resume) == 0 {
+			s.mu.Unlock()
+			close(s.done)
+			return
+		}
+		if w := s.cfg.AdmitWindow; w > 0 {
+			s.mu.Unlock()
+			time.Sleep(w)
+			s.mu.Lock()
+		}
+		units := s.formRoundLocked()
+		s.mu.Unlock()
+		if len(units) > 0 {
+			s.runRound(units)
+		}
+	}
+}
+
+// formRoundLocked assembles the next round: aborted units owed a resume go
+// first (they are the oldest work in the system), then pending jobs by
+// effective priority, grouped into batched execution units. Caller holds
+// s.mu.
+func (s *Service) formRoundLocked() []*unit {
+	units := make([]*unit, 0, s.cfg.MaxRound)
+	slots := s.cfg.MaxRound
+	for len(s.resume) > 0 && len(units) < slots {
+		units = append(units, s.resume[0])
+		s.resume = s.resume[1:]
+	}
+	free := slots
+	for _, u := range units {
+		free -= len(u.jobs)
+	}
+	if free < 1 {
+		return units
+	}
+	selected, rest := pickJobs(s.pending, free, s.cfg.Aging)
+	s.pending = rest
+	return append(units, groupUnits(selected, !s.cfg.DisableBatch, s.cfg.Packets)...)
+}
+
+// pickJobs selects up to k jobs from pending by effective priority —
+// submitted priority plus aging per round already waited, descending, FIFO
+// (ascending submit sequence) among equals — and returns the selection
+// (in that order) plus the remaining queue in its original order, each
+// remainer one round older. Pure function of its inputs; the scheduler-
+// invariant property tests drive it directly.
+func pickJobs(pending []*Job, k, aging int) (selected, rest []*Job) {
+	if k <= 0 || len(pending) == 0 {
+		for _, j := range pending {
+			j.waited++
+		}
+		return nil, pending
+	}
+	order := make([]*Job, len(pending))
+	copy(order, pending)
+	sort.SliceStable(order, func(a, b int) bool {
+		ea := order[a].spec.Priority + aging*order[a].waited
+		eb := order[b].spec.Priority + aging*order[b].waited
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a].seq < order[b].seq
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	selected = order[:k]
+	taken := make(map[*Job]bool, k)
+	for _, j := range selected {
+		taken[j] = true
+	}
+	rest = pending[:0:0]
+	for _, j := range pending {
+		if !taken[j] {
+			j.waited++
+			rest = append(rest, j)
+		}
+	}
+	return selected, rest
+}
+
+// groupUnits folds the selected jobs into execution units. When batching
+// is on, jobs sharing both the compiled plan (same shape, algorithm and
+// config — one pointer, thanks to the plan cache) and the same source
+// distribution collapse into one unit: the payload moves once and every
+// tenant receives its own copy of the result.
+func groupUnits(jobs []*Job, batch bool, packets int) []*unit {
+	var units []*unit
+	type key struct {
+		p   *plan.Plan
+		src *matrix.Dist
+	}
+	byKey := make(map[key]*unit)
+	for _, j := range jobs {
+		if batch {
+			k := key{j.plan, j.spec.Src}
+			if u := byKey[k]; u != nil {
+				u.jobs = append(u.jobs, j)
+				if b := budgetOf(j); b < u.budget {
+					u.budget = b
+				}
+				continue
+			}
+			u := newUnit(j, packets)
+			byKey[k] = u
+			units = append(units, u)
+			continue
+		}
+		units = append(units, newUnit(j, packets))
+	}
+	return units
+}

@@ -19,7 +19,7 @@ go test ./...
 
 # Fuzz corpora in regression mode: replay the checked-in seeds (no fuzzing).
 echo "==> go test -run '^Fuzz' (fuzz seed regression)"
-go test -run '^Fuzz' ./internal/plan/ ./internal/cube/ .
+go test -run '^Fuzz' ./internal/plan/ ./internal/cube/ ./internal/service/ .
 
 # Smoke the fault sweep: robustness table on a 6-cube (survival under k
 # random link failures per path system).
@@ -65,6 +65,25 @@ awk -F'[:,]' '/"checkpoint_overhead_pct"/ {
 	}
 	printf "check: checkpoint overhead %.2f%% (< 3%% gate)\n", $2
 }' BENCH_engine.json
+
+# Smoke the service sweep: the multi-tenant scheduler under open-loop
+# Poisson load at three offered rates, every job verified element-exact.
+echo "==> experiments -exp service-sweep (6-cube smoke)"
+go run ./cmd/experiments -exp service-sweep >/dev/null
+
+# Service bench: regenerate BENCH_service.json (mixed-burst throughput and
+# latency percentiles, plus the identical-request batching pair) and gate
+# on batching actually beating the unbatched control — the core throughput
+# claim of the multi-tenant scheduler.
+echo "==> scripts/bench_service.sh (BENCH_COUNT=1x smoke)"
+BENCH_COUNT=1x ./scripts/bench_service.sh
+awk -F'[:,]' '/"batched_speedup"/ {
+	if ($2 + 0 <= 1.0) {
+		printf "check: batching speedup %.2fx not above 1.0x — batched rounds regressed\n", $2 > "/dev/stderr"
+		exit 1
+	}
+	printf "check: batching speedup %.2fx (> 1.0x gate)\n", $2
+}' BENCH_service.json
 
 # Backend parity smoke: the same compiled plans replayed on the simnet
 # simulation and the livenet goroutine transport must agree element-exactly
