@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet cubevet check bench bench-engine bench-fabric bench-service
+.PHONY: build test race vet cubevet check bench bench-engine bench-fabric bench-service profile-engine
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,18 @@ bench:
 	./scripts/bench_plan.sh
 
 # Engine hot path: indexed ready-queue scheduler vs linear-scan reference,
-# plus the full experiment-sweep wall-clock. Writes BENCH_engine.json.
+# the sharded epoch scheduler vs the serial one, the 16-cube scale row, the
+# Section 9 CM crossover rows, plus the full experiment-sweep wall-clock.
+# Writes BENCH_engine.json.
 bench-engine:
 	./scripts/bench_engine.sh
+
+# bench-engine with CPU and heap profiles of the 16-cube benchmark written
+# to profiles/cube16_{cpu,mem}.pprof (inspect with `go tool pprof`); the
+# cmd/experiments binary takes the same -cpuprofile/-memprofile flags for
+# profiling individual experiments.
+profile-engine:
+	ENGINE_PROFILE=profiles ./scripts/bench_engine.sh
 
 # Fabric backends: the same compiled 8-cube SBnT all-to-all plan on the
 # simnet simulation (host + virtual time) and on the livenet

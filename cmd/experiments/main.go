@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"boolcube/internal/exper"
 )
@@ -31,10 +33,37 @@ func realMain(args []string, out io.Writer) error {
 	all := flag.Bool("all", false, "run every experiment")
 	format := flag.String("format", "text", "output format: text, md, csv")
 	par := flag.Int("parallel", 0, "experiments to generate concurrently with -all (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := flag.Parse(args); err != nil {
 		return err
 	}
 	render = *format
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	switch render {
 	case "text", "md", "csv":

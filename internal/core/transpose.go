@@ -187,14 +187,16 @@ func planEngine(p *plan.Plan, xo ExecOptions) (fabric.Fabric, error) {
 	return e, nil
 }
 
-// newLocal allocates the after-side local arrays.
+// newLocal allocates the after-side local arrays: one slab sliced per node
+// (capped slices, so a stray append cannot bleed into a neighbor), keeping
+// the destination arrays cache-adjacent and the allocation count flat in
+// the node count. Nodes beyond the after-layout's range stay nil.
 func newLocal(after field.Layout, nodes int) [][]float64 {
 	loc := make([][]float64, nodes)
-	for i := range loc {
-		loc[i] = nil
-	}
+	sz := after.LocalSize()
+	slab := make([]float64, after.N()*sz)
 	for i := 0; i < after.N(); i++ {
-		loc[i] = make([]float64, after.LocalSize())
+		loc[i] = slab[i*sz : (i+1)*sz : (i+1)*sz]
 	}
 	return loc
 }
@@ -333,11 +335,23 @@ func execFlow(p *plan.Plan, d *matrix.Dist, xo ExecOptions) (*Result, error) {
 	after := p.After()
 	pf := p.Flows()
 	debug := e.DebugChecks()
+	// Materialize every flow payload into one arena (capped slices) instead
+	// of one allocation per flow; the router chunks each region in place and
+	// ownership passes to the receiving nodes with the messages.
+	total := 0
+	for _, f := range pf {
+		total += f.Len
+	}
+	arena := make([]float64, total)
 	flows := make([]router.Flow, len(pf))
+	off := 0
 	for i, f := range pf {
+		buf := arena[off : off+f.Len : off+f.Len]
+		off += f.Len
+		mv.GatherRangeInto(f.Src, d.Local[f.Src], f.Dst, f.Off, f.Len, buf)
 		flows[i] = router.Flow{
 			Src: f.Src, Dst: f.Dst, Dims: f.Dims, Packets: f.Packets,
-			Data: mv.GatherRange(f.Src, d.Local[f.Src], f.Dst, f.Off, f.Len),
+			Data: buf,
 		}
 		if debug {
 			flows[i].Tags = addrTags(f.Src, f.Off, f.Len)

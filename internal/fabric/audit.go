@@ -55,6 +55,83 @@ func Checksum(data []float64) uint64 {
 	return sum
 }
 
+// Summer accumulates the delivery-audit checksum of a logical payload fed
+// in consecutive slices: after Add(a) then Add(b), Sum() equals
+// Checksum(a ++ b). It lets a reassembly point audit a payload that arrived
+// split across packets in one pass per flow, without concatenating first —
+// the router's per-flow audit feeds each packet's chunk in packet order.
+// The zero Summer is ready to use; Sum() may be called repeatedly.
+type Summer struct {
+	a1, b1, c1, d1 uint64
+	a2, b2, c2, d2 uint64
+	buf            [4]uint64 // elements carried between Adds (lane position)
+	nbuf           int
+	started        bool
+}
+
+// Add feeds the next slice of the logical payload.
+func (s *Summer) Add(data []float64) {
+	if !s.started {
+		s.a1 = 1
+		s.started = true
+	}
+	d := data
+	if s.nbuf > 0 {
+		for s.nbuf < 4 && len(d) > 0 {
+			s.buf[s.nbuf] = math.Float64bits(d[0])
+			s.nbuf++
+			d = d[1:]
+		}
+		if s.nbuf < 4 {
+			return
+		}
+		s.a1 += s.buf[0]
+		s.b1 += s.buf[1]
+		s.c1 += s.buf[2]
+		s.d1 += s.buf[3]
+		s.a2 += s.a1
+		s.b2 += s.b1
+		s.c2 += s.c1
+		s.d2 += s.d1
+		s.nbuf = 0
+	}
+	for len(d) >= 4 {
+		s.a1 += math.Float64bits(d[0])
+		s.b1 += math.Float64bits(d[1])
+		s.c1 += math.Float64bits(d[2])
+		s.d1 += math.Float64bits(d[3])
+		s.a2 += s.a1
+		s.b2 += s.b1
+		s.c2 += s.c1
+		s.d2 += s.d1
+		d = d[4:]
+	}
+	for _, v := range d {
+		s.buf[s.nbuf] = math.Float64bits(v)
+		s.nbuf++
+	}
+}
+
+// Sum finalizes and returns the checksum of everything fed so far; the
+// Summer itself is not consumed (more Adds may follow).
+func (s *Summer) Sum() uint64 {
+	a1, a2 := s.a1, s.a2
+	if !s.started {
+		a1 = 1
+	}
+	for i := 0; i < s.nbuf; i++ {
+		a1 += s.buf[i]
+		a2 += a1
+	}
+	s1 := a1 + 3*s.b1 + 5*s.c1 + 7*s.d1
+	s2 := a2 + 3*s.b2 + 5*s.c2 + 7*s.d2
+	sum := s1*0x9e3779b97f4a7c15 ^ stdbits.RotateLeft64(s2*0xbf58476d1ce4e5b9, 32)
+	if sum == 0 {
+		return 1
+	}
+	return sum
+}
+
 // ErrAudit is the sentinel a delivery-audit failure unwraps to (errors.Is).
 var ErrAudit = errors.New("delivery audit failed")
 
@@ -65,7 +142,7 @@ var ErrAudit = errors.New("delivery audit failed")
 type AuditError struct {
 	Node     uint64 // node that detected the mismatch
 	Src, Dst uint64 // the transfer being audited
-	What     string // "block", "packet", or "tag"
+	What     string // "block", "packet", "flow", or "tag"
 	Want     uint64 // expected checksum or tag
 	Got      uint64 // observed checksum or tag
 }

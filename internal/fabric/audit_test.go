@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSummerMatchesChecksum pins the streaming accumulator to the one-shot
+// checksum: feeding a payload in arbitrary consecutive slices must produce
+// exactly Checksum of the whole — including the lane structure, which
+// depends on element positions mod 4, so uneven chunk boundaries are the
+// interesting cases.
+func TestSummerMatchesChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(65)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		want := Checksum(data)
+		var s Summer
+		for off := 0; off < n; {
+			sz := rng.Intn(n - off + 1)
+			s.Add(data[off : off+sz])
+			off += sz
+		}
+		if n == 0 {
+			s.Add(nil)
+		}
+		if got := s.Sum(); got != want {
+			t.Fatalf("trial %d (n=%d): streaming sum %#x != Checksum %#x", trial, n, got, want)
+		}
+	}
+}
+
+// TestSummerRepeatedSum checks Sum is a snapshot, not a consuming finalize.
+func TestSummerRepeatedSum(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7}
+	var s Summer
+	s.Add(data[:3])
+	if s.Sum() != Checksum(data[:3]) {
+		t.Fatal("mid-stream Sum differs from Checksum of the prefix")
+	}
+	s.Add(data[3:])
+	if s.Sum() != Checksum(data) {
+		t.Fatal("Sum after more Adds differs from Checksum of the whole")
+	}
+	if s.Sum() != Checksum(data) {
+		t.Fatal("second Sum call changed the result")
+	}
+}
+
+// TestSummerEmptyNeverZero mirrors the Checksum never-0 contract.
+func TestSummerEmptyNeverZero(t *testing.T) {
+	var s Summer
+	if s.Sum() == 0 {
+		t.Fatal("empty Summer returned the unaudited sentinel 0")
+	}
+	if s.Sum() != Checksum(nil) {
+		t.Fatal("empty Summer differs from Checksum(nil)")
+	}
+}

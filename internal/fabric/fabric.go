@@ -60,6 +60,12 @@ type Msg struct {
 	// computed at injection); 0 means unaudited. Multi-block messages audit
 	// per Part instead.
 	Sum uint64
+	// FlowSum is the whole-flow delivery-audit checksum carried by every
+	// packet of a multi-packet flow (Checksum over the flow's complete
+	// payload, computed once at injection); 0 means unaudited. The
+	// destination verifies it once per flow at reassembly — one checksum
+	// pass per flow instead of one per packet.
+	FlowSum uint64
 	// Tags carries one address tag per Data element under SIMNET_DEBUG
 	// (nil otherwise), so receivers can verify each element's provenance
 	// without materializing the expected result.
@@ -272,6 +278,12 @@ type Capabilities struct {
 	TimedFaultWindows bool
 	// Tracing: SetTracer is honored.
 	Tracing bool
+	// ParallelDeterminism: the backend stays bit-deterministic — same
+	// traces, Stats and results — even when it executes node programs on
+	// multiple OS threads (simnet's sharded epoch scheduler). Live
+	// backends are parallel but not deterministic; a backend could also be
+	// deterministic only when serial.
+	ParallelDeterminism bool
 }
 
 // Fabric is one cube transport: construct with New (or a backend package's

@@ -53,13 +53,14 @@ func init() {
 }
 
 // liveCaps is what the live transport promises: real fault injection and
-// tracing, no determinism and no virtual time.
+// tracing, no determinism (serial or parallel) and no virtual time.
 var liveCaps = fabric.Capabilities{
-	Deterministic:     false,
-	VirtualTime:       false,
-	FaultInjection:    true,
-	TimedFaultWindows: false,
-	Tracing:           true,
+	Deterministic:       false,
+	VirtualTime:         false,
+	FaultInjection:      true,
+	TimedFaultWindows:   false,
+	Tracing:             true,
+	ParallelDeterminism: false,
 }
 
 // stallWindow is how long the stall watchdog waits without observing any

@@ -154,6 +154,17 @@ func (m *Moves) GatherInto(srcProc uint64, local []float64, dstProc uint64, dst 
 	m.gatherSlotsInto(slots, local, dst)
 }
 
+// GatherRangeInto is GatherRange into a caller-provided buffer of length n,
+// so flow materialization can pack every payload into one arena instead of
+// allocating per flow.
+func (m *Moves) GatherRangeInto(srcProc uint64, local []float64, dstProc uint64, off, n int, dst []float64) {
+	if len(dst) != n {
+		panic("plan: gather buffer size does not match range")
+	}
+	slots := m.out[srcProc][dstProc]
+	m.gatherSlotsInto(slots[off:off+n], local, dst)
+}
+
 // Scatter places a payload received from srcProc into the destination local
 // array.
 func (m *Moves) Scatter(dstProc uint64, local []float64, srcProc uint64, data []float64) {

@@ -80,9 +80,10 @@ func Run(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, error) {
 // returned as a Partial alongside the error. On success the Partial is nil
 // and the delivery map is identical to Run's.
 //
-// Every packet is stamped with a delivery-audit checksum at injection and
-// verified at its destination; a mismatch aborts the run with a typed
-// *fabric.AuditError.
+// Every flow is stamped with a whole-flow delivery-audit checksum at
+// injection (one pass per flow, carried by each of its packets) and
+// verified once at its destination after the flow's packets have all
+// arrived; a mismatch aborts the run with a typed *fabric.AuditError.
 func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial, error) {
 	n := e.Dims()
 	N := uint64(e.Nodes())
@@ -129,6 +130,7 @@ func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial,
 		flow, idx int
 		data      []float64
 		tags      []uint64
+		sum       uint64 // whole-flow checksum carried by the packet
 	}
 	// finals[node] accumulates (flow, packet, data) at destinations,
 	// presized to the known arrival totals.
@@ -148,12 +150,15 @@ func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial,
 			chunks [][]float64
 			tags   [][]uint64
 			next   int
+			sum    uint64
 		}
 		cursors := make([]cursor, 0, len(myFlows))
 		for _, fi := range myFlows {
 			f := flows[fi]
 			pk := packetsOf(f)
-			c := cursor{flow: fi, chunks: splitChunks(f.Data, pk)}
+			// One audit pass over the whole flow at injection; every packet
+			// carries the flow sum and the destination verifies it once.
+			c := cursor{flow: fi, chunks: splitChunks(f.Data, pk), sum: fabric.Checksum(f.Data)}
 			if f.Tags != nil {
 				// Same length as Data, so the chunk boundaries line up.
 				c.tags = splitTags(f.Tags, pk)
@@ -171,7 +176,7 @@ func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial,
 				m := fabric.Msg{
 					Src: f.Src, Dst: f.Dst, Tag: c.flow, Rel: uint64(c.next),
 					Path: f.Dims[1:], Data: c.chunks[c.next],
-					Sum: fabric.Checksum(c.chunks[c.next]),
+					FlowSum: c.sum,
 				}
 				if c.tags != nil {
 					m.Tags = c.tags[c.next]
@@ -187,17 +192,37 @@ func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial,
 		for i := 0; i < expect[id]; i++ {
 			m := nd.RecvAny()
 			if len(m.Path) == 0 {
-				if m.Sum != 0 {
-					if got := fabric.Checksum(m.Data); got != m.Sum {
-						nd.Fail(&fabric.AuditError{Node: id, Src: m.Src, Dst: m.Dst, What: "packet", Want: m.Sum, Got: got})
-					}
-				}
-				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data, tags: m.Tags})
+				finals[id] = append(finals[id], pkt{flow: m.Tag, idx: int(m.Rel), data: m.Data, tags: m.Tags, sum: m.FlowSum})
 				continue
 			}
 			next := m.Path[0]
 			m.Path = m.Path[1:]
 			nd.Send(next, m)
+		}
+		// Per-flow delivery audit: with every packet in, sort this node's
+		// arrivals into (flow, packet) order and verify each flow's
+		// reassembled payload in one streaming pass against the flow sum
+		// stamped at injection.
+		fin := finals[id]
+		slices.SortFunc(fin, func(a, b pkt) int {
+			if a.flow != b.flow {
+				return a.flow - b.flow
+			}
+			return a.idx - b.idx
+		})
+		for s := 0; s < len(fin); {
+			var sm fabric.Summer
+			e := s
+			for ; e < len(fin) && fin[e].flow == fin[s].flow; e++ {
+				sm.Add(fin[e].data)
+			}
+			if want := fin[s].sum; want != 0 {
+				if got := sm.Sum(); got != want {
+					f := flows[fin[s].flow]
+					nd.Fail(&fabric.AuditError{Node: id, Src: f.Src, Dst: f.Dst, What: "flow", Want: want, Got: got})
+				}
+			}
+			s = e
 		}
 	})
 
@@ -241,6 +266,13 @@ func RunRecover(e fabric.Fabric, flows []Flow) (map[uint64][]Delivery, *Partial,
 				continue // packets still in flight; never expose partial payloads
 			}
 			data, tags := assemble(i)
+			// The in-run per-flow audit only fires on completed runs; audit
+			// salvaged flows here so a corrupt payload is never exposed.
+			if ps := byFlow[i]; len(ps) > 0 && ps[0].sum != 0 {
+				if fabric.Checksum(data) != ps[0].sum {
+					continue
+				}
+			}
 			part.FlowIdx = append(part.FlowIdx, i)
 			part.Data = append(part.Data, data)
 			part.Tags = append(part.Tags, tags)

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"runtime"
 	"testing"
 
 	"boolcube/internal/fabric"
@@ -56,6 +57,72 @@ func benchTransposeSched(b *testing.B, reference bool) {
 
 func BenchmarkEngineTransposeIndexed(b *testing.B)   { benchTransposeSched(b, false) }
 func BenchmarkEngineTransposeReference(b *testing.B) { benchTransposeSched(b, true) }
+
+// benchScan runs one SBnT-order dimension-scan all-to-all: every node
+// exchanges a pooled payload with its neighbor across each of the n
+// dimensions, high dimension first — the §4 single-path transpose schedule
+// at engine level. shards selects the scheduler (-1 serial indexed, >= 1
+// sharded with that worker count, 0 auto).
+func benchScan(b *testing.B, n, elems, passes, shards int, params machine.Params) *Engine {
+	e, err := New(n, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetShards(shards)
+	err = e.Run(func(nd fabric.Node) {
+		for rep := 0; rep < passes; rep++ {
+			for d := nd.Dims() - 1; d >= 0; d-- {
+				m := nd.Exchange(d, Msg{Data: nd.AllocData(elems)})
+				nd.Recycle(m)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEngineCube10Sharded / ...Serial are the sharded-vs-serial gate
+// pair of BENCH_engine.json: the same 10-cube (1024 node) scan under the
+// sharded epoch scheduler and the serial indexed one. check.sh requires
+// sharded/serial >= 1.0x.
+func BenchmarkEngineCube10Sharded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchScan(b, 10, 16, 2, 1, machine.ConnectionMachine())
+	}
+}
+
+func BenchmarkEngineCube10Serial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchScan(b, 10, 16, 2, -1, machine.ConnectionMachine())
+	}
+}
+
+// BenchmarkEngineCube16SBnT is the Connection Machine scale deliverable: a
+// full 16-cube (65,536 node) SBnT-order all-to-all dimension scan on the
+// CM machine model, auto-sharded. Alongside ns/op it reports bytes/node —
+// the retained per-node engine footprint (heap delta across construction
+// and run, after GC), the memory-ceiling metric of ROADMAP item 3.
+func BenchmarkEngineCube16SBnT(b *testing.B) {
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		e := benchScan(b, 16, 4, 1, 0, machine.ConnectionMachine())
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if e.Stats().Sends != int64(1<<16)*16 {
+			b.Fatalf("unexpected send count %d", e.Stats().Sends)
+		}
+	}
+	if after.HeapAlloc > before.HeapAlloc {
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/float64(1<<16), "bytes/node")
+	}
+}
 
 func BenchmarkEngineSpawn(b *testing.B) {
 	for i := 0; i < b.N; i++ {

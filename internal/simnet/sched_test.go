@@ -72,16 +72,40 @@ type schedOutcome struct {
 	err    string
 }
 
+// schedConfig selects which scheduler a runScript run uses: the linear-scan
+// reference, the serial indexed queue, or the sharded epoch scheduler with
+// a forced worker count (shards >= 1).
+type schedConfig struct {
+	reference bool
+	shards    int     // 0 = serial indexed (below the auto threshold)
+	trace     bool    // install the event-log tracer
+	deadline  float64 // virtual-time budget, 0 = none
+}
+
 func runScript(t *testing.T, n int, params machine.Params, script []schedStep,
 	faults *fault.Plan, reference bool) schedOutcome {
+	t.Helper()
+	return runScriptCfg(t, n, params, script, faults, schedConfig{reference: reference, trace: true})
+}
+
+func runScriptCfg(t *testing.T, n int, params machine.Params, script []schedStep,
+	faults *fault.Plan, cfg schedConfig) schedOutcome {
 	t.Helper()
 	e, err := simnet.New(n, params)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.SetReferenceScheduler(reference)
+	e.SetReferenceScheduler(cfg.reference)
+	if cfg.shards != 0 {
+		e.SetShards(cfg.shards)
+	}
 	log := &eventLog{}
-	e.SetTracer(log)
+	if cfg.trace {
+		e.SetTracer(log)
+	}
+	if cfg.deadline > 0 {
+		e.SetDeadline(cfg.deadline)
+	}
 	if faults != nil {
 		e.SetFaults(faults, simnet.RetryPolicy{Attempts: 12})
 	}

@@ -88,7 +88,7 @@ type arrival struct {
 	at      float64 // transmission completion at receiver
 	dur     float64 // transmission duration (for receive-port serialization)
 	fromDim int
-	seq     int64 // global sequence for stable FIFO ordering
+	act     float64 // sender's send action (start) time, for RecvAny tie-breaks
 }
 
 // inQueue is one dimension's inbound arrival queue. Popping advances a head
@@ -136,6 +136,11 @@ type Node struct {
 	opErr   error         // set by the engine before resume (fault injection)
 	done    bool
 	failure error
+
+	// Sharded-execution state (nil/zero under the serial schedulers).
+	sh      *shard  // owning shard during a sharded Run
+	opIdx   int32   // per-node executed-op counter (canonical commit order)
+	lastAct float64 // action time of the last executed op (failure keys)
 }
 
 // Engine simulates one cube. Create with New, run programs with Run.
@@ -143,8 +148,9 @@ type Engine struct {
 	n, nodesCount int
 	params        machine.Params
 
-	nodes []*Node
-	seq   int64
+	nodes     []*Node
+	nodeStore []Node    // flat backing array for nodes (cache locality at scale)
+	copyTime  []float64 // per-node copy-time accumulation, folded in id order
 
 	// Per-directed-link occupancy and volume, dense-indexed by
 	// from*n + dim (linkIndex). Dense arrays replace the seed's maps on
@@ -157,6 +163,7 @@ type Engine struct {
 
 	ready    *readyHeap // indexed ready queue (nil until Run)
 	refSched bool       // linear-scan reference scheduler (testing/benchmarks)
+	shards   int        // SetShards: 0 auto, >=1 forced worker count, <0 serial
 	sendDest int        // node whose inbound queue the last op appended to, -1 none
 
 	pool bufPool
@@ -215,13 +222,16 @@ func init() {
 }
 
 // simCaps is what the simulation promises: full determinism on a virtual
-// clock, with fault windows interpreted on that same clock.
+// clock, with fault windows interpreted on that same clock — and the
+// determinism survives the sharded epoch scheduler (shard.go), so large
+// engines parallelize without giving up replayability.
 var simCaps = fabric.Capabilities{
-	Deterministic:     true,
-	VirtualTime:       true,
-	FaultInjection:    true,
-	TimedFaultWindows: true,
-	Tracing:           true,
+	Deterministic:       true,
+	VirtualTime:         true,
+	FaultInjection:      true,
+	TimedFaultWindows:   true,
+	Tracing:             true,
+	ParallelDeterminism: true,
 }
 
 // IsSimulation reports that time is simulated (fabric.Fabric contract).
@@ -319,20 +329,34 @@ func (e *Engine) Run(prog func(fabric.Node)) error {
 		return fmt.Errorf("simnet: engine already ran; clocks would restart at zero — create a fresh engine (compose phases inside one program instead)")
 	}
 	e.started = true
+	// Per-node state lives in flat engine-level slabs: one Node backing
+	// array plus one shared float/queue arena sliced per node. At 2^16
+	// nodes this turns ~5N small allocations into a handful of large ones
+	// and keeps neighboring nodes' hot state contiguous.
+	ports, dims := e.ports(), max(e.n, 1)
 	e.nodes = make([]*Node, e.nodesCount)
+	e.nodeStore = make([]Node, e.nodesCount)
+	e.copyTime = make([]float64, e.nodesCount)
+	portArena := make([]float64, 2*e.nodesCount*ports)
+	queueArena := make([]inQueue, e.nodesCount*dims)
+	var debugArena []float64
+	if e.debug {
+		debugArena = make([]float64, 2*e.nodesCount*ports)
+	}
 	for i := range e.nodes {
-		nd := &Node{
+		nd := &e.nodeStore[i]
+		*nd = Node{
 			id:       uint64(i),
 			eng:      e,
-			sendFree: make([]float64, e.ports()),
-			recvFree: make([]float64, e.ports()),
-			queues:   make([]inQueue, max(e.n, 1)),
+			sendFree: portArena[(2*i)*ports : (2*i+1)*ports],
+			recvFree: portArena[(2*i+1)*ports : (2*i+2)*ports],
+			queues:   queueArena[i*dims : (i+1)*dims],
 			parked:   make(chan struct{}, 1),
 			resume:   make(chan Msg, 1),
 		}
 		if e.debug {
-			nd.lastSendStart = make([]float64, e.ports())
-			nd.lastSendEnd = make([]float64, e.ports())
+			nd.lastSendStart = debugArena[(2*i)*ports : (2*i+1)*ports]
+			nd.lastSendEnd = debugArena[(2*i+1)*ports : (2*i+2)*ports]
 		}
 		e.nodes[i] = nd
 	}
@@ -361,10 +385,24 @@ func (e *Engine) Run(prog func(fabric.Node)) error {
 	for _, nd := range e.nodes {
 		<-nd.parked
 	}
-	if e.refSched {
-		return e.runLinear()
+	var err error
+	switch {
+	case e.refSched:
+		err = e.runLinear()
+	default:
+		if p := e.shardCount(); p > 0 {
+			err = e.runSharded(p)
+		} else {
+			err = e.runIndexed()
+		}
 	}
-	return e.runIndexed()
+	// Copy time is accumulated per node and folded in ascending node-id
+	// order on every exit path, so the float64 sum is independent of both
+	// the scheduler and the shard count.
+	for i := range e.copyTime {
+		e.stats.CopyTime += e.copyTime[i]
+	}
+	return err
 }
 
 // runIndexed is the production scheduling loop: executable nodes live in an
@@ -594,38 +632,63 @@ func (e *Engine) actionTime(nd *Node) (float64, bool) {
 // and resumes the node (except for opDone). Returns true when the node has
 // finished.
 func (e *Engine) execute(nd *Node) bool {
+	m, done := e.performOp(nd)
+	if !done {
+		nd.resume <- m
+	}
+	return done
+}
+
+// performOp runs the semantics of the node's pending operation — time,
+// statistics, queue movement — without resuming the node's goroutine. The
+// serial schedulers resume immediately (execute); the sharded scheduler
+// resumes only after closing the operation's commit record, because the
+// resumed node may eagerly execute further operations of its own
+// (shard.go), each needing its own record.
+func (e *Engine) performOp(nd *Node) (Msg, bool) {
 	nd.opErr = nil
 	switch nd.pending.kind {
 	case opSend:
 		nd.opErr = e.doSend(nd, nd.pending.dim, nd.pending.msg)
 		nd.pending.msg = Msg{} // ownership moved to the destination queue
-		nd.resume <- Msg{}
 	case opRecv:
-		m := e.doRecv(nd, nd.pending.dim)
-		nd.resume <- m
+		return e.doRecv(nd, nd.pending.dim), false
 	case opRecvAny:
-		m := e.doRecvAny(nd)
-		nd.resume <- m
+		return e.doRecvAny(nd), false
 	case opCopy:
 		t := e.params.CopyTime(nd.pending.bytes)
-		e.trace(TraceEvent{Node: nd.id, Kind: "copy", Dim: -1,
+		e.traceN(nd, TraceEvent{Node: nd.id, Kind: "copy", Dim: -1,
 			Bytes: nd.pending.bytes, Start: nd.clock, End: nd.clock + t})
 		nd.clock += t
-		e.stats.CopyTime += t
-		e.stats.CopyBytes += int64(nd.pending.bytes)
-		e.bumpTime(nd.clock)
-		nd.resume <- Msg{}
+		e.addCopy(nd, t, int64(nd.pending.bytes))
+		e.bumpTime(nd, nd.clock)
 	case opAdvance:
-		e.trace(TraceEvent{Node: nd.id, Kind: "compute", Dim: -1,
+		e.traceN(nd, TraceEvent{Node: nd.id, Kind: "compute", Dim: -1,
 			Start: nd.clock, End: nd.clock + nd.pending.dt})
 		nd.clock += nd.pending.dt
-		e.bumpTime(nd.clock)
-		nd.resume <- Msg{}
+		e.bumpTime(nd, nd.clock)
 	case opDone:
-		e.bumpTime(nd.clock)
-		return true
+		e.bumpTime(nd, nd.clock)
+		return Msg{}, true
 	}
-	return false
+	return Msg{}, false
+}
+
+// addCopy books a local copy's cost. The time lands in the per-node
+// accumulator (folded in id order after the run); the byte count goes to
+// the node's active stat sink.
+func (e *Engine) addCopy(nd *Node, t float64, bytes int64) {
+	if sh := nd.sh; sh != nil && sh.run.record {
+		sh.cur.copyDt += t
+		sh.cur.copyBytes += bytes
+		return
+	}
+	e.copyTime[nd.id] += t
+	if sh := nd.sh; sh != nil {
+		sh.acc.copyBytes += bytes
+	} else {
+		e.stats.CopyBytes += bytes
+	}
 }
 
 // doSend executes one send operation. The returned error is non-nil only
@@ -641,23 +704,41 @@ func (e *Engine) doSend(nd *Node, dim int, m Msg) error {
 	if e.faults != nil {
 		var err error
 		if start, err = e.clearFaults(nd, dim, li, port, bytes, dur, startups, start); err != nil {
-			e.stats.FaultedSends++
+			if sh := nd.sh; sh != nil {
+				if sh.run.record {
+					sh.cur.faulted++
+				} else {
+					sh.acc.faultedSends++
+				}
+			} else {
+				e.stats.FaultedSends++
+			}
 			nd.clock = math.Max(nd.clock, start)
-			e.bumpTime(nd.clock)
+			e.bumpTime(nd, nd.clock)
 			return err
 		}
 	}
 	end := e.chargeLink(nd, dim, li, port, bytes, dur, startups, start)
-	e.stats.Sends++
+	if sh := nd.sh; sh != nil {
+		if sh.run.record {
+			sh.cur.sends++
+		} else {
+			sh.acc.sends++
+		}
+	} else {
+		e.stats.Sends++
+	}
 	nd.clock = start
-	e.trace(TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
+	e.traceN(nd, TraceEvent{Node: nd.id, Kind: "send", Dim: dim, Bytes: bytes, Start: start, End: end})
 
-	dest := e.nodes[nd.id^1<<uint(dim)]
-	e.seq++
-	dest.queues[dim].push(arrival{
-		msg: m, at: end, dur: dur, fromDim: dim, seq: e.seq,
-	})
-	e.sendDest = int(dest.id)
+	a := arrival{msg: m, at: end, dur: dur, fromDim: dim, act: start}
+	dest := int(nd.id ^ 1<<uint(dim))
+	if sh := nd.sh; sh != nil {
+		sh.deliver(dest, a)
+	} else {
+		e.nodes[dest].queues[dim].push(a)
+		e.sendDest = dest
+	}
 	return nil
 }
 
@@ -674,13 +755,13 @@ func (e *Engine) clearFaults(nd *Node, dim, li, port, bytes int, dur float64, st
 		if !up {
 			// A zero-length drop event records the attempt that found the
 			// link down and the remaining down-window [Start, DownUntil).
-			e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Start: start, End: start,
+			e.traceN(nd, TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Start: start, End: start,
 				Attempt: attempts, DownUntil: nextUp})
 			if math.IsInf(nextUp, 1) || attempts >= e.retry.Attempts {
 				return start, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
 					At: start, Attempts: attempts, Err: ErrLinkDown}
 			}
-			e.stats.Retries++
+			e.addRetry(nd)
 			start = math.Max(nextUp, start+e.retry.Backoff)
 			continue
 		}
@@ -692,14 +773,22 @@ func (e *Engine) clearFaults(nd *Node, dim, li, port, bytes int, dur float64, st
 		// link and the volume statistics, then retransmit after backoff.
 		// DownUntil stays 0: the link was up, the frame was lost in flight.
 		end := e.chargeLink(nd, dim, li, port, bytes, dur, startups, start)
-		e.stats.Drops++
-		e.trace(TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end,
+		if sh := nd.sh; sh != nil {
+			if sh.run.record {
+				sh.cur.drops++
+			} else {
+				sh.acc.drops++
+			}
+		} else {
+			e.stats.Drops++
+		}
+		e.traceN(nd, TraceEvent{Node: nd.id, Kind: "drop", Dim: dim, Bytes: bytes, Start: start, End: end,
 			Attempt: attempts})
 		if attempts >= e.retry.Attempts {
 			return end, &FaultError{From: nd.id, To: nd.id ^ 1<<uint(dim), Dim: dim,
 				At: start, Attempts: attempts, Err: ErrRetryBudget}
 		}
-		e.stats.Retries++
+		e.addRetry(nd)
 		start = end + e.retry.Backoff
 	}
 }
@@ -719,19 +808,51 @@ func (e *Engine) chargeLink(nd *Node, dim, li, port, bytes int, dur float64, sta
 	}
 	nd.sendFree[port] = end
 	e.linkFree[li] = end
-	e.linkUsed[li] = true
-	e.linkBytes[li] += int64(bytes)
-	e.linkBusy[li] += dur
-	if e.linkBytes[li] > e.stats.MaxLinkBytes {
-		e.stats.MaxLinkBytes = e.linkBytes[li]
+	if sh := nd.sh; sh != nil {
+		if sh.run.record {
+			// Volume statistics are deferred to the record so an abort
+			// truncates them at the canonical failure point; linkFree and
+			// sendFree above are simulation state owned by this shard and
+			// stay eager.
+			sh.cur.li = int32(li)
+			sh.cur.linkBytes += int64(bytes)
+			sh.cur.linkBusy += dur
+			sh.cur.startups += int64(startups)
+		} else {
+			e.linkUsed[li] = true
+			e.linkBytes[li] += int64(bytes)
+			e.linkBusy[li] += dur
+			sh.acc.startups += int64(startups)
+			sh.acc.bytes += int64(bytes)
+		}
+	} else {
+		e.linkUsed[li] = true
+		e.linkBytes[li] += int64(bytes)
+		e.linkBusy[li] += dur
+		if e.linkBytes[li] > e.stats.MaxLinkBytes {
+			e.stats.MaxLinkBytes = e.linkBytes[li]
+		}
+		if e.linkBusy[li] > e.stats.MaxLinkBusy {
+			e.stats.MaxLinkBusy = e.linkBusy[li]
+		}
+		e.stats.Startups += int64(startups)
+		e.stats.Bytes += int64(bytes)
 	}
-	if e.linkBusy[li] > e.stats.MaxLinkBusy {
-		e.stats.MaxLinkBusy = e.linkBusy[li]
-	}
-	e.stats.Startups += int64(startups)
-	e.stats.Bytes += int64(bytes)
-	e.bumpTime(end)
+	e.bumpTime(nd, end)
 	return end
+}
+
+// addRetry books one retransmission into the node's active stat sink.
+func (e *Engine) addRetry(nd *Node) {
+	if sh := nd.sh; sh != nil {
+		if sh.run.record {
+			sh.cur.retries++
+		} else {
+			sh.acc.retries++
+		}
+		return
+	}
+	e.stats.Retries++
 }
 
 func (e *Engine) doRecv(nd *Node, dim int) Msg {
@@ -750,13 +871,30 @@ func (e *Engine) doRecvAny(nd *Node) Msg {
 			bestDim = d
 			continue
 		}
-		best := nd.queues[bestDim].front()
-		if f := q.front(); f.at < best.at || (f.at == best.at && f.seq < best.seq) {
+		if nd.anyLess(q.front(), d, nd.queues[bestDim].front(), bestDim) {
 			bestDim = d
 		}
 	}
 	a := nd.queues[bestDim].pop()
 	return e.finishRecv(nd, a)
+}
+
+// anyLess orders two RecvAny candidates by (arrival time, send action time,
+// sender id). The key is a pure function of simulation state — unlike the
+// global send sequence number it replaced, which encoded host-side
+// execution order — so the serial and sharded schedulers, which deliver
+// cross-shard arrivals at different host moments, make identical choices.
+// The key is total: two arrivals with equal times on different dimensions
+// come from different senders (one neighbor per dimension), and arrivals
+// from one sender on one dimension never tie (the queue is FIFO).
+func (nd *Node) anyLess(f *arrival, fd int, g *arrival, gd int) bool {
+	if f.at != g.at {
+		return f.at < g.at
+	}
+	if f.act != g.act {
+		return f.act < g.act
+	}
+	return nd.id^1<<uint(fd) < nd.id^1<<uint(gd)
 }
 
 // finishRecv applies receive-port serialization: a message of transmission
@@ -768,15 +906,45 @@ func (e *Engine) finishRecv(nd *Node, a arrival) Msg {
 	completion := math.Max(a.at, nd.recvFree[port]+a.dur)
 	nd.recvFree[port] = completion
 	nd.clock = math.Max(nd.clock, completion)
-	e.bumpTime(nd.clock)
-	e.trace(TraceEvent{Node: nd.id, Kind: "recv", Dim: a.fromDim,
+	e.bumpTime(nd, nd.clock)
+	e.traceN(nd, TraceEvent{Node: nd.id, Kind: "recv", Dim: a.fromDim,
 		Bytes: len(a.msg.Data) * e.params.ElemBytes, Start: completion - a.dur, End: completion})
 	return a.msg
 }
 
-func (e *Engine) bumpTime(t float64) {
+// bumpTime raises the makespan watermark through the node's active sink:
+// the engine's Stats under the serial schedulers, the shard's commit record
+// or max accumulator under the sharded one (max is order-invariant, which
+// is what makes the deferred fold exact).
+func (e *Engine) bumpTime(nd *Node, t float64) {
+	if sh := nd.sh; sh != nil {
+		if sh.run.record {
+			if t > sh.cur.timeBump {
+				sh.cur.timeBump = t
+			}
+		} else if t > sh.acc.maxTime {
+			sh.acc.maxTime = t
+		}
+		return
+	}
 	if t > e.stats.Time {
 		e.stats.Time = t
+	}
+}
+
+// traceN routes a node's trace event: directly to the tracer under the
+// serial schedulers, into the shard's event buffer under the sharded one
+// (flushed to the tracer in canonical order at the epoch barrier).
+func (e *Engine) traceN(nd *Node, ev TraceEvent) {
+	if sh := nd.sh; sh != nil {
+		if e.tracer != nil {
+			sh.events = append(sh.events, ev)
+			sh.cur.ev1 = int32(len(sh.events))
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.Record(ev)
 	}
 }
 

@@ -46,17 +46,39 @@ go test -run 'TestSoakFaultedTranspose' .
 echo "==> go test -bench plan split -benchtime=1x"
 go test -run '^$' -bench 'BenchmarkTransposeOneShot$|BenchmarkTransposeCompiled$' -benchtime=1x .
 
-# Engine bench smoke: regenerate BENCH_engine.json (scheduler pair + sweep
-# wall-clock) and gate on the indexed scheduler not regressing below the
-# linear-scan reference.
+# Connection Machine scale smoke: a full 12-cube (4096 node) all-to-all,
+# sharded vs serial, byte-identical Stats. The test skips itself under
+# -short (so the race suite stays inside its timeout); run it loud here.
+echo "==> go test -run TestCube12ShardedSmoke (12-cube sharded smoke)"
+go test -run 'TestCube12ShardedSmoke' -count=1 ./internal/simnet/
+
+# Engine bench smoke: regenerate BENCH_engine.json (scheduler pair, sharded
+# pair, 16-cube scale row, crossover rows, sweep wall-clock) and gate on the
+# indexed scheduler not regressing below the linear-scan reference and the
+# sharded scheduler not regressing below the serial one.
 echo "==> scripts/bench_engine.sh (BENCH_COUNT=1x smoke)"
-BENCH_COUNT=1x ./scripts/bench_engine.sh
+BENCH_COUNT=1x CUBE16_COUNT=1x ./scripts/bench_engine.sh
 awk -F'[:,]' '/"scheduler_speedup"/ {
 	if ($2 + 0 < 1.0) {
 		printf "check: scheduler speedup %.2f below 1.0x — indexed scheduler regressed\n", $2 > "/dev/stderr"
 		exit 1
 	}
 	printf "check: scheduler speedup %.2fx (>= 1.0x gate)\n", $2
+}' BENCH_engine.json
+awk -F'[:,]' '/"sharded_speedup"/ {
+	if ($2 + 0 < 1.0) {
+		printf "check: sharded speedup %.2f below 1.0x — epoch scheduler regressed\n", $2 > "/dev/stderr"
+		exit 1
+	}
+	printf "check: sharded speedup %.2fx (>= 1.0x gate)\n", $2
+}' BENCH_engine.json
+awk '/"cube16_ns_per_op"/ { c16 = 1 } /"bytes_per_node"/ { bpn = 1 } /"cm_crossover"/ { xo = 1 }
+END {
+	if (!c16 || !bpn || !xo) {
+		print "check: BENCH_engine.json missing 16-cube scale row or crossover rows" > "/dev/stderr"
+		exit 1
+	}
+	print "check: 16-cube row, bytes_per_node and cm_crossover rows present"
 }' BENCH_engine.json
 awk -F'[:,]' '/"checkpoint_overhead_pct"/ {
 	if ($2 + 0 >= 3.0) {
