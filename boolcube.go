@@ -349,6 +349,9 @@ type (
 	// sent (every block and packet carries an always-on checksum; under
 	// SIMNET_DEBUG every element also carries an address tag).
 	AuditError = fabric.AuditError
+	// NodeDownError reports a crash-stopped node: which node died, when,
+	// when it was last heard from and when the failure was detected.
+	NodeDownError = fabric.NodeDownError
 )
 
 // Sentinels for errors.Is against checkpointed-execution failures.
@@ -359,6 +362,8 @@ var (
 	ErrDeadline = fabric.ErrDeadline
 	// ErrAudit marks delivery-audit mismatches.
 	ErrAudit = fabric.ErrAudit
+	// ErrNodeDown marks crash-stopped node failures.
+	ErrNodeDown = fabric.ErrNodeDown
 )
 
 // Resume finishes a checkpointed execution: local residuals replay
@@ -371,6 +376,18 @@ var (
 // carries an updated checkpoint and Resume can be called again.
 func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
 	return core.Resume(cp, xo)
+}
+
+// Recover is Resume with crash-stop survival: dead nodes (accumulated in
+// the checkpoint plus every kill its fault schedule reports as fired) are
+// relabeled away — an idle live node substitutes for each dead one when the
+// cube has spares, otherwise the logical cube folds Gray-code-preservingly
+// onto a dead-free subcube — and the residual move-set reruns against the
+// new embedding. The recovered Dist is bit-identical to an unfaulted run's.
+// With no dead node it behaves exactly like Resume, so every *ExecError can
+// be routed through it.
+func Recover(cp *Checkpoint, xo ExecOptions) (*Result, error) {
+	return core.Recover(cp, xo)
 }
 
 // Algorithm returns the concrete algorithm the plan uses — the resolved
@@ -410,6 +427,10 @@ const (
 	FaultNodeDown = fault.NodeDown
 	// FaultRandomLinks takes Count seed-chosen directed links down.
 	FaultRandomLinks = fault.RandomLinks
+	// FaultCrash crash-stops one node at the rule's Start time.
+	FaultCrash = fault.Crash
+	// FaultRandomCrashes crash-stops Count seed-chosen nodes at Start.
+	FaultRandomCrashes = fault.RandomCrashes
 )
 
 // Fault scenario helpers and compilation.
@@ -424,6 +445,10 @@ var (
 	// FlakyLink makes one directed link drop transmissions with a fixed
 	// probability.
 	FlakyLink = fault.FlakyLink
+	// NodeCrash is the scenario crash-stopping one node at a given time.
+	NodeCrash = fault.NodeCrash
+	// RandomNodeCrashes crash-stops k seed-chosen nodes at a given time.
+	RandomNodeCrashes = fault.RandomNodeCrashes
 )
 
 // FailoverPolicy selects how flow-based algorithms respond to routes

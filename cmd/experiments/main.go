@@ -31,7 +31,7 @@ func realMain(args []string, out io.Writer) error {
 	list := flag.Bool("list", false, "list experiment ids")
 	id := flag.String("exp", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
-	format := flag.String("format", "text", "output format: text, md, csv")
+	format := flag.String("format", "text", "output format: text, md, csv, json")
 	par := flag.Int("parallel", 0, "experiments to generate concurrently with -all (0 = all cores)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -66,7 +66,7 @@ func realMain(args []string, out io.Writer) error {
 	}
 
 	switch render {
-	case "text", "md", "csv":
+	case "text", "md", "csv", "json":
 	default:
 		return fmt.Errorf("unknown format %q", render)
 	}
@@ -104,6 +104,8 @@ func runAll(out io.Writer, par int) error {
 			fmt.Fprint(out, tab.Markdown())
 		case "csv":
 			fmt.Fprint(out, tab.CSV())
+		case "json":
+			fmt.Fprint(out, tab.JSON())
 		default:
 			fmt.Fprint(out, tab.String())
 		}
@@ -122,6 +124,8 @@ func run(out io.Writer, id string) error {
 		fmt.Fprint(out, tab.Markdown())
 	case "csv":
 		fmt.Fprint(out, tab.CSV())
+	case "json":
+		fmt.Fprint(out, tab.JSON())
 	default:
 		fmt.Fprint(out, tab.String())
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,24 @@ func TestRunOneMarkdownAndCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(s, "encoding/partitioning,") {
 		t.Errorf("csv output malformed:\n%s", s)
+	}
+}
+
+func TestRunOneJSON(t *testing.T) {
+	s, err := capture(t, "-exp", "table2", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(s), &tab); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, s)
+	}
+	if tab.ID != "table2" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+		t.Errorf("json output malformed:\n%s", s)
 	}
 }
 

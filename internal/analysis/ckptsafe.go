@@ -18,7 +18,11 @@ import (
 // call, return an error variable produced by one, or wrap the failure in
 // &ExecError{Checkpoint: ...} whose Checkpoint folds the engine Stats: a
 // composite Checkpoint literal must set Stats and At, and an identifier
-// checkpoint must have had its .Stats assigned beforehand.
+// checkpoint must have had its .Stats assigned beforehand. Handing the
+// checkpoint to a (*Result, error) consumer named Recover or Resume counts
+// as that fold — those consumers merge the engine Stats into the
+// checkpoint themselves, so a recovery path that re-returns the same
+// checkpoint afterwards is not a finding.
 //
 // Engine rule — in an *Engine method returning error, a failure built by a
 // ...Error constructor (deadlockError, deadlineError, ...) must not be
@@ -125,12 +129,24 @@ func (p *Package) checkExecutorReturns(fd *ast.FuncDecl) []Finding {
 		return nil
 	}
 
-	// statsFolds: positions of `<id>.Stats = ...` assignments, per object.
+	// statsFolds: positions of `<id>.Stats = ...` assignments, per object —
+	// plus checkpoints handed to a Recover/Resume call, which folds the
+	// engine Stats into its argument itself (core.Recover is a valid
+	// checkpoint consumer; re-returning the same checkpoint after it is
+	// safe).
 	// blessed: error-typed identifiers assigned from a (*Result, error)
 	// call — they carry a failure a checkpointing helper already wrapped.
 	statsFolds := map[types.Object][]token.Pos{}
 	blessed := map[types.Object][]token.Pos{}
 	walkOutsideLits(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && p.isCkptConsumerCall(call) {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if o := p.objOf(id); o != nil {
+					statsFolds[o] = append(statsFolds[o], call.Pos())
+				}
+			}
+			return true
+		}
 		st, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -266,6 +282,18 @@ func typeName(e ast.Expr) string {
 		return t.Sel.Name
 	}
 	return ""
+}
+
+// isCkptConsumerCall reports a Recover/Resume call taking a checkpoint
+// first: a (*Result, error) consumer contracted to fold the engine Stats
+// into its checkpoint argument before any failure return.
+func (p *Package) isCkptConsumerCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "Recover", "Resume":
+	default:
+		return false
+	}
+	return len(call.Args) > 0 && p.isExecutorCall(call)
 }
 
 // isExecutorCall reports a call whose static type is (*Result, error).

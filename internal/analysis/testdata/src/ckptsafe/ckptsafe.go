@@ -166,3 +166,39 @@ func Suppressed(e *Engine) (*Result, error) {
 	}
 	return &Result{Stats: e.Stats()}, nil
 }
+
+// Recover mimics core.Recover: a (*Result, error) checkpoint consumer that
+// folds the engine Stats into its checkpoint argument before any failure
+// return.
+func Recover(cp *Checkpoint, e *Engine) (*Result, error) {
+	err := e.Run(func(nd *Node) {})
+	if err != nil {
+		cp.Stats = mergeStats(cp.Stats, e.Stats())
+		return nil, &ExecError{Checkpoint: cp, Err: err}
+	}
+	return &Result{Stats: e.Stats()}, nil
+}
+
+// GoodRecoverConsumesCkpt hands the checkpoint to Recover — which folds the
+// engine Stats itself — so re-returning the same checkpoint afterwards
+// needs no explicit fold in this body; the recovery path is not a finding.
+func GoodRecoverConsumesCkpt(e *Engine, cp *Checkpoint) (*Result, error) {
+	if err := e.Run(func(nd *Node) {}); err != nil {
+		res, rerr := Recover(cp, e)
+		if rerr != nil {
+			return res, &ExecError{Checkpoint: cp, Err: rerr}
+		}
+		return res, nil
+	}
+	return &Result{Stats: e.Stats()}, nil
+}
+
+// GoodRecoverBlessedErr propagates the consumer's own failure unwrapped:
+// Recover is a (*Result, error) call, so its error is already checkpointed.
+func GoodRecoverBlessedErr(e *Engine, cp *Checkpoint) (*Result, error) {
+	if err := e.Run(func(nd *Node) {}); err != nil {
+		res, rerr := Recover(cp, e)
+		return res, rerr
+	}
+	return &Result{Stats: e.Stats()}, nil
+}

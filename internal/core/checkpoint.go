@@ -38,6 +38,11 @@ type Checkpoint struct {
 	// Opts are the exec options of the failed run. Resume reuses the
 	// tracer/retry/failover policy and derives its fault view from Faults.
 	Opts ExecOptions
+	// Dead accumulates the crash-stopped nodes across every failed attempt,
+	// ascending. Recover unions it with the crashes its fault model reports
+	// as fired by At, so a second kill during a recovery run folds in on the
+	// next Recover call.
+	Dead []uint64
 }
 
 // Remaining derives the residual move-set still to be transported.

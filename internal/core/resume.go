@@ -28,6 +28,17 @@ import (
 // resuming is idempotent-in-the-limit: each attempt only shrinks the
 // residual, and calling Resume on the new checkpoint continues from there.
 func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
+	return resumeMapped(cp, xo, nil)
+}
+
+// resumeMapped is Resume over a relabeled physical embedding: phys maps
+// each logical node to the live physical node hosting it (nil means
+// identity). Residual payloads are gathered and scattered host-side by
+// logical id either way; phys only decides where the transport injects and
+// ejects them, so a remapped resume stays element-exact. Logical pairs
+// whose hosts coincide under phys route as zero-hop flows, which the router
+// completes host-side without touching the network.
+func resumeMapped(cp *Checkpoint, xo ExecOptions, phys func(uint64) uint64) (*Result, error) {
 	p := cp.Plan
 	mv := p.Moves()
 	if xo.Faults == nil && cp.Opts.Faults != nil {
@@ -80,8 +91,12 @@ func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
 	pk := p.Config().Packets
 	flows := make([]router.Flow, len(netRes))
 	for i, r := range netRes {
+		ps, pd := r.Src, r.Dst
+		if phys != nil {
+			ps, pd = phys(r.Src), phys(r.Dst)
+		}
 		flows[i] = router.Flow{
-			Src: r.Src, Dst: r.Dst, Dims: router.Ecube(r.Src, r.Dst, p.NDims()), Packets: pk,
+			Src: ps, Dst: pd, Dims: router.Ecube(ps, pd, p.NDims()), Packets: pk,
 			Data: mv.GatherRange(r.Src, cp.Src.Local[r.Src], r.Dst, r.Off, r.Len),
 		}
 		if debug {
@@ -125,23 +140,26 @@ func Resume(cp *Checkpoint, xo ExecOptions) (*Result, error) {
 	}
 
 	for dst, ds := range deliveries {
-		// Zip deliveries with residual offsets per (dst, src), in kept-flow
-		// order — the same pairing discipline execFlow uses.
-		offs := make(map[uint64][]int)
+		// Zip deliveries with logical residuals per (physical dst, physical
+		// src), in kept-flow order — the same pairing discipline execFlow
+		// uses. Under a remap several logical pairs can share one physical
+		// pair; flow order disambiguates, because the router sorts each
+		// destination's deliveries stably by source.
+		pend := make(map[uint64][]int)
 		for k, f := range flows {
 			if f.Dst == dst {
-				offs[f.Src] = append(offs[f.Src], netRes[keptIdx[k]].Off)
+				pend[f.Src] = append(pend[f.Src], k)
 			}
 		}
-		next := make(map[uint64]int)
 		for _, dl := range ds {
-			o := offs[dl.Src][next[dl.Src]]
-			next[dl.Src]++
+			k := pend[dl.Src][0]
+			pend[dl.Src] = pend[dl.Src][1:]
+			r := netRes[keptIdx[k]]
 			if debug && dl.Tags != nil {
-				verifyTagsHost(dl.Src, dst, o, dl.Tags)
+				verifyTagsHost(r.Src, r.Dst, r.Off, dl.Tags)
 			}
-			mv.ScatterRange(dst, cp.Loc[dst], dl.Src, o, dl.Data)
-			cp.Delivered.Add(dl.Src, dst, o, len(dl.Data))
+			mv.ScatterRange(r.Dst, cp.Loc[r.Dst], r.Src, r.Off, dl.Data)
+			cp.Delivered.Add(r.Src, r.Dst, r.Off, len(dl.Data))
 		}
 	}
 	st := e.Stats()

@@ -11,6 +11,7 @@
 package exper
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -126,6 +127,25 @@ func (t *Table) CSV() string {
 		writeCSVRow(&sb, r)
 	}
 	return sb.String()
+}
+
+// JSON renders the table as one indented JSON object — id, title, columns,
+// rows, notes — for machine-consumed artifacts (the nightly chaos CI job
+// uploads the chaos sweep in this form).
+func (t *Table) JSON() string {
+	obj := struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(&obj, "", "  ")
+	if err != nil {
+		// Unreachable for string-only fields; keep the artifact well formed.
+		return fmt.Sprintf("{\"id\":%q,\"error\":%q}", t.ID, err.Error())
+	}
+	return string(b) + "\n"
 }
 
 func writeCSVRow(sb *strings.Builder, cells []string) {

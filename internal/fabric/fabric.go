@@ -284,6 +284,11 @@ type Capabilities struct {
 	// backends are parallel but not deterministic; a backend could also be
 	// deterministic only when serial.
 	ParallelDeterminism bool
+	// CrashStop: the backend honors crash-stop node kills from a fault
+	// model implementing CrashModel, detects the dead node (virtually on a
+	// simulated backend, by heartbeat suspicion on a live one) and surfaces
+	// a typed *NodeDownError instead of a silent stall.
+	CrashStop bool
 }
 
 // Fabric is one cube transport: construct with New (or a backend package's

@@ -47,6 +47,26 @@ func (r RetryPolicy) WithDefaults(tau float64) RetryPolicy {
 	return r
 }
 
+// CrashModel is the optional crash-stop extension of FaultModel: a fault
+// schedule that also kills whole nodes. A backend whose Capabilities set
+// CrashStop type-asserts its FaultModel against this interface at SetFaults
+// time; models without crash rules simply don't implement it (or return no
+// entries).
+//
+// Crash-stop means fail-silent: from its crash time on, the node neither
+// executes program steps nor acknowledges receptions — it does not send
+// garbage. On a simulated backend the crash takes effect at exactly virtual
+// time t; on a live backend t is wall-clock µs since Run and the kill is
+// real (the node's goroutine is torn down), so the observable death time is
+// only as precise as the scheduler.
+type CrashModel interface {
+	// CrashAt returns the crash time of the node and whether the schedule
+	// kills it at all.
+	CrashAt(node uint64) (t float64, ok bool)
+	// CrashedNodes returns every node the schedule kills, ascending.
+	CrashedNodes() []uint64
+}
+
 // Fault cause sentinels, exposed for errors.Is.
 var (
 	// ErrLinkDown: the link was down and will not recover (or stayed down
@@ -54,6 +74,8 @@ var (
 	ErrLinkDown = errors.New("link down")
 	// ErrRetryBudget: every attempt within the retry budget was dropped.
 	ErrRetryBudget = errors.New("retry budget exhausted")
+	// ErrNodeDown: a crash-stop node kill was detected.
+	ErrNodeDown = errors.New("node down")
 )
 
 // FaultError is the typed error a transmission surfaces when fault
@@ -74,3 +96,28 @@ func (f *FaultError) Error() string {
 }
 
 func (f *FaultError) Unwrap() error { return f.Err }
+
+// NodeDownError is the typed outcome of crash-stop detection: the run was
+// aborted because one or more nodes died. It unwraps to ErrNodeDown. On a
+// deterministic backend every field is a pure function of the program and
+// the fault schedule, so identical runs fail identically; on a live backend
+// DetectedAt and LastHeard carry wall-clock µs and vary run to run, but
+// Nodes is still exactly the set of scheduled kills that fired.
+type NodeDownError struct {
+	Node       uint64   // lowest-id dead node (the canonical culprit)
+	Nodes      []uint64 // every node detected dead, ascending
+	At         float64  // scheduled crash time of Node (µs, backend clock)
+	LastHeard  float64  // when Node was last heard from (µs, backend clock)
+	DetectedAt float64  // when the failure was detected (µs, backend clock)
+}
+
+func (e *NodeDownError) Error() string {
+	extra := ""
+	if len(e.Nodes) > 1 {
+		extra = fmt.Sprintf(" (+%d more)", len(e.Nodes)-1)
+	}
+	return fmt.Sprintf("fabric: node %d down%s: crashed at t=%g, last heard t=%g, detected t=%g: %v",
+		e.Node, extra, e.At, e.LastHeard, e.DetectedAt, ErrNodeDown)
+}
+
+func (e *NodeDownError) Unwrap() error { return ErrNodeDown }

@@ -36,6 +36,16 @@ const (
 	// RandomLinks takes Count distinct directed links down during the
 	// window, chosen reproducibly from the Spec seed.
 	RandomLinks
+	// Crash is a crash-stop node kill at Start: from that instant the node
+	// neither executes program steps nor acknowledges receptions, forever
+	// (End is ignored — crashed nodes do not come back). Unlike NodeDown,
+	// which only severs the node's links while its program keeps running,
+	// Crash kills the processor itself; backends with the CrashStop
+	// capability detect it and surface a typed *fabric.NodeDownError.
+	Crash
+	// RandomCrashes crash-stops Count distinct nodes at Start, chosen
+	// reproducibly from the Spec seed.
+	RandomCrashes
 )
 
 func (k Kind) String() string {
@@ -48,6 +58,10 @@ func (k Kind) String() string {
 		return "node-down"
 	case RandomLinks:
 		return "random-links"
+	case Crash:
+		return "crash"
+	case RandomCrashes:
+		return "random-crashes"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -72,11 +86,11 @@ func (l Link) String() string {
 type Rule struct {
 	Kind  Kind
 	Link  Link    // LinkDown, LinkFlaky
-	Node  uint64  // NodeDown
-	Count int     // RandomLinks: number of distinct directed links
+	Node  uint64  // NodeDown, Crash
+	Count int     // RandomLinks, RandomCrashes: number of distinct targets
 	Prob  float64 // LinkFlaky: per-attempt drop probability in [0, 1]
 	Start float64
-	End   float64
+	End   float64 // ignored by Crash/RandomCrashes (crashes are permanent)
 }
 
 // Spec is a fault scenario: a seed plus rules. The zero Spec injects
@@ -104,6 +118,16 @@ func FlakyLink(from uint64, dim int, prob float64) Spec {
 	return Spec{Rules: []Rule{{Kind: LinkFlaky, Link: Link{From: from, Dim: dim}, Prob: prob}}}
 }
 
+// NodeCrash crash-stops one node at time t.
+func NodeCrash(node uint64, t float64) Spec {
+	return Spec{Rules: []Rule{{Kind: Crash, Node: node, Start: t}}}
+}
+
+// RandomNodeCrashes crash-stops k distinct nodes at time t, chosen by seed.
+func RandomNodeCrashes(seed int64, k int, t float64) Spec {
+	return Spec{Seed: seed, Rules: []Rule{{Kind: RandomCrashes, Count: k, Start: t}}}
+}
+
 // window is a half-open down interval [start, end); end = +Inf when the
 // fault never recovers.
 type window struct{ start, end float64 }
@@ -113,9 +137,10 @@ type window struct{ start, end float64 }
 type Plan struct {
 	n     int
 	seed  int64
-	downs map[Link][]window // per-link down windows, sorted by start
-	flaky map[Link]float64  // per-link drop probability
-	desc  []string          // deterministic human-readable fault list
+	downs map[Link][]window  // per-link down windows, sorted by start
+	flaky map[Link]float64   // per-link drop probability
+	crash map[uint64]float64 // per-node crash-stop time (earliest rule wins)
+	desc  []string           // deterministic human-readable fault list
 }
 
 // Compile validates the spec against an n-cube and expands it into a Plan:
@@ -132,6 +157,12 @@ func Compile(spec Spec, n int) (*Plan, error) {
 		seed:  spec.Seed,
 		downs: make(map[Link][]window),
 		flaky: make(map[Link]float64),
+		crash: make(map[uint64]float64),
+	}
+	addCrash := func(node uint64, t float64) {
+		if old, ok := p.crash[node]; !ok || t < old {
+			p.crash[node] = t
+		}
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	checkLink := func(l Link) error {
@@ -185,6 +216,30 @@ func Compile(spec Spec, n int) (*Plan, error) {
 				if !chosen[l] {
 					chosen[l] = true
 					p.downs[l] = append(p.downs[l], w)
+				}
+			}
+		case Crash:
+			if r.Node >= N {
+				return nil, fmt.Errorf("fault: rule %d: node %d out of range [0,%d)", i, r.Node, N)
+			}
+			if r.Start < 0 {
+				return nil, fmt.Errorf("fault: rule %d: crash time %v negative", i, r.Start)
+			}
+			addCrash(r.Node, r.Start)
+		case RandomCrashes:
+			if r.Count < 0 || uint64(r.Count) >= N {
+				return nil, fmt.Errorf("fault: rule %d: %d crashed nodes on a %d-node cube (at least one must survive)",
+					i, r.Count, N)
+			}
+			if r.Start < 0 {
+				return nil, fmt.Errorf("fault: rule %d: crash time %v negative", i, r.Start)
+			}
+			chosen := make(map[uint64]bool, r.Count)
+			for len(chosen) < r.Count {
+				nd := uint64(rng.Int63n(int64(N)))
+				if !chosen[nd] {
+					chosen[nd] = true
+					addCrash(nd, r.Start)
 				}
 			}
 		default:
@@ -273,6 +328,14 @@ func mix64(z uint64) uint64 {
 // around it (PermanentlyDown holds in the view even when it did not in the
 // original plan).
 //
+// Crash-stop kills translate by when they fired: a node crashed at t' <= t
+// is already dead, so the view drops it from the crash schedule and instead
+// marks its 2n incident directed links permanently down — the recovery run
+// never targets a dead node (reconfiguration remapped its work away), and
+// the link-downs are what make the failover pass refuse to route *through*
+// it. A crash at t' > t has not happened yet and shifts to t'-t, which is
+// what lets a second kill land mid-recovery.
+//
 // t <= 0 returns the receiver itself (the view would be identical).
 func (p *Plan) After(t float64) *Plan {
 	if t <= 0 {
@@ -283,6 +346,7 @@ func (p *Plan) After(t float64) *Plan {
 		seed:  p.seed,
 		downs: make(map[Link][]window, len(p.downs)),
 		flaky: make(map[Link]float64, len(p.flaky)),
+		crash: make(map[uint64]float64, len(p.crash)),
 	}
 	for l, ws := range p.downs {
 		var shifted []window
@@ -307,8 +371,48 @@ func (p *Plan) After(t float64) *Plan {
 	for l, prob := range p.flaky {
 		q.flaky[l] = prob
 	}
+	forever := window{start: 0, end: math.Inf(1)}
+	for nd, ct := range p.crash {
+		if ct > t {
+			q.crash[nd] = ct - t
+			continue
+		}
+		for d := 0; d < p.n; d++ {
+			out := Link{From: nd, Dim: d}
+			in := Link{From: out.To(), Dim: d}
+			q.downs[out] = mergeWindows(insertWindow(q.downs[out], forever))
+			q.downs[in] = mergeWindows(insertWindow(q.downs[in], forever))
+		}
+	}
 	q.desc = q.describe()
 	return q
+}
+
+// insertWindow adds w keeping the slice sorted by start.
+func insertWindow(ws []window, w window) []window {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].start >= w.start })
+	ws = append(ws, window{})
+	copy(ws[i+1:], ws[i:])
+	ws[i] = w
+	return ws
+}
+
+// CrashAt returns the crash-stop time of node and whether the schedule
+// kills it at all. Part of fabric.CrashModel.
+func (p *Plan) CrashAt(node uint64) (t float64, ok bool) {
+	t, ok = p.crash[node]
+	return t, ok
+}
+
+// CrashedNodes returns every node the schedule crash-stops, ascending.
+// Part of fabric.CrashModel.
+func (p *Plan) CrashedNodes() []uint64 {
+	out := make([]uint64, 0, len(p.crash))
+	for nd := range p.crash {
+		out = append(out, nd)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // PermanentlyDown reports whether the link is down at time zero and never
@@ -361,6 +465,9 @@ func (p *Plan) describe() []string {
 	sortLinks(fl)
 	for _, l := range fl {
 		out = append(out, fmt.Sprintf("link %s flaky p=%g", l, p.flaky[l]))
+	}
+	for _, nd := range p.CrashedNodes() {
+		out = append(out, fmt.Sprintf("node %d crash-stop at t=%g", nd, p.crash[nd]))
 	}
 	return out
 }

@@ -52,8 +52,9 @@ func init() {
 	}, liveCaps)
 }
 
-// liveCaps is what the live transport promises: real fault injection and
-// tracing, no determinism (serial or parallel) and no virtual time.
+// liveCaps is what the live transport promises: real fault injection,
+// tracing and crash-stop kills with heartbeat detection, no determinism
+// (serial or parallel) and no virtual time.
 var liveCaps = fabric.Capabilities{
 	Deterministic:       false,
 	VirtualTime:         false,
@@ -61,14 +62,8 @@ var liveCaps = fabric.Capabilities{
 	TimedFaultWindows:   false,
 	Tracing:             true,
 	ParallelDeterminism: false,
+	CrashStop:           true,
 }
-
-// stallWindow is how long the stall watchdog waits without observing any
-// completed node operation (while unfinished nodes remain) before declaring
-// the run deadlocked. Real sleeps — Advance, fault backoff — count as
-// progress when they complete, so the window only has to outlast the
-// scheduler, not the program.
-const stallWindow = 5 * time.Second
 
 // errPoisoned unwinds node goroutines after the engine has aborted.
 var errPoisoned = fmt.Errorf("livenet: engine poisoned")
@@ -92,6 +87,11 @@ type Engine struct {
 	faults   fabric.FaultModel
 	retry    fabric.RetryPolicy
 	deadline float64 // wall-clock budget in µs; +Inf when unset
+	sup      Params  // supervision: stall window, suspicion timeout (params.go)
+
+	// Crash-stop schedule (crash.go); nil unless the fault model implements
+	// fabric.CrashModel with at least one scheduled kill.
+	crashModel fabric.CrashModel
 
 	tracer   fabric.Tracer
 	tracerMu sync.Mutex
@@ -153,6 +153,7 @@ func New(n int, params machine.Params) (*Engine, error) {
 		linkAttempts: make([]int64, nodes*n),
 		linkSem:      make([]chan struct{}, nodes*n),
 		abortCh:      make(chan struct{}),
+		sup:          Params{}.withDefaults(),
 	}
 	for i := range e.linkSem {
 		e.linkSem[i] = make(chan struct{}, 1)
@@ -193,6 +194,10 @@ func (e *Engine) SetTracer(t fabric.Tracer) { e.tracer = t }
 func (e *Engine) SetFaults(f fabric.FaultModel, rp fabric.RetryPolicy) {
 	e.faults = f
 	e.retry = rp.WithDefaults(e.params.Tau)
+	e.crashModel = nil
+	if cm, ok := f.(fabric.CrashModel); ok && len(cm.CrashedNodes()) > 0 {
+		e.crashModel = cm
+	}
 }
 
 // Faults returns the installed fault model (nil when injection is off).
@@ -329,6 +334,7 @@ func (e *Engine) Run(prog func(fabric.Node)) error {
 			eng:     e,
 			queues:  make([][]arrival, max(e.n, 1)),
 			sendSem: make([]chan struct{}, e.ports()),
+			crashCh: make(chan struct{}),
 		}
 		nd.cond = sync.NewCond(&nd.mu)
 		for p := range nd.sendSem {
@@ -342,7 +348,7 @@ func (e *Engine) Run(prog func(fabric.Node)) error {
 	for _, nd := range e.nodes {
 		go func(nd *Node) {
 			defer func() {
-				if r := recover(); r != nil && r != errPoisoned {
+				if r := recover(); r != nil && r != errPoisoned && r != errCrashed {
 					if ab, ok := r.(*nodeAbort); ok {
 						nd.failure = ab.err
 					} else {
@@ -353,30 +359,39 @@ func (e *Engine) Run(prog func(fabric.Node)) error {
 				wg.Done()
 			}()
 			prog(nd)
+			nd.finished.Store(true)
 		}(nd)
 	}
 
 	watchdogDone := make(chan struct{})
 	go e.watchdog(watchdogDone)
+	stopCrash := e.startCrashes(watchdogDone)
 	wg.Wait()
 	close(watchdogDone)
+	stopCrash()
 	e.elapsed = e.now()
 
 	// Failure selection is deterministic given deterministic failures:
-	// the lowest-id failed node wins; engine-level causes (deadline,
-	// stall) surface only when no node program failed first.
+	// the lowest-id failed node wins; engine-level causes (node death,
+	// deadline, stall) surface only when no node program failed first.
 	for _, nd := range e.nodes {
 		if nd.failure != nil {
 			return nd.failure
 		}
 	}
-	return e.engErr
+	if e.engErr != nil {
+		return e.engErr
+	}
+	// A kill can fire without wedging anyone (the survivors' programs never
+	// needed the dead node again); the run still did not complete — the
+	// dead node's own program is unfinished.
+	return e.firedCrashError() //cubevet:ignore ckptsafe -- past wg.Wait: every node goroutine has already unwound
 }
 
 // watchdog enforces the wall-clock deadline and detects stalls. It samples
-// the progress counter on a coarse tick; a full stallWindow without any
-// completed operation aborts the run with a diagnosis of where every node
-// is blocked.
+// the progress counter on a coarse tick; a full stall window (Params) with
+// no completed operation aborts the run with a typed *StallError naming
+// every blocked node.
 func (e *Engine) watchdog(done chan struct{}) {
 	var deadlineCh <-chan time.Time
 	if !math.IsInf(e.deadline, 1) {
@@ -384,7 +399,7 @@ func (e *Engine) watchdog(done chan struct{}) {
 		defer t.Stop()
 		deadlineCh = t.C
 	}
-	tick := time.NewTicker(stallWindow / 4)
+	tick := time.NewTicker(e.sup.StallWindow / 4)
 	defer tick.Stop()
 	last, lastAt := e.progress.Load(), time.Now() //cubevet:ignore detbreak -- stall watchdog measures real elapsed time by design
 	for {
@@ -399,7 +414,7 @@ func (e *Engine) watchdog(done chan struct{}) {
 				last, lastAt = p, time.Now() //cubevet:ignore detbreak -- stall watchdog measures real elapsed time by design
 				continue
 			}
-			if time.Since(lastAt) >= stallWindow {
+			if time.Since(lastAt) >= e.sup.StallWindow {
 				e.abort(e.stallError())
 				return
 			}
@@ -408,49 +423,16 @@ func (e *Engine) watchdog(done chan struct{}) {
 }
 
 // stallError reports every node still blocked on a receive, mirroring
-// simnet's deadlock diagnosis.
+// simnet's deadlock diagnosis, as a typed *StallError.
 func (e *Engine) stallError() error {
-	const maxDetail = 8
-	stuck := 0
-	detail := ""
-	for _, nd := range e.nodes {
+	s := &StallError{Window: e.sup.StallWindow}
+	for _, nd := range e.nodes { // ascending node id
 		nd.mu.Lock()
 		dim, waiting := nd.waitDim, nd.waiting
 		nd.mu.Unlock()
-		if !waiting {
-			continue
+		if waiting {
+			s.Blocked = append(s.Blocked, BlockedNode{Node: nd.id, Dim: dim})
 		}
-		stuck++
-		if stuck > maxDetail {
-			continue
-		}
-		where := "recv(any dim)"
-		if dim >= 0 {
-			where = fmt.Sprintf("recv(dim %d)", dim)
-		}
-		if detail != "" {
-			detail += "; "
-		}
-		detail += fmt.Sprintf("node %d blocked on %s", nd.id, where)
 	}
-	if stuck > maxDetail {
-		detail += fmt.Sprintf("; ... and %d more", stuck-maxDetail)
-	}
-	return fmt.Errorf("livenet: stalled: no progress for %s; %d node(s) blocked on receive: %s",
-		stallWindow, stuck, detail)
-}
-
-// sleep pauses for dt µs of wall time, waking early (with the poison
-// sentinel) if the engine aborts meanwhile.
-func (e *Engine) sleep(dt float64) {
-	if dt <= 0 {
-		return
-	}
-	t := time.NewTimer(time.Duration(dt * float64(time.Microsecond)))
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-e.abortCh:
-		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
-	}
+	return s
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"boolcube/internal/fabric"
 	"boolcube/internal/machine"
@@ -32,6 +34,16 @@ type Node struct {
 	// holds its port (and the directed link's semaphore) for the duration
 	// of the handoff.
 	sendSem []chan struct{}
+
+	// Crash-stop state (crash.go): crashed is set and crashCh closed when
+	// the node's kill timer fires; every blocking point observes them and
+	// unwinds with the crash sentinel. finished marks a program that
+	// returned (past harm); lastBeat is the heartbeat stamp (µs since Run)
+	// the failure detector samples.
+	crashed  atomic.Bool
+	crashCh  chan struct{}
+	finished atomic.Bool
+	lastBeat atomic.Int64
 
 	failure error
 }
@@ -70,8 +82,12 @@ func (nd *Node) Fail(err error) {
 	panic(&nodeAbort{err: err}) //cubevet:ignore liberrors -- typed unwind, recovered by the engine wrapper
 }
 
-// checkAbort unwinds the node when the engine has already failed.
+// checkAbort unwinds the node when it has crash-stopped or the engine has
+// already failed.
 func (nd *Node) checkAbort() {
+	if nd.crashed.Load() {
+		panic(errCrashed) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
+	}
 	if nd.eng.aborted.Load() {
 		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 	}
@@ -83,11 +99,30 @@ func (nd *Node) checkDim(d int) {
 	}
 }
 
-// acquire takes a cap-1 semaphore, unwinding on engine abort so a token
-// holder that died cannot wedge its peers forever.
+// acquire takes a cap-1 semaphore, unwinding on crash-stop or engine abort
+// so a token holder that died cannot wedge its peers forever.
 func (nd *Node) acquire(sem chan struct{}) {
 	select {
 	case sem <- struct{}{}:
+	case <-nd.crashCh:
+		panic(errCrashed) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
+	case <-nd.eng.abortCh:
+		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
+	}
+}
+
+// sleep pauses the node's program for dt µs of real time, unwinding early
+// on crash-stop or engine abort so a sleeping node cannot outlive the run.
+func (nd *Node) sleep(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	t := time.NewTimer(time.Duration(dt * float64(time.Microsecond)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-nd.crashCh:
+		panic(errCrashed) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 	case <-nd.eng.abortCh:
 		panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 	}
@@ -171,7 +206,7 @@ func (nd *Node) clearFaults(dim, li, bytes, startups int) error {
 			if d := nextUp - now; d > wait {
 				wait = d
 			}
-			e.sleep(wait)
+			nd.sleep(wait)
 			continue
 		}
 		nd.checkAbort()
@@ -190,7 +225,7 @@ func (nd *Node) clearFaults(dim, li, bytes, startups int) error {
 				At: now, Attempts: attempts, Err: fabric.ErrRetryBudget}
 		}
 		e.retries.Add(1)
-		e.sleep(e.retry.Backoff)
+		nd.sleep(e.retry.Backoff)
 	}
 }
 
@@ -210,6 +245,10 @@ func (nd *Node) Recv(dim int) fabric.Msg {
 	nd.checkDim(dim)
 	nd.mu.Lock()
 	for len(nd.queues[dim]) == 0 {
+		if nd.crashed.Load() {
+			nd.mu.Unlock()
+			panic(errCrashed) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
+		}
 		if nd.eng.aborted.Load() {
 			nd.mu.Unlock()
 			panic(errPoisoned) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
@@ -247,6 +286,10 @@ func (nd *Node) RecvAny() fabric.Msg {
 			nd.queues[bestDim] = nd.queues[bestDim][1:]
 			nd.mu.Unlock()
 			return nd.finishRecv(a, bestDim)
+		}
+		if nd.crashed.Load() {
+			nd.mu.Unlock()
+			panic(errCrashed) //cubevet:ignore liberrors -- control-flow sentinel, recovered by the engine wrapper
 		}
 		if nd.eng.aborted.Load() {
 			nd.mu.Unlock()
@@ -309,7 +352,7 @@ func (nd *Node) Advance(dt float64) {
 		panic(fmt.Sprintf("livenet: negative time advance %v", dt))
 	}
 	nd.checkAbort()
-	nd.eng.sleep(dt)
+	nd.sleep(dt)
 	nd.eng.progress.Add(1)
 }
 

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"boolcube/internal/core"
+	"boolcube/internal/fabric"
+	"boolcube/internal/fault"
+	"boolcube/internal/field"
+	"boolcube/internal/plan"
+)
+
+// unfaultedRoundTime measures one job's fault-free round makespan on a
+// private service, so crash tests can schedule kills mid-round.
+func unfaultedRoundTime(t *testing.T, cfg Config, spec JobSpec) float64 {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return s.Metrics().Fabric.Time
+}
+
+// newCrashService builds a service whose fault schedule kills victim at µs
+// time at.
+func newCrashService(t *testing.T, cfg Config, victim uint64, at float64) *Service {
+	t.Helper()
+	fp, err := fault.Compile(fault.NodeCrash(victim, at), cfg.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fp
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// crashFracs are the kill instants the crash tests scan, as fractions of
+// the unfaulted round makespan. The scan is deterministic on simnet, so the
+// interrupting instant each test finds is stable.
+var crashFracs = []float64{0.3, 0.45, 0.6, 0.75, 0.15}
+
+// The service-level tentpole scenario: a node crash-stops mid-round, the
+// round dies with a *fabric.NodeDownError, and the service recovers the job
+// by itself — remapping the unit onto survivors and re-running the residual
+// — so the tenant just sees a correct result.
+func TestServiceRecoversFromNodeCrash(t *testing.T) {
+	cfg := Config{Dims: 6}
+	spec, m := mkSpec2D(plan.MPT, 5, 5, 6, field.Binary)
+	want := m.Transposed()
+	base := unfaultedRoundTime(t, cfg, spec)
+
+	for _, frac := range crashFracs {
+		s := newCrashService(t, cfg, 11, frac*base)
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job did not survive the kill at %.2f of the round: %v", frac, err)
+		}
+		s.Close()
+		if verr := res.Dist.Verify(want); verr != nil {
+			t.Fatalf("kill at %.2f: recovered result wrong: %v", frac, verr)
+		}
+		mtr := s.Metrics()
+		if mtr.Recoveries == 0 {
+			continue // kill landed after the round (or the node outlived it)
+		}
+		if mtr.Completed != 1 || mtr.Failed != 0 {
+			t.Fatalf("metrics after recovery: %d completed, %d failed", mtr.Completed, mtr.Failed)
+		}
+		if mtr.RecoveryBytes <= 0 {
+			t.Fatal("recovery moved no accounted traffic")
+		}
+		if mtr.Quarantined != 0 {
+			t.Fatalf("one suspicion quarantined %d node(s); threshold is %d",
+				mtr.Quarantined, cfg.withDefaults().QuarantineAfter)
+		}
+		return
+	}
+	t.Fatal("no crash instant interrupted a round")
+}
+
+// The circuit breaker: with QuarantineAfter=1 the first node-down failure
+// retires the node, and a later job is relabeled around the corpse up
+// front — it completes without the service suffering another failure.
+func TestServiceQuarantinesRepeatedlySuspectedNode(t *testing.T) {
+	cfg := Config{Dims: 6, QuarantineAfter: 1}
+	spec, m := mkSpec2D(plan.DPT, 5, 5, 6, field.Binary)
+	want := m.Transposed()
+	base := unfaultedRoundTime(t, Config{Dims: 6}, spec)
+
+	for _, frac := range crashFracs {
+		s := newCrashService(t, cfg, 7, frac*base)
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(); err != nil {
+			t.Fatalf("job did not survive the kill at %.2f of the round: %v", frac, err)
+		}
+		first := s.Metrics()
+		if first.Recoveries == 0 {
+			s.Close()
+			continue
+		}
+		if first.Quarantined != 1 {
+			t.Fatalf("quarantined %d node(s) after one suspicion at threshold 1", first.Quarantined)
+		}
+		if q := s.QuarantinedNodes(); len(q) != 1 || q[0] != 7 {
+			t.Fatalf("quarantined set = %v, want [7]", q)
+		}
+
+		// A fresh job on the degraded machine: the quarantine remaps it
+		// proactively, so it completes with no additional recovery round.
+		j2, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := j2.Wait()
+		if err != nil {
+			t.Fatalf("post-quarantine job failed: %v", err)
+		}
+		s.Close()
+		if verr := res2.Dist.Verify(want); verr != nil {
+			t.Fatalf("post-quarantine result wrong: %v", verr)
+		}
+		second := s.Metrics()
+		if second.Failed != 0 || second.Completed != 2 {
+			t.Fatalf("metrics after both jobs: %d completed, %d failed", second.Completed, second.Failed)
+		}
+		if second.Recoveries != first.Recoveries {
+			t.Fatalf("post-quarantine job needed %d extra recovery round(s); the remap should be proactive",
+				second.Recoveries-first.Recoveries)
+		}
+		return
+	}
+	t.Fatal("no crash instant interrupted a round")
+}
+
+// Batched tenants survive together: two identical requests share one unit,
+// the unit's recovery runs once, and both tenants receive element-exact
+// results.
+func TestServiceBatchRecoversTogether(t *testing.T) {
+	cfg := Config{Dims: 6, AdmitWindow: 10 * time.Millisecond}
+	spec, m := mkSpec2D(plan.SPT, 5, 5, 6, field.Binary)
+	want := m.Transposed()
+	base := unfaultedRoundTime(t, Config{Dims: 6}, spec)
+
+	for _, frac := range crashFracs {
+		s := newCrashService(t, cfg, 11, frac*base)
+		j1, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err1 := j1.Wait()
+		r2, err2 := j2.Wait()
+		s.Close()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("batched jobs did not survive the kill: %v / %v", err1, err2)
+		}
+		for i, r := range []*core.Result{r1, r2} {
+			if verr := r.Dist.Verify(want); verr != nil {
+				t.Fatalf("tenant %d result wrong: %v", i, verr)
+			}
+		}
+		mtr := s.Metrics()
+		if mtr.Recoveries == 0 {
+			continue
+		}
+		if mtr.Batched != 1 {
+			t.Fatalf("batched = %d, want 1 (both tenants on one unit)", mtr.Batched)
+		}
+		return
+	}
+	t.Fatal("no crash instant interrupted a round")
+}
+
+// When the attempt budget is exhausted mid-recovery, the job fails with a
+// checkpoint that carries the accumulated dead set — and handing it to
+// core.Recover finishes the transpose element-exact on a private engine.
+// The service's recovery and the library's compose.
+func TestServiceHandsRecoverableCheckpointPastAttempts(t *testing.T) {
+	cfg := Config{Dims: 6, MaxAttempts: 1}
+	spec, m := mkSpec2D(plan.MPT, 5, 5, 6, field.Binary)
+	want := m.Transposed()
+	base := unfaultedRoundTime(t, Config{Dims: 6}, spec)
+
+	for _, frac := range crashFracs {
+		s := newCrashService(t, cfg, 11, frac*base)
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, werr := j.Wait()
+		s.Close()
+		if werr == nil {
+			continue // kill landed after the round; nothing failed
+		}
+		if !errors.Is(werr, ErrAttempts) || !errors.Is(werr, fabric.ErrNodeDown) {
+			t.Fatalf("failure %v does not carry both ErrAttempts and ErrNodeDown", werr)
+		}
+		var xe *core.ExecError
+		if !errors.As(werr, &xe) {
+			t.Fatalf("failure %v carries no checkpoint", werr)
+		}
+		if len(xe.Checkpoint.Dead) != 1 || xe.Checkpoint.Dead[0] != 11 {
+			t.Fatalf("checkpoint dead set = %v, want [11]", xe.Checkpoint.Dead)
+		}
+		res, rerr := core.Recover(xe.Checkpoint, core.ExecOptions{})
+		if rerr != nil {
+			t.Fatalf("external Recover failed: %v", rerr)
+		}
+		if verr := res.Dist.Verify(want); verr != nil {
+			t.Fatalf("externally recovered result wrong: %v", verr)
+		}
+		return
+	}
+	t.Fatal("no crash instant interrupted a round")
+}
+
+// A unit parked on a recovery backoff is outstanding work: the job still
+// completes and Close drains past the parked window instead of hanging.
+func TestServiceRecoveryBackoffParksAndDrains(t *testing.T) {
+	cfg := Config{Dims: 6, RecoveryBackoff: 2 * time.Millisecond}
+	spec, m := mkSpec2D(plan.MPT, 5, 5, 6, field.Binary)
+	want := m.Transposed()
+	base := unfaultedRoundTime(t, Config{Dims: 6}, spec)
+
+	for _, frac := range crashFracs {
+		s := newCrashService(t, cfg, 11, frac*base)
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job did not survive the kill: %v", err)
+		}
+		done := make(chan struct{})
+		go func() { s.Close(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close hung on a parked recovery unit")
+		}
+		if verr := res.Dist.Verify(want); verr != nil {
+			t.Fatalf("recovered result wrong: %v", verr)
+		}
+		if s.Metrics().Recoveries > 0 {
+			return
+		}
+	}
+	t.Fatal("no crash instant interrupted a round")
+}
+
+// backoffDelay is pure: deterministic per (seq, attempt), zero without a
+// base, exponential envelope with jitter confined to [0.5, 1.5) of the
+// doubled base.
+func TestBackoffDelayDeterministicJitter(t *testing.T) {
+	if d := backoffDelay(0, 3, 42); d != 0 {
+		t.Fatalf("zero base gave delay %v", d)
+	}
+	if d := backoffDelay(time.Second, 0, 42); d != 0 {
+		t.Fatalf("attempt 0 gave delay %v", d)
+	}
+	base := 10 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		for seq := int64(1); seq <= 8; seq++ {
+			d := backoffDelay(base, attempt, seq)
+			if d != backoffDelay(base, attempt, seq) {
+				t.Fatalf("delay not deterministic for attempt=%d seq=%d", attempt, seq)
+			}
+			step := base << uint(attempt-1)
+			if d < step/2 || d >= step/2+step {
+				t.Fatalf("attempt=%d seq=%d delay %v outside [%v, %v)",
+					attempt, seq, d, step/2, step/2+step)
+			}
+		}
+	}
+	// Distinct seqs must de-synchronize: not all eight first-attempt delays
+	// may coincide.
+	first := backoffDelay(base, 1, 1)
+	varied := false
+	for seq := int64(2); seq <= 8; seq++ {
+		if backoffDelay(base, 1, seq) != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("jitter is constant across unit sequences")
+	}
+}

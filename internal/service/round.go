@@ -9,6 +9,7 @@ import (
 	"boolcube/internal/fabric"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
+	"boolcube/internal/remap"
 	"boolcube/internal/router"
 )
 
@@ -37,8 +38,9 @@ type unit struct {
 	del      *plan.Delivered // spans already placed in loc
 	stats    fabric.Stats    // cost accrued across this unit's rounds
 	attempts int
-	budget   float64 // remaining deadline budget, µs (+Inf = none)
-	spans    []span  // residual network transfers
+	budget   float64  // remaining deadline budget, µs (+Inf = none)
+	spans    []span   // residual network transfers
+	dead     []uint64 // crash casualties accumulated across this unit's rounds, ascending
 }
 
 // budgetOf maps a job's deadline to a budget (+Inf when unset).
@@ -131,11 +133,55 @@ type pair struct{ dst, src uint64 }
 // checkpoints while the others absorb the round's partial progress, shrink
 // their budgets by the round's makespan, and re-queue for an automatic
 // residual resume.
+//
+// Under the service's fault view, rounds survive dead hardware: a unit
+// whose transfers start or end on a dead or quarantined node is relabeled
+// onto survivors (internal/remap — spare substitution or a Gray-preserving
+// fold), residual payloads staying addressed by logical id so results are
+// element-exact; flows that merely route through a casualty fail over to
+// disjoint-path alternatives. A round that still dies on a node crash
+// surfaces a *fabric.NodeDownError; its units absorb the casualties into
+// their dead sets and re-queue for recovery under the backoff policy.
 func (s *Service) runRound(units []*unit) {
 	type ref struct {
 		u  *unit
 		si int
 	}
+
+	// Relabel degraded units before building flows. A unit needs a remap
+	// only when a span endpoint is dead; its compiled routes are otherwise
+	// kept and the failover pass below handles dead intermediates.
+	avoid := s.quarantineSnapshot()
+	roundDead := make(map[uint64]bool)
+	asgOf := make(map[*unit]*remap.Assignment)
+	live := units[:0:0]
+	for _, u := range units {
+		deadU := deadView(u.dead, avoid)
+		for nd := range deadU {
+			roundDead[nd] = true
+		}
+		if len(deadU) > 0 && u.touchesDead(deadU) {
+			// Degrade to dimension-order residual spans (replaying any
+			// self pairs host-side), then embed them on the survivors.
+			u.rebuildSpans(s.cfg.Packets)
+			asg, err := remap.Plan(s.cfg.Dims, sortedNodes(deadU), spanEndpoints(u.spans))
+			if err != nil {
+				s.failUnit(u, err)
+				continue
+			}
+			if asg.Degraded() {
+				asgOf[u] = asg
+			}
+		}
+		live = append(live, u)
+	}
+	units = live
+
+	eb := s.cfg.Machine.ElemBytes
+	if eb <= 0 {
+		eb = 8
+	}
+	var recoveryBytes int64
 	var flows []router.Flow
 	var refs []ref
 	roundBudget := math.Inf(1)
@@ -144,10 +190,19 @@ func (s *Service) runRound(units []*unit) {
 			roundBudget = u.budget
 		}
 		mv := u.p.Moves()
+		asg := asgOf[u]
 		for si, sp := range u.spans {
+			fsrc, fdst, dims := sp.src, sp.dst, sp.dims
+			if asg != nil {
+				fsrc, fdst = asg.Phys(sp.src), asg.Phys(sp.dst)
+				dims = asg.Route(sp.src, sp.dst)
+			}
+			data := mv.GatherRange(sp.src, u.src.Local[sp.src], sp.dst, sp.off, sp.ln)
+			if len(u.dead) > 0 {
+				recoveryBytes += int64(len(data) * eb)
+			}
 			flows = append(flows, router.Flow{
-				Src: sp.src, Dst: sp.dst, Dims: sp.dims, Packets: sp.packets,
-				Data: mv.GatherRange(sp.src, u.src.Local[sp.src], sp.dst, sp.off, sp.ln),
+				Src: fsrc, Dst: fdst, Dims: dims, Packets: sp.packets, Data: data,
 			})
 			refs = append(refs, ref{u, si})
 		}
@@ -160,6 +215,33 @@ func (s *Service) runRound(units []*unit) {
 		return
 	}
 
+	// Route around links the fault view has already condemned and around
+	// every node this round treats as dead (a remapped unit's own route
+	// may otherwise thread a spare substitution through the corpse).
+	var rep router.FailoverReport
+	if s.faults != nil || len(roundDead) > 0 {
+		down := func(from uint64, dim int) bool {
+			if s.faults != nil && s.faults.PermanentlyDown(from, dim) {
+				return true
+			}
+			return roundDead[from] || roundDead[from^(1<<uint(dim))]
+		}
+		var kept []int
+		var ferr error
+		flows, kept, rep, ferr = router.Failover(flows, s.cfg.Dims, down, false)
+		if ferr != nil {
+			for _, u := range units {
+				s.failUnit(u, ferr)
+			}
+			return
+		}
+		reref := make([]ref, len(kept))
+		for i, fi := range kept {
+			reref[i] = refs[fi]
+		}
+		refs = reref
+	}
+
 	e, err := fabric.New(s.cfg.Backend, s.cfg.Dims, s.cfg.Machine)
 	if err != nil {
 		// The backend was validated at New; treat a late failure as fatal
@@ -169,14 +251,27 @@ func (s *Service) runRound(units []*unit) {
 		}
 		return
 	}
+	if s.faults != nil {
+		e.SetFaults(s.faults, fabric.RetryPolicy{})
+	}
 	if !math.IsInf(roundBudget, 1) {
 		e.SetDeadline(roundBudget)
 	}
 	deliveries, part, runErr := router.RunRecover(e, flows)
 	st := e.Stats()
+	st.Rerouted = rep.Rerouted
+	st.ExtraHops = rep.ExtraHops
+	st.Abandoned = rep.Abandoned
+	if s.faults != nil {
+		// The machine's clock accumulates across rounds: advance the fault
+		// view by this round's makespan, so fired kills become permanent
+		// history and future windows shift closer.
+		s.faults = s.faults.After(st.Time)
+	}
 	s.mu.Lock()
 	s.metrics.Rounds++
 	s.metrics.Fabric = s.metrics.Fabric.Merge(st)
+	s.metrics.RecoveryBytes += recoveryBytes
 	s.mu.Unlock()
 
 	if runErr != nil {
@@ -189,6 +284,36 @@ func (s *Service) runRound(units []*unit) {
 			mv.ScatterRange(sp.dst, r.u.loc[sp.dst], sp.src, sp.off, part.Data[k])
 			r.u.del.Add(sp.src, sp.dst, sp.off, len(part.Data[k]))
 		}
+		// A node-down abort is recoverable hardware loss, not a job
+		// failure: feed the circuit breaker, fold the casualties into
+		// every unit's dead set, and re-queue survivors of the attempt
+		// budget for a remapped recovery round under the backoff policy.
+		var nde *fabric.NodeDownError
+		if errors.As(runErr, &nde) {
+			s.noteSuspects(nde.Nodes)
+			for _, u := range units {
+				u.stats = u.stats.Merge(st)
+				u.attempts++
+				u.dead = mergeDead(u.dead, nde.Nodes)
+				if u.attempts >= s.cfg.MaxAttempts {
+					s.failUnit(u, fmt.Errorf("%w (%d attempt(s)): %w", ErrAttempts, u.attempts, runErr))
+					continue
+				}
+				u.budget -= st.Time
+				if u.budget <= 0 {
+					s.failUnit(u, runErr)
+					continue
+				}
+				u.rebuildSpans(s.cfg.Packets)
+				if len(u.spans) == 0 {
+					s.completeUnit(u)
+					continue
+				}
+				s.requeueAfterCrash(u)
+			}
+			return
+		}
+
 		deadline := errors.Is(runErr, fabric.ErrDeadline)
 		for _, u := range units {
 			u.stats = u.stats.Merge(st)
@@ -244,8 +369,11 @@ func (s *Service) runRound(units []*unit) {
 			r := refs[k]
 			sp := r.u.spans[r.si]
 			mv := r.u.p.Moves()
-			mv.ScatterRange(dst, r.u.loc[dst], dl.Src, sp.off, dl.Data)
-			r.u.del.Add(dl.Src, dst, sp.off, len(dl.Data))
+			// Scatter by the span's logical ids, not the wire endpoints —
+			// under a remap the flow traveled between physical hosts, but
+			// the payload still belongs to the logical (src, dst) pair.
+			mv.ScatterRange(sp.dst, r.u.loc[sp.dst], sp.src, sp.off, dl.Data)
+			r.u.del.Add(sp.src, sp.dst, sp.off, len(dl.Data))
 		}
 	}
 	for _, u := range units {
@@ -293,6 +421,7 @@ func (s *Service) failUnit(u *unit, cause error) {
 			Plan: u.p, Src: u.src, Loc: loc, Delivered: del,
 			Stats: u.stats, At: u.stats.Time,
 			Opts: core.ExecOptions{Backend: s.cfg.Backend},
+			Dead: u.dead,
 		}
 		j.finish(nil, &core.ExecError{Checkpoint: cp, Err: cause})
 		s.mu.Lock()

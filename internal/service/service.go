@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"boolcube/internal/fabric"
+	"boolcube/internal/fault"
 	"boolcube/internal/machine"
 	"boolcube/internal/matrix"
 	"boolcube/internal/plan"
@@ -77,6 +78,30 @@ type Config struct {
 	// becomes its own execution unit. The batching benchmarks use this as
 	// the control arm.
 	DisableBatch bool
+	// Faults, when set, is the fault schedule of the shared fabric. The
+	// service owns one physical machine whose clock accumulates across
+	// rounds, so it keeps a single evolving view of the schedule: each
+	// round runs under the current view and then advances it by the
+	// round's makespan (fault.Plan.After). A node crash scheduled at t
+	// therefore fires in whichever round crosses t, and every later round
+	// sees that node as already dead — its links permanently down.
+	Faults *fault.Plan
+	// RecoveryBackoff is the base delay of the exponential backoff applied
+	// before re-queuing a unit whose round died on a node crash: recovery
+	// attempt k waits RecoveryBackoff·2^(k-1), scaled by a deterministic
+	// jitter in [0.5, 1.5) derived from the unit's leader sequence and the
+	// attempt number, so concurrent casualties do not re-converge on the
+	// fabric in lockstep. Default 0: re-queue immediately, the right
+	// choice on the simulated backend where wall delay buys nothing.
+	RecoveryBackoff time.Duration
+	// QuarantineAfter is the circuit-breaker threshold: a node named in
+	// that many node-down failures is quarantined, and every later round
+	// relabels work around it up front — remapping units whose transfers
+	// would touch it and routing the rest clear of its links — instead of
+	// rediscovering the corpse by failing again. Default 2, so a single
+	// (possibly spurious, on a live backend) suspicion does not retire
+	// hardware.
+	QuarantineAfter int
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -96,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 2
+	}
 	return c
 }
 
@@ -113,6 +141,11 @@ type Metrics struct {
 	Rounds    int64 // shared engine runs executed
 	Resumed   int64 // units automatically re-queued after a shared-round abort
 	Fabric    fabric.Stats
+
+	// Crash-recovery counters (all zero without node kills).
+	Recoveries    int64 // units re-queued for recovery after a node-down round
+	RecoveryBytes int64 // bytes moved by recovery attempts of crashed units
+	Quarantined   int64 // nodes retired by the circuit breaker
 
 	latencies []float64 // finished-job latencies, wall µs, completion order
 }
@@ -148,9 +181,18 @@ type Service struct {
 	cond    *sync.Cond
 	pending []*Job  // admitted, waiting for a round
 	resume  []*unit // aborted units owed an automatic residual resume
+	parked  int     // crashed units waiting out a recovery backoff
 	closed  bool
 	seq     int64
 	metrics Metrics
+
+	// Crash-recovery state. faults is the service's evolving view of the
+	// fault schedule, advanced by each round's makespan; it is touched only
+	// by the scheduler goroutine. suspect and quarantined are the circuit
+	// breaker's ledger, guarded by mu (Metrics readers snapshot them).
+	faults      *fault.Plan
+	suspect     map[uint64]int
+	quarantined map[uint64]bool
 
 	done chan struct{} // closed when the scheduler has drained and exited
 }
@@ -166,6 +208,7 @@ func New(cfg Config) (*Service, error) {
 		return nil, &fabric.UnknownBackendError{Backend: cfg.Backend, Known: fabric.Backends()}
 	}
 	s := &Service{cfg: cfg.withDefaults(), done: make(chan struct{})}
+	s.faults = s.cfg.Faults
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
 	return s, nil
@@ -254,10 +297,13 @@ func (s *Service) Metrics() Metrics {
 func (s *Service) run() {
 	for {
 		s.mu.Lock()
-		for len(s.pending) == 0 && len(s.resume) == 0 && !s.closed {
+		// A parked unit (waiting out a recovery backoff) is outstanding
+		// work: the scheduler must not exit — even draining — until its
+		// timer re-queues it.
+		for len(s.pending) == 0 && len(s.resume) == 0 && !(s.closed && s.parked == 0) {
 			s.cond.Wait()
 		}
-		if len(s.pending) == 0 && len(s.resume) == 0 {
+		if len(s.pending) == 0 && len(s.resume) == 0 && s.parked == 0 {
 			s.mu.Unlock()
 			close(s.done)
 			return

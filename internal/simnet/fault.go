@@ -26,6 +26,8 @@ var (
 	ErrLinkDown = fabric.ErrLinkDown
 	// ErrRetryBudget: every attempt within the retry budget was dropped.
 	ErrRetryBudget = fabric.ErrRetryBudget
+	// ErrNodeDown: a crash-stop node kill was detected.
+	ErrNodeDown = fabric.ErrNodeDown
 )
 
 // FaultError is the typed error a transmission surfaces when fault
@@ -35,13 +37,16 @@ type FaultError = fabric.FaultError
 
 // SetFaults installs a fault model and retry policy for the next Run (nil
 // disables injection). Zero RetryPolicy fields default to 3 attempts with
-// the machine's τ as backoff. Must be called before Run.
+// the machine's τ as backoff. A model that also implements
+// fabric.CrashModel schedules crash-stop node kills (crash.go). Must be
+// called before Run.
 func (e *Engine) SetFaults(f FaultModel, rp RetryPolicy) {
 	e.faults = f
 	e.retry = rp.WithDefaults(e.params.Tau)
 	if f != nil && e.linkAttempts == nil {
 		e.linkAttempts = make([]int64, e.nodesCount*e.n)
 	}
+	e.setCrashes(f)
 }
 
 // Faults returns the installed fault model (nil when injection is off).

@@ -199,8 +199,9 @@ type shard struct {
 	events []TraceEvent
 	cur    *opRec // open record of the operation being executed
 
-	acc       statAcc
-	doneCount int
+	acc        statAcc
+	doneCount  int
+	crashCount int // crash-stops fired in this shard this epoch
 }
 
 type shardRun struct {
@@ -248,7 +249,7 @@ func (sh *shard) deliver(dest int, a arrival) {
 // Engine.refreshNode for the per-shard heap).
 func (sh *shard) refresh(i int) {
 	nd := sh.run.e.nodes[i]
-	if nd.done {
+	if nd.done || nd.crashed {
 		sh.heap.remove(i)
 		return
 	}
@@ -282,6 +283,14 @@ func (sh *shard) runEpoch() {
 			// deadline; everything at or under it still executes, exactly
 			// as under the serial scheduler.
 			break
+		}
+		if e.crashDue(best, t) {
+			// Crash-stop at an operation boundary: no record, no resume —
+			// the node's goroutine stays parked until drainAll unwinds it.
+			e.crashNode(nd)
+			sh.crashCount++
+			h.remove(best)
+			continue
 		}
 		if nd.pending.kind == opDone {
 			sh.beginOp(nd, t)
@@ -327,7 +336,9 @@ func (nd *Node) tryEager(o op) (Msg, bool) {
 	e := nd.eng
 	nd.pending = o
 	t, ok := e.actionTime(nd)
-	if !ok || t >= sh.run.horizon || t > e.deadline {
+	if !ok || t >= sh.run.horizon || t > e.deadline || e.crashDue(int(nd.id), t) {
+		// A due crash must not execute eagerly: the node parks instead and
+		// the shard loop crash-stops it at the canonical pop.
 		return Msg{}, false
 	}
 	sh.beginOp(nd, t)
@@ -368,6 +379,13 @@ func (e *Engine) runSharded(p int) error {
 	for live > 0 {
 		minT, minNode := run.globalMin()
 		if minNode == -1 {
+			fired, crashed := e.crashQuiesce()
+			live -= fired
+			if crashed {
+				err := e.nodeDownError()
+				e.drainAll()
+				return err
+			}
 			err := e.deadlockError()
 			e.drainAll()
 			return err
@@ -437,12 +455,18 @@ func (e *Engine) runSharded(p int) error {
 			return err
 		}
 		for i := range run.shards {
-			live -= run.shards[i].doneCount
-			run.shards[i].doneCount = 0
+			live -= run.shards[i].doneCount + run.shards[i].crashCount
+			e.crashedCount += run.shards[i].crashCount
+			run.shards[i].doneCount, run.shards[i].crashCount = 0, 0
 		}
 	}
 	if !run.record {
 		run.foldFast()
+	}
+	if e.crashedCount > 0 {
+		err := e.nodeDownError()
+		e.drainAll()
+		return err
 	}
 	if e.stats.Time < e.maxResourceTime() {
 		e.stats.Time = e.maxResourceTime()

@@ -135,6 +135,7 @@ type Node struct {
 	resume  chan Msg      // engine -> node, carries recv results
 	opErr   error         // set by the engine before resume (fault injection)
 	done    bool
+	crashed bool // crash-stop fired; stays parked until drainAll, never done
 	failure error
 
 	// Sharded-execution state (nil/zero under the serial schedulers).
@@ -171,6 +172,12 @@ type Engine struct {
 	faults   FaultModel
 	retry    RetryPolicy
 	deadline float64 // virtual-time budget; +Inf when unset (see SetDeadline)
+
+	// Crash-stop schedule (crash.go); nil unless the fault model implements
+	// fabric.CrashModel with at least one scheduled kill.
+	crashModel   fabric.CrashModel
+	crashT       []float64 // per-node crash time, +Inf when the node survives
+	crashedCount int       // crashes fired this run
 
 	stats    Stats
 	tracer   Tracer
@@ -232,6 +239,7 @@ var simCaps = fabric.Capabilities{
 	TimedFaultWindows:   true,
 	Tracing:             true,
 	ParallelDeterminism: true,
+	CrashStop:           true,
 }
 
 // IsSimulation reports that time is simulated (fabric.Fabric contract).
@@ -430,17 +438,32 @@ func (e *Engine) runIndexed() error {
 	for live > 0 {
 		best := e.ready.min()
 		if best == -1 {
+			fired, crashed := e.crashQuiesce()
+			live -= fired
+			if crashed {
+				err := e.nodeDownError()
+				e.drainAll()
+				return err
+			}
 			err := e.deadlockError()
 			e.drainAll()
 			return err
 		}
 		nd := e.nodes[best]
-		if nd.pending.kind != opDone {
-			if t, _ := e.actionTime(nd); t > e.deadline {
-				err := e.deadlineError(nd, t)
-				e.drainAll()
-				return err
-			}
+		t, _ := e.actionTime(nd)
+		if nd.pending.kind != opDone && t > e.deadline {
+			err := e.deadlineError(nd, t)
+			e.drainAll()
+			return err
+		}
+		if e.crashDue(best, t) {
+			// Crash-stop: the pending operation never executes; the node's
+			// goroutine stays parked until drainAll unwinds it.
+			e.crashNode(nd)
+			e.crashedCount++
+			e.ready.remove(best)
+			live--
+			continue
 		}
 		e.sendDest = -1
 		if e.execute(nd) {
@@ -457,6 +480,11 @@ func (e *Engine) runIndexed() error {
 		if d := e.sendDest; d >= 0 && d != best {
 			e.refreshNode(d)
 		}
+	}
+	if e.crashedCount > 0 {
+		err := e.nodeDownError()
+		e.drainAll()
+		return err
 	}
 	if e.stats.Time < e.maxResourceTime() {
 		e.stats.Time = e.maxResourceTime()
@@ -481,7 +509,7 @@ func (e *Engine) checkFailure(nd *Node) error {
 // otherwise (a receive with an empty queue).
 func (e *Engine) refreshNode(i int) {
 	nd := e.nodes[i]
-	if nd.done {
+	if nd.done || nd.crashed {
 		e.ready.remove(i)
 		return
 	}
@@ -510,7 +538,7 @@ func (e *Engine) runLinear() error {
 		best := -1
 		bestT := math.Inf(1)
 		for i, nd := range e.nodes {
-			if nd.done {
+			if nd.done || nd.crashed {
 				continue
 			}
 			t, ok := e.actionTime(nd)
@@ -520,6 +548,13 @@ func (e *Engine) runLinear() error {
 			}
 		}
 		if best == -1 {
+			fired, crashed := e.crashQuiesce()
+			live -= fired
+			if crashed {
+				err := e.nodeDownError()
+				e.drainAll()
+				return err
+			}
 			err := e.deadlockError()
 			e.drainAll()
 			return err
@@ -530,12 +565,23 @@ func (e *Engine) runLinear() error {
 			e.drainAll()
 			return err
 		}
+		if e.crashDue(best, bestT) {
+			e.crashNode(nd)
+			e.crashedCount++
+			live--
+			continue
+		}
 		if e.execute(nd) {
 			nd.done = true
 			live--
 			continue
 		}
 		<-nd.parked // wait for the resumed node to park again
+	}
+	if e.crashedCount > 0 {
+		err := e.nodeDownError()
+		e.drainAll()
+		return err
 	}
 	if e.stats.Time < e.maxResourceTime() {
 		e.stats.Time = e.maxResourceTime()

@@ -19,7 +19,7 @@ go test ./...
 
 # Fuzz corpora in regression mode: replay the checked-in seeds (no fuzzing).
 echo "==> go test -run '^Fuzz' (fuzz seed regression)"
-go test -run '^Fuzz' ./internal/plan/ ./internal/cube/ ./internal/service/ .
+go test -run '^Fuzz' ./internal/plan/ ./internal/cube/ ./internal/service/ ./internal/remap/ .
 
 # Smoke the fault sweep: robustness table on a 6-cube (survival under k
 # random link failures per path system).
@@ -30,6 +30,24 @@ go run ./cmd/experiments -exp fault-sweep >/dev/null
 # failed run checkpointed, resumed and verified element-exact.
 echo "==> experiments -exp recovery-sweep (6-cube smoke)"
 go run ./cmd/experiments -exp recovery-sweep >/dev/null
+
+# Smoke the chaos sweep: k node crash-stops mid-run on both backends, every
+# node-down failure recovered onto the survivors and verified element-exact.
+# Gate on zero failed cells — crash-stop survival is an acceptance invariant.
+echo "==> experiments -exp chaos-sweep (6-cube, both backends)"
+go run ./cmd/experiments -exp chaos-sweep | awk '
+	/^(SPT|DPT|MPT) / {
+		rows++
+		if ($6 + 0 != 0) {
+			printf "check: chaos-sweep cell %s/%s k=%s has %s failed run(s)\n", $1, $2, $3, $6 > "/dev/stderr"
+			bad = 1
+		}
+	}
+	END {
+		if (rows == 0) { print "check: chaos-sweep produced no rows" > "/dev/stderr"; exit 1 }
+		if (bad) exit 1
+		printf "check: chaos-sweep %d cells, zero failed runs\n", rows
+	}'
 
 # Resume determinism: the checkpoint/resume acceptance scenarios replayed
 # twice — the resumed distribution must stay bit-identical to the unfaulted
